@@ -1,0 +1,56 @@
+// Command mupod-fig2 regenerates Fig. 2 of the paper: the per-layer
+// linear relationship between the injected uniform-noise boundary Δ_XK
+// and the induced output-error standard deviation σ_{Y_K→Ł} (Eq. 5),
+// measured on VGG-19 and GoogleNet (or any other zoo network).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mupod/internal/experiments"
+	"mupod/internal/zoo"
+)
+
+func main() {
+	models := flag.String("models", "vgg19,googlenet", "comma-separated networks to measure")
+	images := flag.Int("images", 40, "profiling images")
+	points := flag.Int("points", 16, "Δ points per layer regression")
+	seed := flag.Uint64("seed", 1, "noise seed")
+	scatter := flag.Int("scatter", 2, "number of layers to render as ASCII scatter plots")
+	flag.Parse()
+
+	for _, m := range strings.Split(*models, ",") {
+		a := zoo.Arch(strings.TrimSpace(m))
+		if _, ok := zoo.AnalyzableLayers[a]; !ok {
+			fmt.Fprintf(os.Stderr, "mupod-fig2: unknown model %q\n", m)
+			os.Exit(1)
+		}
+		res, err := experiments.Fig2(a, experiments.Opts{
+			ProfileImages: *images,
+			ProfilePoints: *points,
+			Seed:          *seed,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mupod-fig2:", err)
+			os.Exit(1)
+		}
+		fmt.Print(res.String())
+		for i := 0; i < *scatter && i < len(res.Layers); i++ {
+			// Spread the rendered layers across the network.
+			idx := i * (len(res.Layers) - 1) / max(1, *scatter-1)
+			fmt.Println()
+			fmt.Print(res.ScatterASCII(idx, 48, 12))
+		}
+		fmt.Println()
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

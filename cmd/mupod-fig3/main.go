@@ -1,0 +1,52 @@
+// Command mupod-fig3 regenerates Fig. 3 of the paper: classification
+// accuracy versus the output-error budget σ_YŁ under the two validation
+// schemes (equal_scheme and gaussian_approx), the worst-case ξ corner
+// study (error bars), and the output-error histogram compared against a
+// perfect N(0,1).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mupod/internal/experiments"
+	"mupod/internal/zoo"
+)
+
+func main() {
+	model := flag.String("model", "alexnet", "network to sweep")
+	sigmaList := flag.String("sigmas", "0.05,0.1,0.2,0.4,0.8,1.6,3.2,6.4", "comma-separated σ_YŁ values")
+	repeats := flag.Int("repeats", 3, "noise realizations per point")
+	images := flag.Int("images", 24, "profiling images")
+	eval := flag.Int("eval", 200, "images per accuracy evaluation")
+	seed := flag.Uint64("seed", 1, "noise seed")
+	flag.Parse()
+
+	a := zoo.Arch(*model)
+	if _, ok := zoo.AnalyzableLayers[a]; !ok {
+		fmt.Fprintf(os.Stderr, "mupod-fig3: unknown model %q\n", *model)
+		os.Exit(1)
+	}
+	var sigmas []float64
+	for _, s := range strings.Split(*sigmaList, ",") {
+		var v float64
+		if _, err := fmt.Sscanf(strings.TrimSpace(s), "%g", &v); err != nil || v <= 0 {
+			fmt.Fprintf(os.Stderr, "mupod-fig3: bad σ %q\n", s)
+			os.Exit(1)
+		}
+		sigmas = append(sigmas, v)
+	}
+
+	res, err := experiments.Fig3(a, sigmas, *repeats, experiments.Opts{
+		ProfileImages: *images,
+		EvalImages:    *eval,
+		Seed:          *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mupod-fig3:", err)
+		os.Exit(1)
+	}
+	fmt.Print(res.String())
+}

@@ -1,0 +1,32 @@
+// Command mupod-fig4 regenerates Fig. 4 of the paper: NiN optimized for
+// MAC energy — power-hungry layers trade bitwidth against light layers,
+// saving MAC energy at the cost of some bandwidth.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mupod/internal/experiments"
+)
+
+func main() {
+	images := flag.Int("images", 30, "profiling images")
+	points := flag.Int("points", 12, "Δ points per layer regression")
+	eval := flag.Int("eval", 200, "images per accuracy evaluation")
+	seed := flag.Uint64("seed", 1, "noise seed")
+	flag.Parse()
+
+	res, err := experiments.Fig4(experiments.Opts{
+		ProfileImages: *images,
+		ProfilePoints: *points,
+		EvalImages:    *eval,
+		Seed:          *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mupod-fig4:", err)
+		os.Exit(1)
+	}
+	fmt.Print(res.String())
+}

@@ -1,0 +1,82 @@
+// Command mupod-pareto sweeps the blended bandwidth/energy objective on
+// one network and prints the non-dominated frontier of operating points
+// — the explicit multi-objective view of the paper's Sec. V-D (see
+// internal/pareto). Use -csv for machine-readable output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mupod/internal/pareto"
+	"mupod/internal/profile"
+	"mupod/internal/report"
+	"mupod/internal/search"
+	"mupod/internal/zoo"
+)
+
+func main() {
+	model := flag.String("model", "googlenet", "architecture to sweep")
+	drop := flag.Float64("drop", 0.05, "relative accuracy drop constraint")
+	weightBits := flag.Int("w", 8, "uniform weight bitwidth for the energy model")
+	images := flag.Int("images", 20, "profiling images")
+	points := flag.Int("points", 10, "Δ points per layer regression")
+	eval := flag.Int("eval", 200, "images per accuracy evaluation")
+	seed := flag.Uint64("seed", 1, "noise seed")
+	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	all := flag.Bool("all", false, "print every sweep point, not only the frontier")
+	flag.Parse()
+
+	arch := zoo.Arch(*model)
+	if _, ok := zoo.AnalyzableLayers[arch]; !ok {
+		fmt.Fprintf(os.Stderr, "mupod-pareto: unknown model %q\n", *model)
+		os.Exit(1)
+	}
+	net, err := zoo.Load(arch)
+	if err != nil {
+		fatal(err)
+	}
+	_, test := zoo.Data(arch)
+
+	prof, err := profile.Run(net, test, profile.Config{Images: *images, Points: *points, Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+	sr, err := search.Run(net, prof, test, search.Options{
+		Scheme: search.Scheme2Gaussian, RelDrop: *drop, EvalImages: *eval, Seed: *seed ^ 0x5eed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	points_, err := pareto.Sweep(prof, sr.SigmaYL, pareto.Config{WeightBits: *weightBits})
+	if err != nil {
+		fatal(err)
+	}
+	shown := points_
+	if !*all {
+		shown = pareto.NonDominated(points_)
+	}
+
+	t := report.New("alpha", "input_bits", "mac_energy_pJ", "eff_input_bits", "eff_mac_bits")
+	for _, p := range shown {
+		t.AddStrings(
+			fmt.Sprintf("%.2f", p.Alpha),
+			fmt.Sprintf("%d", p.InputBits),
+			fmt.Sprintf("%.1f", p.MACEnergy),
+			fmt.Sprintf("%.2f", p.EffInputBits),
+			fmt.Sprintf("%.2f", p.EffMACBits))
+	}
+	if *csv {
+		fmt.Print(t.CSV())
+		return
+	}
+	fmt.Printf("Pareto sweep — %s @ %.0f%% relative drop (σ_YŁ = %.3f): %d points, %d shown\n\n",
+		arch, *drop*100, sr.SigmaYL, len(points_), len(shown))
+	fmt.Print(t.String())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mupod-pareto:", err)
+	os.Exit(1)
+}

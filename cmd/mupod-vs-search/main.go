@@ -1,0 +1,39 @@
+// Command mupod-vs-search reproduces the Sec. VI-A cost comparison: the
+// paper's analytic pipeline against the Stripes-style per-layer dynamic
+// search, on wall-clock time, accuracy-evaluation count and result
+// quality.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mupod/internal/experiments"
+	"mupod/internal/zoo"
+)
+
+func main() {
+	model := flag.String("model", "googlenet", "network to compare on")
+	drop := flag.Float64("drop", 0.05, "relative accuracy drop constraint")
+	images := flag.Int("images", 16, "profiling images")
+	eval := flag.Int("eval", 200, "images per accuracy evaluation")
+	seed := flag.Uint64("seed", 1, "noise seed")
+	flag.Parse()
+
+	a := zoo.Arch(*model)
+	if _, ok := zoo.AnalyzableLayers[a]; !ok {
+		fmt.Fprintf(os.Stderr, "mupod-vs-search: unknown model %q\n", *model)
+		os.Exit(1)
+	}
+	res, err := experiments.MethodVsSearch(a, *drop, experiments.Opts{
+		ProfileImages: *images,
+		EvalImages:    *eval,
+		Seed:          *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mupod-vs-search:", err)
+		os.Exit(1)
+	}
+	fmt.Print(res.String())
+}

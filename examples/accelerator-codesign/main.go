@@ -1,0 +1,62 @@
+// Accelerator co-design: sweep the accuracy budget and map each
+// optimized allocation onto the Stripes-style bit-serial accelerator
+// simulator, tracing the accuracy ↔ throughput ↔ energy Pareto frontier
+// a hardware designer would use to pick an operating point.
+//
+// Run with:
+//
+//	go run ./examples/accelerator-codesign
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mupod"
+)
+
+func main() {
+	net := mupod.MustLoad(mupod.SqueezeNet)
+	_, test := mupod.Data(mupod.SqueezeNet)
+
+	prof, err := mupod.ProfileNetwork(net, test, mupod.ProfileConfig{Images: 24, Points: 10, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	hw := mupod.AccelConfig{Units: 256, ClockMHz: 500, BaselineBits: 16}
+	fmt.Println("drop%   σ_YŁ    eff-MAC-bits  images/s  speedup  pJ/image  quant-acc")
+
+	for _, drop := range []float64{0.01, 0.02, 0.05, 0.10} {
+		opts := mupod.SearchOptions{Scheme: mupod.Scheme2Gaussian, RelDrop: drop, Seed: 7}
+		sr, err := mupod.SearchSigma(net, prof, test, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Guarded allocation: shrink σ until the formats pass real
+		// quantized validation (the statistical search alone can be a
+		// touch optimistic at this dataset scale).
+		alloc, err := mupod.AllocateGuarded(net, test, prof, sr, mupod.Config{
+			Objective: mupod.MinimizeMACBits, Search: opts, Guard: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		rep, err := mupod.SimulateAccelerator(alloc, hw)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w, err := mupod.UniformWeightSearch(net, alloc, test, mupod.BaselineOptions{RelDrop: drop})
+		if err != nil {
+			log.Fatal(err)
+		}
+		acc := alloc.Validate(net, test, 0)
+		fmt.Printf("%4.0f%%  %6.3f  %12.2f  %8.0f  %6.2f×  %8.1f  %9.3f\n",
+			drop*100, sr.SigmaYL, alloc.EffectiveMACBits(),
+			rep.ImagesPerSec, rep.Speedup,
+			alloc.MACEnergy(mupod.Default40nm, w), acc)
+	}
+
+	fmt.Println("\nHigher tolerated drop → narrower activations → faster bit-serial execution and lower energy.")
+}

@@ -1,0 +1,96 @@
+// Pareto frontier: the "multi-objective" of the paper's title, made
+// explicit. One profile of GoogleNet plus a sweep of blended Eq. 8
+// objectives yields the whole bandwidth↔energy trade-off curve in
+// seconds — each point is a full per-layer bitwidth assignment a
+// designer could ship.
+//
+// Run with:
+//
+//	go run ./examples/pareto-frontier
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"mupod"
+)
+
+func main() {
+	net := mupod.MustLoad(mupod.GoogleNet)
+	_, test := mupod.Data(mupod.GoogleNet)
+
+	prof, err := mupod.ProfileNetwork(net, test, mupod.ProfileConfig{Images: 20, Points: 10, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sr, err := mupod.SearchSigma(net, prof, test, mupod.SearchOptions{
+		Scheme: mupod.Scheme2Gaussian, RelDrop: 0.05, Seed: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	points, err := mupod.ParetoSweep(prof, sr.SigmaYL, mupod.ParetoConfig{WeightBits: 6})
+	if err != nil {
+		log.Fatal(err)
+	}
+	front := mupod.ParetoFront(points)
+
+	fmt.Printf("GoogleNet @ 5%% relative drop: %d sweep points → %d on the frontier\n\n",
+		len(points), len(front))
+	fmt.Println("alpha  input-kbits  energy-nJ  eff-in  eff-mac")
+	for _, p := range front {
+		fmt.Printf("%5.2f  %11.1f  %9.1f  %6.2f  %7.2f\n",
+			p.Alpha, float64(p.InputBits)/1e3, p.MACEnergy/1e3, p.EffInputBits, p.EffMACBits)
+	}
+
+	// Crude terminal scatter: bandwidth (x) vs energy (y).
+	fmt.Println()
+	plot(front)
+}
+
+func plot(front []mupod.ParetoPoint) {
+	const W, H = 52, 14
+	if len(front) == 0 {
+		return
+	}
+	minX, maxX := front[0].InputBits, front[0].InputBits
+	minY, maxY := front[0].MACEnergy, front[0].MACEnergy
+	for _, p := range front {
+		if p.InputBits < minX {
+			minX = p.InputBits
+		}
+		if p.InputBits > maxX {
+			maxX = p.InputBits
+		}
+		if p.MACEnergy < minY {
+			minY = p.MACEnergy
+		}
+		if p.MACEnergy > maxY {
+			maxY = p.MACEnergy
+		}
+	}
+	grid := make([][]byte, H)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", W))
+	}
+	for _, p := range front {
+		x := 0
+		if maxX > minX {
+			x = int(float64(p.InputBits-minX) / float64(maxX-minX) * float64(W-1))
+		}
+		y := 0
+		if maxY > minY {
+			y = int((p.MACEnergy - minY) / (maxY - minY) * float64(H-1))
+		}
+		grid[H-1-y][x] = '*'
+	}
+	fmt.Printf("energy (up) vs bandwidth (right): [%0.0f..%0.0f] nJ, [%d..%d] kbit\n",
+		minY/1e3, maxY/1e3, minX/1000, maxX/1000)
+	for _, row := range grid {
+		fmt.Println("|" + string(row))
+	}
+	fmt.Println("+" + strings.Repeat("-", W))
+}

@@ -1,0 +1,55 @@
+// Quickstart: the complete MUPOD pipeline on AlexNet in ~20 lines of
+// API calls — profile the error-propagation constants, search the
+// output-error budget for a 1% relative accuracy drop, optimize the
+// per-layer bitwidths for MAC energy, and validate the result with real
+// quantized inference.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mupod"
+)
+
+func main() {
+	// The model zoo trains deterministic scaled-down versions of the
+	// paper's eight CNNs on a synthetic dataset; results are cached, so
+	// the first run takes a few seconds and later runs are instant.
+	net := mupod.MustLoad(mupod.AlexNet)
+	_, test := mupod.Data(mupod.AlexNet)
+
+	res, err := mupod.Run(net, test, mupod.Config{
+		Profile: mupod.ProfileConfig{Images: 30, Points: 12, Seed: 1},
+		Search: mupod.SearchOptions{
+			Scheme:  mupod.Scheme1Uniform, // equal_scheme validation
+			RelDrop: 0.01,                 // tolerate a 1% relative top-1 drop
+		},
+		Objective: mupod.MinimizeMACBits, // minimize Σ #MAC_K · bits_K
+		Guard:     true,                  // re-validate with real quantization
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("σ_YŁ = %.3f (binary search: %d accuracy evaluations)\n\n",
+		res.GuardedSigma, res.Search.Evaluations)
+	fmt.Println("layer   ξ       Δ_XK     format  bits")
+	for _, l := range res.Allocation.Layers {
+		fmt.Printf("%-7s %.3f  %8.5f  %-6s  %d\n", l.Name, l.Xi, l.Delta, l.Format, l.Bits)
+	}
+
+	fmt.Printf("\neffective bitwidth: input %.2f, MAC %.2f\n",
+		res.Allocation.EffectiveInputBits(), res.Allocation.EffectiveMACBits())
+
+	// The decisive test: quantize every layer input to its assigned
+	// fixed-point format and measure real accuracy on the held-out set.
+	exact := res.Search.ExactAccuracy
+	quant := res.Allocation.Validate(net, test, 0)
+	fmt.Printf("accuracy: exact %.3f → quantized %.3f (constraint ≥ %.3f)\n",
+		exact, quant, exact*0.99)
+}

@@ -1,0 +1,57 @@
+// Weight quantization (Sec. V-E): after the input bitwidths have been
+// optimized, search the smallest uniform weight bitwidth that keeps the
+// accuracy constraint, as Stripes/Loom do — then report the combined
+// activation+weight configuration and its MAC energy.
+//
+// Run with:
+//
+//	go run ./examples/weight-quantization
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mupod"
+)
+
+func main() {
+	net := mupod.MustLoad(mupod.MobileNet)
+	_, test := mupod.Data(mupod.MobileNet)
+
+	const drop = 0.05
+	res, err := mupod.Run(net, test, mupod.Config{
+		Profile:   mupod.ProfileConfig{Images: 24, Points: 10, Seed: 1},
+		Search:    mupod.SearchOptions{Scheme: mupod.Scheme1Uniform, RelDrop: drop, Seed: 2},
+		Objective: mupod.MinimizeMACBits,
+		Guard:     true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	alloc := res.Allocation
+
+	// Step 2 (Sec. V-E): with the activation formats applied, find the
+	// smallest uniform weight width that stays within the budget.
+	w, err := mupod.UniformWeightSearch(net, alloc, test, mupod.BaselineOptions{
+		RelDrop: drop,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("MobileNet @ %.0f%% relative drop\n\n", drop*100)
+	fmt.Printf("activation bits per layer: %v\n", alloc.Bits())
+	fmt.Printf("uniform weight bits:       W = %d\n\n", w)
+
+	for _, wb := range []int{16, w} {
+		fmt.Printf("MAC energy at W=%2d: %7.1f pJ/image\n",
+			wb, alloc.MACEnergy(mupod.Default40nm, wb))
+	}
+	full := mupod.UniformAllocation(res.Profile, 16)
+	fmt.Printf("16-bit everything:  %7.1f pJ/image\n", full.MACEnergy(mupod.Default40nm, 16))
+
+	acc := alloc.Validate(net, test, 0)
+	fmt.Printf("\nreal quantized accuracy (activations only): %.3f (exact %.3f)\n",
+		acc, res.Search.ExactAccuracy)
+}

@@ -1,0 +1,89 @@
+package mupod
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// These facade tests avoid the model zoo so they run in -short mode.
+
+const facadeNet = `
+network t input=3x8x8 classes=10 seed=3
+conv   c1 in=input inc=3 outc=4 k=3 pad=1
+relu   r1 in=c1
+conv   c2 in=r1 inc=4 outc=4 k=3 pad=1
+gap    g  in=c2
+fc     fc in=g infeatures=4 outfeatures=10
+`
+
+func TestParseWriteNetworkFacade(t *testing.T) {
+	net, err := ParseNetwork(strings.NewReader(facadeNet))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.AnalyzableNodes()) != 3 {
+		t.Fatalf("%d analyzable layers", len(net.AnalyzableNodes()))
+	}
+	var buf bytes.Buffer
+	if err := WriteNetwork(&buf, net); err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParseNetwork(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again.Nodes) != len(net.Nodes) {
+		t.Fatal("facade round trip changed the topology")
+	}
+}
+
+func TestParetoFrontFacade(t *testing.T) {
+	pts := []ParetoPoint{
+		{InputBits: 10, MACEnergy: 5},
+		{InputBits: 20, MACEnergy: 1},
+		{InputBits: 30, MACEnergy: 3}, // dominated
+	}
+	front := ParetoFront(pts)
+	if len(front) != 2 {
+		t.Fatalf("front = %+v", front)
+	}
+}
+
+func TestObjectiveAndSchemeConstants(t *testing.T) {
+	// The facade constants must keep the paper's vocabulary.
+	if MinimizeInputBits.String() != "opt_for_input" || MinimizeMACBits.String() != "opt_for_mac" {
+		t.Fatal("objective names drifted")
+	}
+	if Scheme1Uniform.String() != "equal_scheme" || Scheme2Gaussian.String() != "gaussian_approx" {
+		t.Fatal("scheme names drifted")
+	}
+	if StripesMode.String() != "stripes" || LoomMode.String() != "loom" {
+		t.Fatal("accelerator mode names drifted")
+	}
+}
+
+// TestFixedPointFacade exercises the integer execution path through the
+// facade on the zoo AlexNet (short-gated: needs trained weights).
+func TestFixedPointFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("zoo-backed test skipped in -short mode")
+	}
+	net := MustLoad(AlexNet)
+	_, test := Data(AlexNet)
+	prof, err := ProfileNetwork(net, test, ProfileConfig{Images: 8, Points: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc := UniformAllocation(prof, 8)
+	logits, rep, err := RunFixedPoint(net, alloc, FixedPointConfig{WeightBits: 8}, test.Batch(0, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if logits.Shape[0] != 4 || logits.Shape[1] != 10 {
+		t.Fatalf("logits shape %v", logits.Shape)
+	}
+	if rep.MaxAccumulatorBits() <= 0 {
+		t.Fatal("missing accumulator audit")
+	}
+}

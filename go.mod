@@ -1,0 +1,3 @@
+module mupod
+
+go 1.22

@@ -1,0 +1,146 @@
+// Package accel simulates a Stripes-style bit-serial DNN accelerator
+// [1]: multiplication is performed serially over the ACTIVATION bits,
+// so a layer whose inputs need only B bits finishes in B/16 of the
+// cycles a 16-bit baseline needs — "their performance scales almost
+// linearly with the saving in effective_bitwidth" (Sec. VI). The
+// simulator turns a bitwidth allocation into per-layer cycle counts,
+// throughput and speedup, which is how Table III's effective-bitwidth
+// columns become hardware performance.
+package accel
+
+import (
+	"fmt"
+
+	"mupod/internal/core"
+)
+
+// Mode selects the bit-serial execution style.
+type Mode int
+
+// Supported accelerator styles.
+const (
+	// Stripes [1]: serial over ACTIVATION bits only — cycles per MAC
+	// batch scale with the activation width.
+	Stripes Mode = iota
+	// Loom [2]: serial over BOTH operand bit vectors — cycles scale
+	// with activationBits × weightBits relative to the baseline's
+	// BaselineBits × BaselineBits product.
+	Loom
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Stripes:
+		return "stripes"
+	case Loom:
+		return "loom"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config describes the accelerator instance.
+type Config struct {
+	// Mode selects Stripes (default) or Loom execution.
+	Mode Mode
+	// Units is the number of parallel serial MAC lanes (default 256).
+	Units int
+	// ClockMHz is the core clock (default 500, matching the paper's
+	// synthesis point).
+	ClockMHz float64
+	// BaselineBits is the per-cycle-parallel reference width a
+	// conventional accelerator would use (default 16).
+	BaselineBits int
+	// WeightBits is the weight width used by Loom mode (default 8;
+	// ignored by Stripes, which executes weights bit-parallel).
+	WeightBits int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Units == 0 {
+		c.Units = 256
+	}
+	if c.ClockMHz == 0 {
+		c.ClockMHz = 500
+	}
+	if c.BaselineBits == 0 {
+		c.BaselineBits = 16
+	}
+	if c.WeightBits == 0 {
+		c.WeightBits = 8
+	}
+	return c
+}
+
+// LayerReport is the simulated execution of one layer.
+type LayerReport struct {
+	Name           string
+	MACs           int
+	Bits           int   // serial activation bits
+	Cycles         int64 // bit-serial cycles for one image
+	BaselineCycles int64 // cycles at Config.BaselineBits
+}
+
+// Report is the whole-network simulation result.
+type Report struct {
+	NetName        string
+	Layers         []LayerReport
+	TotalCycles    int64
+	BaselineCycles int64
+	Speedup        float64 // baseline/total
+	ImagesPerSec   float64
+}
+
+// ceilDiv returns ⌈a/b⌉ for positive b.
+func ceilDiv(a, b int64) int64 { return (a + b - 1) / b }
+
+// Simulate runs one image's MACs through the bit-serial array. A layer
+// with B-bit activations needs B passes over its MAC batches; B ≤ 1 is
+// clamped to 1 cycle per batch (the serial datapath still spends one
+// cycle even for degenerate widths).
+func Simulate(alloc *core.Allocation, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if alloc == nil || len(alloc.Layers) == 0 {
+		return nil, fmt.Errorf("accel: empty allocation")
+	}
+	rep := &Report{NetName: alloc.NetName}
+	for _, l := range alloc.Layers {
+		bits := l.Bits
+		if bits < 1 {
+			bits = 1
+		}
+		batches := ceilDiv(int64(l.MACs), int64(cfg.Units))
+		var perBatch, basePerBatch int64
+		switch cfg.Mode {
+		case Stripes:
+			perBatch = int64(bits)
+			basePerBatch = int64(cfg.BaselineBits)
+		case Loom:
+			// Loom's serial product term: a×w bit pairs, processed
+			// BaselineBits at a time (the array's parallel budget).
+			perBatch = ceilDiv(int64(bits)*int64(cfg.WeightBits), int64(cfg.BaselineBits))
+			basePerBatch = int64(cfg.BaselineBits) // 16×16/16
+		default:
+			return nil, fmt.Errorf("accel: unknown mode %v", cfg.Mode)
+		}
+		if perBatch < 1 {
+			perBatch = 1
+		}
+		lr := LayerReport{
+			Name:           l.Name,
+			MACs:           l.MACs,
+			Bits:           bits,
+			Cycles:         batches * perBatch,
+			BaselineCycles: batches * basePerBatch,
+		}
+		rep.Layers = append(rep.Layers, lr)
+		rep.TotalCycles += lr.Cycles
+		rep.BaselineCycles += lr.BaselineCycles
+	}
+	if rep.TotalCycles > 0 {
+		rep.Speedup = float64(rep.BaselineCycles) / float64(rep.TotalCycles)
+		rep.ImagesPerSec = cfg.ClockMHz * 1e6 / float64(rep.TotalCycles)
+	}
+	return rep, nil
+}

@@ -1,0 +1,149 @@
+package accel
+
+import (
+	"math"
+	"testing"
+
+	"mupod/internal/core"
+)
+
+func alloc(bits, macs []int) *core.Allocation {
+	a := &core.Allocation{NetName: "t"}
+	for i := range bits {
+		a.Layers = append(a.Layers, core.LayerAlloc{
+			Name: "l", Bits: bits[i], MACs: macs[i], Inputs: 1,
+		})
+	}
+	return a
+}
+
+func TestSimulateCycleMath(t *testing.T) {
+	// 1000 MACs on 100 units = 10 batches; 8-bit serial = 80 cycles.
+	rep, err := Simulate(alloc([]int{8}, []int{1000}), Config{Units: 100, BaselineBits: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalCycles != 80 {
+		t.Fatalf("cycles = %d, want 80", rep.TotalCycles)
+	}
+	if rep.BaselineCycles != 160 {
+		t.Fatalf("baseline = %d, want 160", rep.BaselineCycles)
+	}
+	if math.Abs(rep.Speedup-2) > 1e-12 {
+		t.Fatalf("speedup = %v, want 2", rep.Speedup)
+	}
+}
+
+func TestSimulateCeilDiv(t *testing.T) {
+	// 101 MACs on 100 units = 2 batches.
+	rep, err := Simulate(alloc([]int{4}, []int{101}), Config{Units: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalCycles != 8 {
+		t.Fatalf("cycles = %d, want 8", rep.TotalCycles)
+	}
+}
+
+func TestSimulateClampsBits(t *testing.T) {
+	rep, err := Simulate(alloc([]int{0}, []int{100}), Config{Units: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalCycles != 1 {
+		t.Fatalf("0-bit layer should still cost 1 cycle/batch, got %d", rep.TotalCycles)
+	}
+}
+
+func TestSpeedupTracksEffectiveBitwidth(t *testing.T) {
+	// Two layers with equal MACs at 8 bits → speedup exactly 2 vs 16.
+	rep, err := Simulate(alloc([]int{8, 8}, []int{1000, 1000}), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.Speedup-2) > 1e-9 {
+		t.Fatalf("speedup = %v", rep.Speedup)
+	}
+}
+
+func TestImagesPerSec(t *testing.T) {
+	rep, err := Simulate(alloc([]int{16}, []int{256}), Config{Units: 256, ClockMHz: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 batch × 16 cycles at 500 MHz.
+	want := 500e6 / 16
+	if math.Abs(rep.ImagesPerSec-want) > 1 {
+		t.Fatalf("imgs/s = %v, want %v", rep.ImagesPerSec, want)
+	}
+}
+
+func TestSimulateEmptyAllocation(t *testing.T) {
+	if _, err := Simulate(&core.Allocation{}, Config{}); err == nil {
+		t.Fatal("no error on empty allocation")
+	}
+	if _, err := Simulate(nil, Config{}); err == nil {
+		t.Fatal("no error on nil allocation")
+	}
+}
+
+func TestPerLayerReports(t *testing.T) {
+	rep, err := Simulate(alloc([]int{4, 12}, []int{100, 300}), Config{Units: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Layers) != 2 {
+		t.Fatalf("%d layer reports", len(rep.Layers))
+	}
+	if rep.Layers[0].Cycles != 4 || rep.Layers[1].Cycles != 36 {
+		t.Fatalf("per-layer cycles %d/%d", rep.Layers[0].Cycles, rep.Layers[1].Cycles)
+	}
+	if rep.TotalCycles != 40 {
+		t.Fatalf("total %d", rep.TotalCycles)
+	}
+}
+
+func TestLoomModeCycles(t *testing.T) {
+	// 4-bit activations × 8-bit weights on a 16-bit-parallel array:
+	// ceil(32/16) = 2 cycles per batch vs 16 baseline.
+	rep, err := Simulate(alloc([]int{4}, []int{100}), Config{
+		Mode: Loom, Units: 100, WeightBits: 8, BaselineBits: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalCycles != 2 {
+		t.Fatalf("loom cycles = %d, want 2", rep.TotalCycles)
+	}
+	if rep.Speedup != 8 {
+		t.Fatalf("loom speedup = %v, want 8", rep.Speedup)
+	}
+}
+
+func TestLoomBeatsStripesAtNarrowWeights(t *testing.T) {
+	// Loom exploits weight precision that Stripes leaves on the table.
+	a := alloc([]int{8, 8}, []int{1000, 1000})
+	st, err := Simulate(a, Config{Mode: Stripes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := Simulate(a, Config{Mode: Loom, WeightBits: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo.Speedup <= st.Speedup {
+		t.Fatalf("loom %v not faster than stripes %v with 4-bit weights", lo.Speedup, st.Speedup)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Stripes.String() != "stripes" || Loom.String() != "loom" {
+		t.Fatal("mode names wrong")
+	}
+}
+
+func TestUnknownModeErrors(t *testing.T) {
+	if _, err := Simulate(alloc([]int{4}, []int{10}), Config{Mode: Mode(9)}); err == nil {
+		t.Fatal("no error for unknown mode")
+	}
+}

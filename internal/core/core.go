@@ -1,0 +1,406 @@
+// Package core ties the substrates into the paper's end-to-end
+// precision-optimization pipeline (the primary contribution):
+//
+//  1. profile the per-layer error-propagation constants λ_K, θ_K
+//     (internal/profile, Sec. V-A / Eq. 5),
+//  2. binary-search the output error budget σ_YŁ that meets the user's
+//     accuracy constraint (internal/search, Sec. V-C),
+//  3. optimize the budget decomposition ξ for a resource objective
+//     (internal/optimize, Sec. V-D / Eq. 8), and
+//  4. translate each Δ_XK into a concrete fixed-point format I.F and
+//     validate the result with REAL quantized inference.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"mupod/internal/dataset"
+	"mupod/internal/energy"
+	"mupod/internal/fixedpoint"
+	"mupod/internal/nn"
+	"mupod/internal/optimize"
+	"mupod/internal/profile"
+	"mupod/internal/search"
+)
+
+// Objective selects the ρ weights of Eq. 8.
+type Objective int
+
+// Built-in objectives from Sec. V-D; CustomRho lets callers optimize
+// for any hardware criterion ("designers can formulate different
+// optimization criteria using our framework", Sec. VI-A).
+const (
+	MinimizeInputBits Objective = iota // ρ_K = #Input elements of layer K (bandwidth)
+	MinimizeMACBits                    // ρ_K = #MAC operations of layer K (energy)
+	CustomRho
+)
+
+// String implements fmt.Stringer.
+func (o Objective) String() string {
+	switch o {
+	case MinimizeInputBits:
+		return "opt_for_input"
+	case MinimizeMACBits:
+		return "opt_for_mac"
+	case CustomRho:
+		return "custom"
+	default:
+		return fmt.Sprintf("Objective(%d)", int(o))
+	}
+}
+
+// Config collects the tunables of a full pipeline run.
+type Config struct {
+	Profile   profile.Config
+	Search    search.Options
+	Solver    optimize.Options
+	Objective Objective
+	// Rho supplies the weights when Objective == CustomRho.
+	Rho []float64
+	// DeltaFloor caps the finest Δ (default 2^-20, see optimize).
+	DeltaFloor float64
+
+	// Guard enables a post-allocation validation loop with REAL
+	// quantized inference: while the allocation violates the accuracy
+	// constraint on the evaluation subset, σ_YŁ is shrunk by
+	// GuardShrink and ξ re-solved (profiling is not repeated). The
+	// paper's large eval sets (≥12,500 ImageNet images, 1000 logits)
+	// make its statistical σ search reliable enough to skip this; at
+	// this repository's scale the guard absorbs the extra estimation
+	// noise. Off by default.
+	Guard           bool
+	GuardShrink     float64 // σ multiplier per retry (default 0.85)
+	GuardMaxRetries int     // default 8
+}
+
+// LayerAlloc is the per-layer outcome.
+type LayerAlloc struct {
+	NodeID int
+	Name   string
+	Xi     float64
+	Delta  float64
+	Format fixedpoint.Format
+	Bits   int // stored width = Format.Width()
+	Inputs int
+	MACs   int
+}
+
+// Allocation is a complete bitwidth assignment with the metadata needed
+// to score it under any criterion.
+type Allocation struct {
+	NetName   string
+	Objective string
+	SigmaYL   float64
+	Layers    []LayerAlloc
+}
+
+// Bits returns the per-layer stored widths in layer order.
+func (a *Allocation) Bits() []int {
+	out := make([]int, len(a.Layers))
+	for i := range a.Layers {
+		out[i] = a.Layers[i].Bits
+	}
+	return out
+}
+
+func (a *Allocation) inputRho() []float64 {
+	out := make([]float64, len(a.Layers))
+	for i := range a.Layers {
+		out[i] = float64(a.Layers[i].Inputs)
+	}
+	return out
+}
+
+func (a *Allocation) macRho() []float64 {
+	out := make([]float64, len(a.Layers))
+	for i := range a.Layers {
+		out[i] = float64(a.Layers[i].MACs)
+	}
+	return out
+}
+
+// EffectiveInputBits is the paper's Input column: Σ#Input_K·B_K/Σ#Input_K.
+func (a *Allocation) EffectiveInputBits() float64 {
+	return energy.EffectiveBitwidth(a.inputRho(), a.Bits())
+}
+
+// EffectiveMACBits is the paper's MAC column: Σ#MAC_K·B_K/Σ#MAC_K.
+func (a *Allocation) EffectiveMACBits() float64 {
+	return energy.EffectiveBitwidth(a.macRho(), a.Bits())
+}
+
+// TotalInputBits is the absolute bandwidth per image in bits (the
+// #Input_bits row of Table II).
+func (a *Allocation) TotalInputBits() int64 {
+	var total int64
+	for i := range a.Layers {
+		total += int64(a.Layers[i].Inputs) * int64(a.Layers[i].Bits)
+	}
+	return total
+}
+
+// TotalMACBits is Σ#MAC_K·B_K (the #MAC_bits row of Table II).
+func (a *Allocation) TotalMACBits() int64 {
+	var total int64
+	for i := range a.Layers {
+		total += int64(a.Layers[i].MACs) * int64(a.Layers[i].Bits)
+	}
+	return total
+}
+
+// MACEnergy scores the allocation under a MAC energy model with a
+// uniform weight bitwidth (pJ per image).
+func (a *Allocation) MACEnergy(m energy.MACModel, weightBits int) float64 {
+	macs := make([]int, len(a.Layers))
+	for i := range a.Layers {
+		macs[i] = a.Layers[i].MACs
+	}
+	e, err := m.NetworkEnergy(macs, a.Bits(), weightBits)
+	if err != nil {
+		panic(err) // impossible: lengths match by construction
+	}
+	return e
+}
+
+// InjectionPlan returns the REAL-quantization injection plan: every
+// analyzable layer's input is rounded to its allocated fixed-point
+// format during the forward pass.
+func (a *Allocation) InjectionPlan() map[int]nn.Injector {
+	plan := make(map[int]nn.Injector, len(a.Layers))
+	for i := range a.Layers {
+		plan[a.Layers[i].NodeID] = profile.QuantizeInjector(a.Layers[i].Format)
+	}
+	return plan
+}
+
+// Validate measures top-1 accuracy of net over the first n images of ds
+// with the allocation's formats actually applied (not modelled).
+func (a *Allocation) Validate(net *nn.Network, ds *dataset.Dataset, n int) float64 {
+	return search.Accuracy(net, ds, n, 32, a.InjectionPlan())
+}
+
+// FromXi converts an optimized ξ decomposition into a concrete
+// Allocation using the profile's λ/θ/IntBits.
+func FromXi(prof *profile.Profile, sigmaYL float64, xi []float64, objective string, deltaFloor float64) (*Allocation, error) {
+	return FromXiScaled(prof, sigmaYL, xi, objective, deltaFloor, 1)
+}
+
+// FromXiScaled is FromXi with every layer's Δ multiplied by deltaScale
+// before the format conversion. The guard loop shrinks this scale
+// (rather than σ) because a positive fitted θ_K floors Δ_K as σ → 0,
+// which would otherwise let a failing allocation stall.
+func FromXiScaled(prof *profile.Profile, sigmaYL float64, xi []float64, objective string, deltaFloor, deltaScale float64) (*Allocation, error) {
+	if len(xi) != prof.NumLayers() {
+		return nil, fmt.Errorf("core: ξ has %d entries for %d layers", len(xi), prof.NumLayers())
+	}
+	if deltaFloor <= 0 {
+		deltaFloor = 1.0 / (1 << 20)
+	}
+	if deltaScale <= 0 {
+		return nil, fmt.Errorf("core: non-positive delta scale %g", deltaScale)
+	}
+	a := &Allocation{NetName: prof.NetName, Objective: objective, SigmaYL: sigmaYL}
+	for k := range prof.Layers {
+		lp := &prof.Layers[k]
+		delta := lp.DeltaFor(sigmaYL, xi[k]) * deltaScale
+		if delta < deltaFloor {
+			delta = deltaFloor
+		}
+		f := lp.FormatFor(delta)
+		a.Layers = append(a.Layers, LayerAlloc{
+			NodeID: lp.NodeID,
+			Name:   lp.Name,
+			Xi:     xi[k],
+			Delta:  delta,
+			Format: f,
+			Bits:   f.Width(),
+			Inputs: lp.Inputs,
+			MACs:   lp.MACs,
+		})
+	}
+	return a, nil
+}
+
+// Uniform builds the smallest-uniform-bitwidth style allocation: every
+// layer stores `bits` total bits, with the integer part taken from the
+// profiled range (fraction = bits − I, possibly negative). This is the
+// paper's baseline when no Stripes profile exists.
+func Uniform(prof *profile.Profile, bits int) *Allocation {
+	a := &Allocation{NetName: prof.NetName, Objective: fmt.Sprintf("uniform%d", bits)}
+	for k := range prof.Layers {
+		lp := &prof.Layers[k]
+		f := fixedpoint.Format{IntBits: lp.IntBits, FracBits: bits - lp.IntBits}
+		a.Layers = append(a.Layers, LayerAlloc{
+			NodeID: lp.NodeID,
+			Name:   lp.Name,
+			Delta:  f.Delta(),
+			Format: f,
+			Bits:   f.Width(),
+			Inputs: lp.Inputs,
+			MACs:   lp.MACs,
+		})
+	}
+	return a
+}
+
+// WithBits builds an allocation with explicit per-layer total widths
+// (integer bits from the profile; used by the Stripes-style search
+// baseline).
+func WithBits(prof *profile.Profile, bits []int) (*Allocation, error) {
+	if len(bits) != prof.NumLayers() {
+		return nil, fmt.Errorf("core: %d bitwidths for %d layers", len(bits), prof.NumLayers())
+	}
+	a := &Allocation{NetName: prof.NetName, Objective: "explicit"}
+	for k := range prof.Layers {
+		lp := &prof.Layers[k]
+		f := fixedpoint.Format{IntBits: lp.IntBits, FracBits: bits[k] - lp.IntBits}
+		a.Layers = append(a.Layers, LayerAlloc{
+			NodeID: lp.NodeID,
+			Name:   lp.Name,
+			Delta:  f.Delta(),
+			Format: f,
+			Bits:   f.Width(),
+			Inputs: lp.Inputs,
+			MACs:   lp.MACs,
+		})
+	}
+	return a, nil
+}
+
+// rhoFor materializes the objective's ρ weights.
+func rhoFor(prof *profile.Profile, obj Objective, custom []float64) ([]float64, error) {
+	n := prof.NumLayers()
+	rho := make([]float64, n)
+	switch obj {
+	case MinimizeInputBits:
+		for k := range prof.Layers {
+			rho[k] = float64(prof.Layers[k].Inputs)
+		}
+	case MinimizeMACBits:
+		for k := range prof.Layers {
+			rho[k] = float64(prof.Layers[k].MACs)
+		}
+	case CustomRho:
+		if len(custom) != n {
+			return nil, fmt.Errorf("core: custom ρ has %d entries for %d layers", len(custom), n)
+		}
+		copy(rho, custom)
+	default:
+		return nil, fmt.Errorf("core: unknown objective %v", obj)
+	}
+	return rho, nil
+}
+
+// OptimizeXi solves Eq. 8 for the given profile, σ_YŁ and objective and
+// returns the optimal decomposition.
+func OptimizeXi(prof *profile.Profile, sigmaYL float64, cfg Config) ([]float64, error) {
+	rho, err := rhoFor(prof, cfg.Objective, cfg.Rho)
+	if err != nil {
+		return nil, err
+	}
+	obj, err := optimize.NewBitObjective(prof, sigmaYL, rho, cfg.DeltaFloor)
+	if err != nil {
+		return nil, err
+	}
+	xi, _, err := optimize.SolveNewtonKKT(obj, cfg.Solver)
+	return xi, err
+}
+
+// Result is the output of a full pipeline run.
+type Result struct {
+	Profile    *profile.Profile
+	Search     *search.Result
+	Allocation *Allocation
+
+	// GuardRetries counts how often the guard loop shrank σ (0 when the
+	// first allocation already validated, or when the guard is off).
+	GuardRetries int
+	// GuardedSigma is the σ_YŁ actually used by the final allocation
+	// (== Search.SigmaYL when no retry happened).
+	GuardedSigma float64
+
+	ProfileTime time.Duration
+	SearchTime  time.Duration
+	SolveTime   time.Duration
+}
+
+// Run executes the complete pipeline: profile → σ search → ξ
+// optimization → allocation. The caller supplies a held-out dataset
+// (profiling uses its head, accuracy search its first half per the
+// paper's "at least half of the test dataset").
+func Run(net *nn.Network, ds *dataset.Dataset, cfg Config) (*Result, error) {
+	res := &Result{}
+
+	t0 := time.Now()
+	prof, err := profile.Run(net, ds, cfg.Profile)
+	if err != nil {
+		return nil, fmt.Errorf("core: profiling: %w", err)
+	}
+	res.Profile = prof
+	res.ProfileTime = time.Since(t0)
+
+	t0 = time.Now()
+	sr, err := search.Run(net, prof, ds, cfg.Search)
+	if err != nil {
+		return nil, fmt.Errorf("core: σ search: %w", err)
+	}
+	res.Search = sr
+	res.SearchTime = time.Since(t0)
+
+	t0 = time.Now()
+	alloc, sigma, retries, err := Allocate(net, ds, prof, sr, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.Allocation = alloc
+	res.GuardedSigma = sigma
+	res.GuardRetries = retries
+	res.SolveTime = time.Since(t0)
+	return res, nil
+}
+
+// Allocate solves ξ for the searched σ and builds the allocation,
+// applying the guard loop when cfg.Guard is set. It returns the final
+// allocation, the σ actually used, and the number of guard retries.
+func Allocate(net *nn.Network, ds *dataset.Dataset, prof *profile.Profile, sr *search.Result, cfg Config) (*Allocation, float64, int, error) {
+	sigma := sr.SigmaYL
+	shrink := cfg.GuardShrink
+	if shrink <= 0 || shrink >= 1 {
+		shrink = 0.85
+	}
+	retries := cfg.GuardMaxRetries
+	if retries <= 0 {
+		retries = 10
+	}
+	xi, err := OptimizeXi(prof, sigma, cfg)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("core: ξ optimization: %w", err)
+	}
+	// Validate on the SAME subset the σ search measured its target
+	// against; a different subset would make the target unreachable
+	// whenever the two subsets' exact accuracies differ.
+	evalImages := cfg.Search.EvalImages
+	if evalImages == 0 {
+		evalImages = sr.EvalImages
+	}
+	scale := 1.0
+	for attempt := 0; ; attempt++ {
+		alloc, err := FromXiScaled(prof, sigma, xi, cfg.Objective.String(), cfg.DeltaFloor, scale)
+		if err != nil {
+			return nil, 0, 0, fmt.Errorf("core: allocation: %w", err)
+		}
+		if !cfg.Guard {
+			return alloc, sigma, attempt, nil
+		}
+		acc := search.Accuracy(net, ds, evalImages, 32, alloc.InjectionPlan())
+		if acc >= sr.TargetAcc {
+			return alloc, sigma * scale, attempt, nil
+		}
+		if attempt >= retries {
+			return nil, 0, 0, fmt.Errorf("core: guard exhausted after %d retries (accuracy %.3f < target %.3f)",
+				attempt, acc, sr.TargetAcc)
+		}
+		scale *= shrink
+	}
+}

@@ -1,0 +1,203 @@
+// Package dataset generates the deterministic synthetic image
+// classification workload that stands in for ImageNet (see DESIGN.md:
+// the paper's pipeline only needs a labelled dataset on which trained
+// networks achieve non-trivial accuracy that degrades monotonically
+// under quantization noise).
+//
+// Ten visually distinct procedural classes (stripes, disks, rings,
+// checkerboards, gradients, crosses, ...) are rendered onto C×H×W
+// tensors with per-sample random phase, intensity and additive noise.
+// Everything is reproducible from a single seed.
+package dataset
+
+import (
+	"fmt"
+	"math"
+
+	"mupod/internal/rng"
+	"mupod/internal/tensor"
+)
+
+// NumClasses is the number of synthetic classes.
+const NumClasses = 10
+
+// Config parameterizes dataset generation.
+type Config struct {
+	H, W      int     // spatial size (channels fixed at 3)
+	Train     int     // number of training samples
+	Test      int     // number of held-out test samples
+	NoiseSD   float64 // additive Gaussian pixel noise (default 0.15)
+	Seed      uint64  // generation seed
+	Amplitude float64 // pattern amplitude (default 2.0) — sets the input value range
+}
+
+func (c Config) withDefaults() Config {
+	if c.NoiseSD == 0 {
+		c.NoiseSD = 0.15
+	}
+	if c.Amplitude == 0 {
+		c.Amplitude = 2.0
+	}
+	return c
+}
+
+// Dataset is a labelled split.
+type Dataset struct {
+	C, H, W    int
+	NumClasses int
+	Images     *tensor.Tensor // [N, C, H, W]
+	Labels     []int
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return len(d.Labels) }
+
+// Batch returns a [n, C, H, W] view over samples [start, start+n).
+// The view shares storage with the dataset; callers must not mutate it.
+func (d *Dataset) Batch(start, n int) *tensor.Tensor {
+	if start < 0 || start+n > d.Len() {
+		panic(fmt.Sprintf("dataset: batch [%d,%d) out of range [0,%d)", start, start+n, d.Len()))
+	}
+	stride := d.C * d.H * d.W
+	return tensor.FromSlice(d.Images.Data[start*stride:(start+n)*stride], n, d.C, d.H, d.W)
+}
+
+// Image returns a [1, C, H, W] view of sample i.
+func (d *Dataset) Image(i int) *tensor.Tensor { return d.Batch(i, 1) }
+
+// Subset returns a view over the first n samples (used to size
+// profiling budgets without copying).
+func (d *Dataset) Subset(n int) *Dataset {
+	if n > d.Len() {
+		n = d.Len()
+	}
+	stride := d.C * d.H * d.W
+	return &Dataset{
+		C: d.C, H: d.H, W: d.W, NumClasses: d.NumClasses,
+		Images: tensor.FromSlice(d.Images.Data[:n*stride], n, d.C, d.H, d.W),
+		Labels: d.Labels[:n],
+	}
+}
+
+// Generate builds a train/test pair per the configuration. Samples are
+// class-balanced and deterministically derived from cfg.Seed; the test
+// split uses an independent RNG stream so it is a genuine hold-out.
+func Generate(cfg Config) (train, test *Dataset) {
+	cfg = cfg.withDefaults()
+	if cfg.H <= 0 || cfg.W <= 0 || cfg.Train < 0 || cfg.Test < 0 {
+		panic(fmt.Sprintf("dataset: bad config %+v", cfg))
+	}
+	root := rng.New(cfg.Seed)
+	trainRNG := root.Split()
+	testRNG := root.Split()
+	return generateSplit(cfg, cfg.Train, trainRNG), generateSplit(cfg, cfg.Test, testRNG)
+}
+
+func generateSplit(cfg Config, n int, r *rng.RNG) *Dataset {
+	d := &Dataset{
+		C: 3, H: cfg.H, W: cfg.W, NumClasses: NumClasses,
+		Images: tensor.New(n, 3, cfg.H, cfg.W),
+		Labels: make([]int, n),
+	}
+	plane := cfg.H * cfg.W
+	buf := make([]float64, plane)
+	for i := 0; i < n; i++ {
+		label := i % NumClasses
+		d.Labels[i] = label
+		renderPattern(label, cfg, r, buf)
+		// Per-channel intensity makes color informative but not
+		// sufficient alone, so the network must learn spatial filters.
+		for c := 0; c < 3; c++ {
+			gain := 0.4 + 0.6*r.Float64()
+			if c == label%3 {
+				gain += 0.3
+			}
+			dst := d.Images.Data[(i*3+c)*plane : (i*3+c+1)*plane]
+			for p := 0; p < plane; p++ {
+				dst[p] = gain*buf[p] + r.NormalScaled(0, cfg.NoiseSD)
+			}
+		}
+	}
+	// Shuffle so batches are class-mixed.
+	stride := 3 * plane
+	r.Shuffle(n, func(a, b int) {
+		d.Labels[a], d.Labels[b] = d.Labels[b], d.Labels[a]
+		sa := d.Images.Data[a*stride : (a+1)*stride]
+		sb := d.Images.Data[b*stride : (b+1)*stride]
+		for k := range sa {
+			sa[k], sb[k] = sb[k], sa[k]
+		}
+	})
+	return d
+}
+
+// renderPattern draws the base (single-channel) pattern for a class
+// into buf (length H*W), with per-sample random phase and scale.
+func renderPattern(class int, cfg Config, r *rng.RNG, buf []float64) {
+	H, W := cfg.H, cfg.W
+	amp := cfg.Amplitude * (0.7 + 0.6*r.Float64())
+	phase := r.Float64()
+	cy := float64(H)/2 + r.Uniform(-1, 1)
+	cx := float64(W)/2 + r.Uniform(-1, 1)
+	rad := float64(minInt(H, W)) / 4 * (0.8 + 0.4*r.Float64())
+	for y := 0; y < H; y++ {
+		for x := 0; x < W; x++ {
+			fy, fx := float64(y), float64(x)
+			var v float64
+			switch class {
+			case 0: // horizontal stripes
+				v = sq(math.Sin(2 * math.Pi * (fy/4 + phase)))
+			case 1: // vertical stripes
+				v = sq(math.Sin(2 * math.Pi * (fx/4 + phase)))
+			case 2: // filled disk
+				if dist(fy, fx, cy, cx) < rad {
+					v = 1
+				}
+			case 3: // ring
+				d := dist(fy, fx, cy, cx)
+				if d > rad*0.6 && d < rad*1.2 {
+					v = 1
+				}
+			case 4: // checkerboard
+				if ((y/2)+(x/2))%2 == 0 {
+					v = 1
+				}
+			case 5: // diagonal gradient
+				v = (fy + fx) / float64(H+W-2)
+			case 6: // plus / cross
+				if math.Abs(fy-cy) < 1.5 || math.Abs(fx-cx) < 1.5 {
+					v = 1
+				}
+			case 7: // X (diagonals)
+				if math.Abs((fy-cy)-(fx-cx)) < 1.5 || math.Abs((fy-cy)+(fx-cx)) < 1.5 {
+					v = 1
+				}
+			case 8: // bright corner blob (random corner)
+				qy := int(phase*2) % 2
+				qx := int(phase*4) % 2
+				if (y < H/2) == (qy == 0) && (x < W/2) == (qx == 0) {
+					v = 1
+				}
+			case 9: // radial gradient
+				v = 1 - dist(fy, fx, cy, cx)/float64(minInt(H, W))
+			default:
+				panic(fmt.Sprintf("dataset: unknown class %d", class))
+			}
+			buf[y*W+x] = amp * v
+		}
+	}
+}
+
+func sq(x float64) float64 { return x * x }
+
+func dist(y, x, cy, cx float64) float64 {
+	dy, dx := y-cy, x-cx
+	return math.Sqrt(dy*dy + dx*dx)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

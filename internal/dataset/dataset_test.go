@@ -1,0 +1,172 @@
+package dataset
+
+import (
+	"testing"
+)
+
+func TestGenerateShapesAndLabels(t *testing.T) {
+	tr, te := Generate(Config{H: 8, W: 8, Train: 50, Test: 30, Seed: 1})
+	if tr.Len() != 50 || te.Len() != 30 {
+		t.Fatalf("lengths %d/%d", tr.Len(), te.Len())
+	}
+	if tr.C != 3 || tr.H != 8 || tr.W != 8 {
+		t.Fatalf("dims %d/%d/%d", tr.C, tr.H, tr.W)
+	}
+	for _, l := range tr.Labels {
+		if l < 0 || l >= NumClasses {
+			t.Fatalf("label %d out of range", l)
+		}
+	}
+	if got := tr.Images.Shape; got[0] != 50 || got[1] != 3 || got[2] != 8 || got[3] != 8 {
+		t.Fatalf("image tensor shape %v", got)
+	}
+}
+
+func TestClassBalance(t *testing.T) {
+	tr, _ := Generate(Config{H: 8, W: 8, Train: 100, Test: 0, Seed: 2})
+	counts := make([]int, NumClasses)
+	for _, l := range tr.Labels {
+		counts[l]++
+	}
+	for c, n := range counts {
+		if n != 10 {
+			t.Fatalf("class %d has %d samples, want 10", c, n)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, _ := Generate(Config{H: 8, W: 8, Train: 20, Test: 5, Seed: 7})
+	b, _ := Generate(Config{H: 8, W: 8, Train: 20, Test: 5, Seed: 7})
+	for i := range a.Images.Data {
+		if a.Images.Data[i] != b.Images.Data[i] {
+			t.Fatal("same seed produced different data")
+		}
+	}
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("same seed produced different labels")
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, _ := Generate(Config{H: 8, W: 8, Train: 20, Test: 0, Seed: 1})
+	b, _ := Generate(Config{H: 8, W: 8, Train: 20, Test: 0, Seed: 2})
+	same := true
+	for i := range a.Images.Data {
+		if a.Images.Data[i] != b.Images.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestTrainTestIndependent(t *testing.T) {
+	tr, te := Generate(Config{H: 8, W: 8, Train: 20, Test: 20, Seed: 3})
+	same := true
+	for i := range tr.Images.Data {
+		if tr.Images.Data[i] != te.Images.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("train and test splits are identical")
+	}
+}
+
+func TestBatchIsView(t *testing.T) {
+	tr, _ := Generate(Config{H: 8, W: 8, Train: 10, Test: 0, Seed: 4})
+	b := tr.Batch(2, 3)
+	if b.Shape[0] != 3 {
+		t.Fatalf("batch shape %v", b.Shape)
+	}
+	stride := 3 * 8 * 8
+	if &b.Data[0] != &tr.Images.Data[2*stride] {
+		t.Fatal("Batch copied instead of viewing")
+	}
+	img := tr.Image(5)
+	if img.Shape[0] != 1 {
+		t.Fatalf("image shape %v", img.Shape)
+	}
+}
+
+func TestBatchPanicsOutOfRange(t *testing.T) {
+	tr, _ := Generate(Config{H: 8, W: 8, Train: 10, Test: 0, Seed: 4})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	tr.Batch(8, 5)
+}
+
+func TestSubset(t *testing.T) {
+	tr, _ := Generate(Config{H: 8, W: 8, Train: 10, Test: 0, Seed: 5})
+	s := tr.Subset(4)
+	if s.Len() != 4 {
+		t.Fatalf("subset len %d", s.Len())
+	}
+	if s.Subset(100).Len() != 4 {
+		t.Fatal("oversized subset should clamp")
+	}
+}
+
+func TestGeneratePanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Generate(Config{H: 0, W: 8, Train: 1, Test: 1})
+}
+
+func TestPatternsDifferAcrossClasses(t *testing.T) {
+	// Mean per-class images must not all coincide: patterns carry signal.
+	tr, _ := Generate(Config{H: 8, W: 8, Train: 200, Test: 0, Seed: 6})
+	stride := 3 * 8 * 8
+	means := make([][]float64, NumClasses)
+	counts := make([]int, NumClasses)
+	for i := 0; i < tr.Len(); i++ {
+		l := tr.Labels[i]
+		if means[l] == nil {
+			means[l] = make([]float64, stride)
+		}
+		for j := 0; j < stride; j++ {
+			means[l][j] += tr.Images.Data[i*stride+j]
+		}
+		counts[l]++
+	}
+	distinct := 0
+	for a := 0; a < NumClasses; a++ {
+		for b := a + 1; b < NumClasses; b++ {
+			var d float64
+			for j := 0; j < stride; j++ {
+				diff := means[a][j]/float64(counts[a]) - means[b][j]/float64(counts[b])
+				d += diff * diff
+			}
+			if d > 0.5 {
+				distinct++
+			}
+		}
+	}
+	if distinct < NumClasses { // at least a good fraction of pairs distinct
+		t.Fatalf("only %d distinct class pairs", distinct)
+	}
+}
+
+func TestAllSizesRender(t *testing.T) {
+	for _, hw := range []int{6, 8, 16, 32} {
+		tr, _ := Generate(Config{H: hw, W: hw, Train: NumClasses, Test: 0, Seed: 8})
+		if tr.Len() != NumClasses {
+			t.Fatalf("size %d: len %d", hw, tr.Len())
+		}
+		if tr.Images.MaxAbs() == 0 {
+			t.Fatalf("size %d: all-zero images", hw)
+		}
+	}
+}

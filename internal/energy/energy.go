@@ -1,0 +1,79 @@
+// Package energy models MAC energy and input bandwidth as functions of
+// operand bitwidths. The paper synthesized a Synopsys DesignWare MAC in
+// TSMC 40 nm LP (0.9 V, 500 MHz) to convert Table III's optimized
+// bitwidths into the "Ener save" column; offline we substitute the
+// standard architectural model — multiplier energy scales with the
+// product of operand widths (partial-product array area), adder and
+// register energy with their sum — calibrated so a 16×16 MAC lands at
+// about 1 pJ, the published ballpark for that node. Savings are
+// reported as ratios, which are insensitive to the absolute calibration
+// (DESIGN.md §2).
+package energy
+
+import "fmt"
+
+// MACModel is a polynomial energy-per-MAC model in picojoules.
+type MACModel struct {
+	// C0 is the fixed per-operation overhead (clocking, control).
+	C0 float64
+	// CAdd is the per-bit cost of the accumulator/adder datapath.
+	CAdd float64
+	// CMul is the per-bit² cost of the partial-product array.
+	CMul float64
+}
+
+// Default40nm is calibrated so Energy(16, 16) ≈ 1.14 pJ.
+var Default40nm = MACModel{C0: 0.05, CAdd: 0.020, CMul: 0.0030}
+
+// Energy returns the energy of one MAC with the given activation and
+// weight bitwidths in pJ. Widths clamp at zero: a 0-bit operand
+// degenerates the multiply but the accumulator/control overhead
+// remains.
+func (m MACModel) Energy(aBits, wBits int) float64 {
+	if aBits < 0 {
+		aBits = 0
+	}
+	if wBits < 0 {
+		wBits = 0
+	}
+	return m.C0 + m.CAdd*float64(aBits+wBits) + m.CMul*float64(aBits*wBits)
+}
+
+// NetworkEnergy returns the total energy (pJ) of running every MAC of a
+// network once (one image): Σ_K MACs_K · Energy(aBits_K, wBits).
+func (m MACModel) NetworkEnergy(macs []int, aBits []int, wBits int) (float64, error) {
+	if len(macs) != len(aBits) {
+		return 0, fmt.Errorf("energy: %d MAC counts vs %d bitwidths", len(macs), len(aBits))
+	}
+	total := 0.0
+	for k := range macs {
+		total += float64(macs[k]) * m.Energy(aBits[k], wBits)
+	}
+	return total, nil
+}
+
+// Saving returns the fractional saving of new vs base (e.g. 0.228 for
+// the paper's NiN 22.8%); negative values mean a regression.
+func Saving(base, new float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 1 - new/base
+}
+
+// EffectiveBitwidth is the paper's normalization (Sec. V-D):
+// Σ(ρ_K·B_K)/Σρ_K — e.g. AlexNet baseline input 2833/397.6 ≈ 7.1.
+func EffectiveBitwidth(rho []float64, bits []int) float64 {
+	if len(rho) != len(bits) {
+		panic(fmt.Sprintf("energy: %d ρ vs %d bitwidths", len(rho), len(bits)))
+	}
+	var num, den float64
+	for k := range rho {
+		num += rho[k] * float64(bits[k])
+		den += rho[k]
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}

@@ -1,0 +1,121 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEnergyMonotoneInBits(t *testing.T) {
+	m := Default40nm
+	prev := 0.0
+	for b := 1; b <= 16; b++ {
+		e := m.Energy(b, 10)
+		if e <= prev {
+			t.Fatalf("energy not monotone at %d bits", b)
+		}
+		prev = e
+	}
+}
+
+func TestEnergyCalibration(t *testing.T) {
+	// 16×16 MAC around ~1 pJ per DESIGN.md calibration.
+	e := Default40nm.Energy(16, 16)
+	if e < 0.8 || e > 1.5 {
+		t.Fatalf("16×16 energy = %v pJ, expected ≈ 1", e)
+	}
+}
+
+func TestEnergyClampsNegativeWidths(t *testing.T) {
+	m := Default40nm
+	if m.Energy(-3, 8) != m.Energy(0, 8) {
+		t.Fatal("negative width not clamped")
+	}
+	// Zero-width activation still pays overhead.
+	if m.Energy(0, 8) <= 0 {
+		t.Fatal("zero-width energy must keep overhead")
+	}
+}
+
+func TestNetworkEnergy(t *testing.T) {
+	m := MACModel{C0: 0, CAdd: 0, CMul: 1} // pure a·w pJ per MAC
+	got, err := m.NetworkEnergy([]int{10, 20}, []int{2, 3}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 10.0*2*4 + 20.0*3*4
+	if got != want {
+		t.Fatalf("network energy = %v, want %v", got, want)
+	}
+	if _, err := m.NetworkEnergy([]int{1}, []int{1, 2}, 4); err == nil {
+		t.Fatal("no error on length mismatch")
+	}
+}
+
+func TestSaving(t *testing.T) {
+	if s := Saving(100, 77); math.Abs(s-0.23) > 1e-12 {
+		t.Fatalf("Saving = %v", s)
+	}
+	if s := Saving(100, 110); s >= 0 {
+		t.Fatalf("regression must be negative: %v", s)
+	}
+	if Saving(0, 5) != 0 {
+		t.Fatal("zero base must not divide by zero")
+	}
+}
+
+func TestEffectiveBitwidthPaperExample(t *testing.T) {
+	// Table II: AlexNet baseline — #Input row and baseline bitwidths
+	// give effective 2833/397.6 ≈ 7.1.
+	rho := []float64{154.6, 70, 43.2, 64.9, 64.9}
+	bits := []int{9, 7, 4, 5, 7}
+	got := EffectiveBitwidth(rho, bits)
+	if math.Abs(got-7.1) > 0.05 {
+		t.Fatalf("effective bitwidth = %v, paper says ≈ 7.1", got)
+	}
+	// And the optimized-input row: 2407/397.6 ≈ 6.05.
+	opt := []int{6, 6, 5, 6, 7}
+	got = EffectiveBitwidth(rho, opt)
+	if math.Abs(got-6.05) > 0.05 {
+		t.Fatalf("optimized effective bitwidth = %v, paper says ≈ 6.05", got)
+	}
+}
+
+func TestEffectiveBitwidthEdge(t *testing.T) {
+	if EffectiveBitwidth(nil, nil) != 0 {
+		t.Fatal("empty effective bitwidth should be 0")
+	}
+	if EffectiveBitwidth([]float64{0, 0}, []int{3, 5}) != 0 {
+		t.Fatal("zero-weight effective bitwidth should be 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	EffectiveBitwidth([]float64{1}, []int{1, 2})
+}
+
+// Property: effective bitwidth lies between min and max layer widths.
+func TestQuickEffectiveBitwidthBounds(t *testing.T) {
+	f := func(raw [5]uint8) bool {
+		rho := make([]float64, 5)
+		bits := make([]int, 5)
+		lo, hi := 255, 0
+		for i, r := range raw {
+			rho[i] = float64(r%100) + 1
+			bits[i] = int(r % 17)
+			if bits[i] < lo {
+				lo = bits[i]
+			}
+			if bits[i] > hi {
+				hi = bits[i]
+			}
+		}
+		e := EffectiveBitwidth(rho, bits)
+		return e >= float64(lo)-1e-9 && e <= float64(hi)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"mupod/internal/zoo"
+)
+
+// Small budgets: these tests exercise the full experiment plumbing, not
+// measurement quality (the benches and cmd tools use larger budgets).
+func tinyOpts() Opts {
+	return Opts{ProfileImages: 12, ProfilePoints: 6, EvalImages: 120, Seed: 3}
+}
+
+func TestTable2Structure(t *testing.T) {
+	res, err := Table2(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("%d rows for AlexNet", len(res.Rows))
+	}
+	if res.SigmaYL <= 0 {
+		t.Fatal("σ not found")
+	}
+	var xiSum float64
+	for _, x := range res.Xi {
+		xiSum += x
+	}
+	if xiSum < 0.99 || xiSum > 1.01 {
+		t.Fatalf("Σξ = %v", xiSum)
+	}
+	// Real quantized validation must satisfy the 1% constraint.
+	if res.OptInputAcc < res.ExactAcc*0.99-0.02 || res.OptMACAcc < res.ExactAcc*0.99-0.02 {
+		t.Fatalf("accuracy violated: %v/%v vs exact %v", res.OptInputAcc, res.OptMACAcc, res.ExactAcc)
+	}
+	s := res.String()
+	for _, want := range []string{"Table II", "conv1", "#Input_bits", "ξ"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering missing %q", want)
+		}
+	}
+}
+
+func TestTable3SingleNet(t *testing.T) {
+	res, err := Table3([]zoo.Arch{zoo.AlexNet}, []float64{0.05}, tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	row := res.Rows[0]
+	if row.Layers != 5 || row.WeightBits <= 0 {
+		t.Fatalf("row %+v", row)
+	}
+	// The guard guarantees the validation columns.
+	target := row.ExactAcc * (1 - row.RelDrop)
+	if row.OptInAcc < target-0.02 || row.OptMACAcc < target-0.02 {
+		t.Fatalf("validation failed: %+v", row)
+	}
+	if !strings.Contains(res.String(), "alexnet") {
+		t.Error("rendering missing net name")
+	}
+}
+
+func TestFig2Structure(t *testing.T) {
+	res, err := Fig2(zoo.AlexNet, tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Layers) != 5 {
+		t.Fatalf("%d layers", len(res.Layers))
+	}
+	// The core claim: the relationship is linear. On the fixture-sized
+	// budget we still demand decent fits.
+	if res.MeanR2 < 0.85 {
+		t.Fatalf("mean R² = %v — Eq. 5 linearity lost", res.MeanR2)
+	}
+	for _, l := range res.Layers {
+		if l.Lambda <= 0 {
+			t.Errorf("%s: λ = %v", l.Name, l.Lambda)
+		}
+		if len(l.Sigmas) != 6 {
+			t.Errorf("%s: %d points", l.Name, len(l.Sigmas))
+		}
+	}
+	if !strings.Contains(res.String(), "Fig. 2") {
+		t.Error("rendering missing title")
+	}
+	if sc := res.ScatterASCII(0, 24, 8); !strings.Contains(sc, "*") {
+		t.Errorf("scatter has no points:\n%s", sc)
+	}
+	if res.ScatterASCII(99, 24, 8) != "(no such layer)\n" {
+		t.Error("out-of-range scatter not handled")
+	}
+}
+
+func TestFig3Structure(t *testing.T) {
+	sigmas := []float64{0.2, 1.6, 6.4}
+	res, err := Fig3(zoo.AlexNet, sigmas, 2, tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("%d points", len(res.Points))
+	}
+	// Accuracy at the smallest σ must beat accuracy at the largest, for
+	// both schemes (the monotone relationship the binary search needs).
+	first, last := res.Points[0], res.Points[2]
+	if first.EqualScheme < last.EqualScheme {
+		t.Fatalf("equal_scheme not decreasing: %v", res.Points)
+	}
+	if first.GaussianApprox < last.GaussianApprox {
+		t.Fatalf("gaussian_approx not decreasing: %v", res.Points)
+	}
+	// Corner bars bracket the equal scheme (up to evaluation noise).
+	for _, p := range res.Points {
+		if p.CornerMin > p.CornerMax {
+			t.Fatalf("corner bounds inverted: %+v", p)
+		}
+	}
+	// Histogram: near-Gaussian output error (Fig. 3 right).
+	if res.GaussFitErr > 0.15 {
+		t.Errorf("output error far from Gaussian: fit err %v", res.GaussFitErr)
+	}
+	if res.HistSD <= 0 || res.HistSamples == 0 {
+		t.Fatalf("histogram not populated: %+v", res)
+	}
+	if !strings.Contains(res.String(), "equal_scheme") {
+		t.Error("rendering missing series")
+	}
+}
+
+func TestFig4Structure(t *testing.T) {
+	res, err := Fig4(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Layers) != 12 {
+		t.Fatalf("%d NiN layers", len(res.Layers))
+	}
+	// The paper's qualitative claim: the heaviest layer ends with at
+	// most as many bits as the lightest layer.
+	heaviest, lightest := res.Layers[0], res.Layers[0]
+	for _, l := range res.Layers {
+		if l.MACs > heaviest.MACs {
+			heaviest = l
+		}
+		if l.MACs < lightest.MACs {
+			lightest = l
+		}
+	}
+	if heaviest.OptBits > lightest.OptBits {
+		t.Fatalf("heavy layer %s (%d bits) got more precision than light layer %s (%d bits)",
+			heaviest.Name, heaviest.OptBits, lightest.Name, lightest.OptBits)
+	}
+	if res.EnerSaving <= 0 {
+		t.Fatalf("no energy saving: %v", res.EnerSaving)
+	}
+	if !strings.Contains(res.String(), "Fig. 4") {
+		t.Error("rendering missing title")
+	}
+}
+
+func TestMethodVsSearchStructure(t *testing.T) {
+	res, err := MethodVsSearch(zoo.AlexNet, 0.05, tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PipelineTime <= 0 || res.SearchTime <= 0 {
+		t.Fatal("timings missing")
+	}
+	if res.SearchEvals <= res.PipelineEvals {
+		t.Fatalf("dynamic search used fewer evaluations (%d) than the binary search (%d)?",
+			res.SearchEvals, res.PipelineEvals)
+	}
+	if !strings.Contains(res.String(), "stripes-style search") {
+		t.Error("rendering missing rows")
+	}
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"mupod/internal/profile"
+	"mupod/internal/report"
+	"mupod/internal/stats"
+	"mupod/internal/zoo"
+)
+
+// Fig2Layer is one regression line of Fig. 2: the (σ_{Y_K→Ł}, Δ_XK)
+// measurement points of one layer plus the fitted model.
+type Fig2Layer struct {
+	Name      string
+	Lambda    float64
+	Theta     float64
+	R2        float64
+	MaxRelErr float64
+	Sigmas    []float64 // x-axis
+	Deltas    []float64 // y-axis
+}
+
+// Fig2Result validates the cross-layer linear relationship (Eq. 5) on
+// one network — the paper plots VGG-19 and GoogleNet.
+type Fig2Result struct {
+	Arch   zoo.Arch
+	Layers []Fig2Layer
+
+	MeanR2, WorstR2         float64
+	MeanMaxRel, WorstMaxRel float64
+	FractionWithGoodFit     float64 // share of layers with R² ≥ 0.9
+}
+
+// Fig2 measures every layer's Δ-vs-σ relationship on the given
+// architecture.
+func Fig2(a zoo.Arch, o Opts) (*Fig2Result, error) {
+	o = o.withDefaults()
+	l, err := load(a)
+	if err != nil {
+		return nil, err
+	}
+	prof, err := profile.Run(l.net, l.test, o.profileConfig())
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig2Result{Arch: a, WorstR2: 1}
+	good := 0
+	for _, lp := range prof.Layers {
+		res.Layers = append(res.Layers, Fig2Layer{
+			Name:      lp.Name,
+			Lambda:    lp.Lambda,
+			Theta:     lp.Theta,
+			R2:        lp.R2,
+			MaxRelErr: lp.MaxRelErr,
+			Sigmas:    lp.Sigmas,
+			Deltas:    lp.Deltas,
+		})
+		res.MeanR2 += lp.R2
+		res.MeanMaxRel += lp.MaxRelErr
+		if lp.R2 < res.WorstR2 {
+			res.WorstR2 = lp.R2
+		}
+		if lp.MaxRelErr > res.WorstMaxRel {
+			res.WorstMaxRel = lp.MaxRelErr
+		}
+		if lp.R2 >= 0.9 {
+			good++
+		}
+	}
+	n := float64(len(res.Layers))
+	res.MeanR2 /= n
+	res.MeanMaxRel /= n
+	res.FractionWithGoodFit = float64(good) / n
+	return res, nil
+}
+
+// String renders the regression table plus an ASCII scatter of a few
+// representative layers.
+func (r *Fig2Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 2 — Δ_XK vs σ_{Y_K→Ł} linearity on %s (%d layers)\n\n", r.Arch, len(r.Layers))
+	t := report.New("Layer", "λ", "θ", "R²", "maxRelErr")
+	for _, l := range r.Layers {
+		t.AddStrings(l.Name,
+			fmt.Sprintf("%.4f", l.Lambda),
+			fmt.Sprintf("%+.5f", l.Theta),
+			fmt.Sprintf("%.4f", l.R2),
+			fmt.Sprintf("%.3f", l.MaxRelErr))
+	}
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "\nmean R² %.4f (worst %.4f) | mean max-rel-err %.3f (worst %.3f) | %.0f%% of layers R²≥0.9\n",
+		r.MeanR2, r.WorstR2, r.MeanMaxRel, r.WorstMaxRel, 100*r.FractionWithGoodFit)
+	b.WriteString("(paper: prediction error mostly <5%, worst ≈10%, on 1000-logit ImageNet nets and 500 images)\n")
+	return b.String()
+}
+
+// ScatterASCII renders one layer's measured points as a crude scatter
+// plot for terminal inspection.
+func (r *Fig2Result) ScatterASCII(layerIdx, width, height int) string {
+	if layerIdx < 0 || layerIdx >= len(r.Layers) {
+		return "(no such layer)\n"
+	}
+	l := r.Layers[layerIdx]
+	maxX, maxY := stats.Max(l.Sigmas), stats.Max(l.Deltas)
+	if maxX <= 0 || maxY <= 0 {
+		return "(degenerate points)\n"
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for i := range l.Sigmas {
+		x := int(l.Sigmas[i] / maxX * float64(width-1))
+		y := height - 1 - int(l.Deltas[i]/maxY*float64(height-1))
+		grid[y][x] = '*'
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: Δ (y, up to %.3g) vs σ (x, up to %.3g)\n", l.Name, maxY, maxX)
+	for _, row := range grid {
+		b.WriteString("|" + string(row) + "\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", width) + "\n")
+	return b.String()
+}

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"mupod/internal/baseline"
+	"mupod/internal/energy"
+	"mupod/internal/report"
+	"mupod/internal/search"
+	"mupod/internal/zoo"
+)
+
+// Table3Row is one (network, accuracy-constraint) cell group of
+// Table III.
+type Table3Row struct {
+	Arch    zoo.Arch
+	Layers  int
+	RelDrop float64
+
+	WeightBits int // W column (uniform weight search, Sec. V-E)
+
+	// Effective bitwidths under both scoring criteria for the three
+	// allocations (baseline, optimized-input, optimized-MAC).
+	BaseInput, BaseMAC     float64
+	OptInInput, OptInMAC   float64
+	OptMACInput, OptMACMAC float64
+
+	BWSaving   float64 // bandwidth saving of optimized-input vs baseline
+	EnerSaving float64 // MAC energy saving of optimized-MAC vs baseline
+
+	// Real quantized validation accuracies and the exact reference.
+	ExactAcc, OptInAcc, OptMACAcc float64
+
+	Elapsed time.Duration
+}
+
+// Table3Result reproduces Table III across architectures and accuracy
+// constraints.
+type Table3Result struct {
+	Rows []Table3Row
+}
+
+// Table3 runs the full evaluation for the given architectures and
+// relative accuracy drops (the paper uses 1% and 5% across all eight
+// networks).
+func Table3(archs []zoo.Arch, relDrops []float64, o Opts) (*Table3Result, error) {
+	o = o.withDefaults()
+	res := &Table3Result{}
+	for _, a := range archs {
+		l, err := load(a)
+		if err != nil {
+			return nil, err
+		}
+		for _, rd := range relDrops {
+			t0 := time.Now()
+			row, err := table3Row(l, rd, o)
+			if err != nil {
+				return nil, fmt.Errorf("table3 %s@%g: %w", a, rd, err)
+			}
+			row.Elapsed = time.Since(t0)
+			res.Rows = append(res.Rows, *row)
+		}
+	}
+	return res, nil
+}
+
+func table3Row(l loaded, relDrop float64, o Opts) (*Table3Row, error) {
+	prof, _, optIn, optMAC, err := pipeline(l, relDrop, o)
+	if err != nil {
+		return nil, err
+	}
+	base, err := baseline.SmallestUniform(l.net, prof, l.test, baseline.Options{
+		RelDrop: relDrop, EvalImages: o.EvalImages,
+	})
+	if err != nil {
+		return nil, err
+	}
+	w, err := baseline.UniformWeightSearch(l.net, optIn, l.test, baseline.Options{
+		RelDrop: relDrop, EvalImages: o.EvalImages,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	row := &Table3Row{
+		Arch:    l.arch,
+		Layers:  prof.NumLayers(),
+		RelDrop: relDrop,
+
+		WeightBits: w,
+
+		BaseInput: base.Allocation.EffectiveInputBits(),
+		BaseMAC:   base.Allocation.EffectiveMACBits(),
+
+		OptInInput: optIn.EffectiveInputBits(),
+		OptInMAC:   optIn.EffectiveMACBits(),
+
+		OptMACInput: optMAC.EffectiveInputBits(),
+		OptMACMAC:   optMAC.EffectiveMACBits(),
+	}
+	row.BWSaving = energy.Saving(float64(base.Allocation.TotalInputBits()), float64(optIn.TotalInputBits()))
+	row.EnerSaving = energy.Saving(
+		base.Allocation.MACEnergy(energy.Default40nm, w),
+		optMAC.MACEnergy(energy.Default40nm, w),
+	)
+
+	row.ExactAcc = search.Accuracy(l.net, l.test, 0, 32, nil)
+	row.OptInAcc = optIn.Validate(l.net, l.test, 0)
+	row.OptMACAcc = optMAC.Validate(l.net, l.test, 0)
+	return row, nil
+}
+
+// String renders the result in the layout of Table III.
+func (r *Table3Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table III — optimizing for bandwidth (BW) and MAC energy across CNNs\n\n")
+	t := report.New("Net", "#L", "drop", "W",
+		"Base In", "Base MAC",
+		"OptIn In", "OptIn MAC", "BW save%",
+		"OptMAC In", "OptMAC MAC", "Ener save%",
+		"acc ok")
+	var sumBW, sumEner float64
+	for _, row := range r.Rows {
+		ok := "yes"
+		target := row.ExactAcc * (1 - row.RelDrop)
+		if row.OptInAcc < target || row.OptMACAcc < target {
+			ok = "NO"
+		}
+		t.Add(string(row.Arch), row.Layers, fmt.Sprintf("%g%%", row.RelDrop*100), row.WeightBits,
+			row.BaseInput, row.BaseMAC,
+			row.OptInInput, row.OptInMAC, 100*row.BWSaving,
+			row.OptMACInput, row.OptMACMAC, 100*row.EnerSaving,
+			ok)
+		sumBW += row.BWSaving
+		sumEner += row.EnerSaving
+	}
+	b.WriteString(t.String())
+	n := float64(len(r.Rows))
+	if n > 0 {
+		fmt.Fprintf(&b, "\nAverage: BW saving %.1f%%, energy saving %.1f%%  (paper @1%%: 12.3%% / 23.8%%; @5%%: 8.8%% / 17.8%%)\n",
+			100*sumBW/n, 100*sumEner/n)
+	}
+	return b.String()
+}

@@ -1,0 +1,168 @@
+// Package fixedpoint models the signed fixed-point formats and the
+// uniform-quantization noise theory of Sec. II-A of the paper.
+//
+// A format "I.F" carries I integer bits (including sign) and F fraction
+// bits. The quantization step is 2^-F and the worst-case rounding error
+// with round-to-nearest is Δ = 2^-(F+1). Following Stripes/Loom and
+// Sec. II-A, F may be NEGATIVE: when a layer tolerates Δ > 1 the F
+// least-significant integer bits are dropped and recovered by an
+// implicit shift, so the stored width is I + F with F < 0.
+//
+// Widrow's statistical theory of quantization models the rounding error
+// of a large set of values quantized with the same format as additive
+// white noise, uniform on [-Δ, +Δ], mean 0, variance (2Δ)²/12 — i.e.
+// σ = Δ/√3. The helpers here convert between Δ, σ, and F in both
+// directions; the whole optimization pipeline is built on them.
+package fixedpoint
+
+import (
+	"fmt"
+	"math"
+)
+
+// Format is a signed fixed-point format with IntBits integer bits
+// (sign included) and FracBits fraction bits (possibly negative, see
+// package comment).
+type Format struct {
+	IntBits  int
+	FracBits int
+}
+
+// Width returns the number of stored bits, IntBits + FracBits, floored
+// at zero (a format can degenerate to zero bits when the tolerated
+// error exceeds the value range; such a layer's input is effectively
+// replaced by zeros).
+func (f Format) Width() int {
+	w := f.IntBits + f.FracBits
+	if w < 0 {
+		return 0
+	}
+	return w
+}
+
+// Step returns the quantization step 2^-FracBits.
+func (f Format) Step() float64 { return math.Exp2(float64(-f.FracBits)) }
+
+// Delta returns the worst-case rounding error 2^-(FracBits+1) (half the
+// step).
+func (f Format) Delta() float64 { return math.Exp2(float64(-(f.FracBits + 1))) }
+
+// NoiseSD returns the standard deviation of the uniform quantization
+// noise, Δ/√3.
+func (f Format) NoiseSD() float64 { return f.Delta() / math.Sqrt(3) }
+
+// MaxValue returns the largest representable value,
+// 2^(IntBits-1) - step.
+func (f Format) MaxValue() float64 {
+	return math.Exp2(float64(f.IntBits-1)) - f.Step()
+}
+
+// MinValue returns the smallest representable value, -2^(IntBits-1).
+func (f Format) MinValue() float64 { return -math.Exp2(float64(f.IntBits - 1)) }
+
+// String renders the conventional "I.F" notation.
+func (f Format) String() string { return fmt.Sprintf("%d.%d", f.IntBits, f.FracBits) }
+
+// Quantize rounds x to the nearest representable value of the format,
+// saturating at the format's range limits. A degenerate format whose
+// step exceeds its range (Width() ≤ 0) represents only zero.
+func (f Format) Quantize(x float64) float64 {
+	step := f.Step()
+	max, min := f.MaxValue(), f.MinValue()
+	if max < min {
+		return 0
+	}
+	q := math.Round(x/step) * step
+	if q > max {
+		return max
+	}
+	if q < min {
+		return min
+	}
+	return q
+}
+
+// QuantizeRNE is Quantize with round-to-nearest-EVEN tie breaking (the
+// convergent rounding most hardware MAC datapaths implement): ties at
+// half a step go to the even multiple instead of away from zero, which
+// removes the small positive bias Quantize's round-half-away rule has
+// on data that lands exactly on tie points.
+func (f Format) QuantizeRNE(x float64) float64 {
+	step := f.Step()
+	max, min := f.MaxValue(), f.MinValue()
+	if max < min {
+		return 0
+	}
+	q := math.RoundToEven(x/step) * step
+	if q > max {
+		return max
+	}
+	if q < min {
+		return min
+	}
+	return q
+}
+
+// QuantizeSlice quantizes src into dst element-wise (aliasing allowed;
+// len(dst) must equal len(src)).
+func (f Format) QuantizeSlice(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic("fixedpoint: QuantizeSlice length mismatch")
+	}
+	step := f.Step()
+	inv := 1 / step
+	max, min := f.MaxValue(), f.MinValue()
+	if max < min {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	for i, x := range src {
+		q := math.Round(x*inv) * step
+		if q > max {
+			q = max
+		} else if q < min {
+			q = min
+		}
+		dst[i] = q
+	}
+}
+
+// FracBitsForDelta returns the smallest F whose worst-case rounding
+// error 2^-(F+1) does not exceed delta: F = ceil(-log2(2Δ)). It panics
+// on a non-positive delta, which would demand infinite precision.
+func FracBitsForDelta(delta float64) int {
+	if delta <= 0 {
+		panic(fmt.Sprintf("fixedpoint: FracBitsForDelta(%g): delta must be positive", delta))
+	}
+	f := math.Ceil(-math.Log2(2 * delta))
+	return int(f)
+}
+
+// DeltaForFracBits returns 2^-(F+1), the inverse of FracBitsForDelta.
+func DeltaForFracBits(f int) float64 { return math.Exp2(float64(-(f + 1))) }
+
+// IntBitsForRange returns the signed integer bit count needed to hold
+// values of magnitude up to maxAbs: ceil(log2(maxAbs)) + 1 (Sec. II-A).
+// A zero range needs no integer bits.
+func IntBitsForRange(maxAbs float64) int {
+	if maxAbs <= 0 {
+		return 0
+	}
+	return int(math.Ceil(math.Log2(maxAbs))) + 1
+}
+
+// SigmaFromDelta converts a uniform-noise boundary Δ to its standard
+// deviation σ = Δ/√3 (σ² = (2Δ)²/12).
+func SigmaFromDelta(delta float64) float64 { return delta / math.Sqrt(3) }
+
+// DeltaFromSigma converts a standard deviation back to the uniform
+// boundary Δ = σ·√12/2 = σ·√3 (Sec. IV).
+func DeltaFromSigma(sigma float64) float64 { return sigma * math.Sqrt(3) }
+
+// FormatFor builds the complete format for data with the given value
+// range (maxAbs) and tolerated worst-case rounding error delta.
+func FormatFor(maxAbs, delta float64) Format {
+	return Format{IntBits: IntBitsForRange(maxAbs), FracBits: FracBitsForDelta(delta)}
+}

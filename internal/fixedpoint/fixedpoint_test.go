@@ -1,0 +1,284 @@
+package fixedpoint
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mupod/internal/rng"
+)
+
+func TestWidth(t *testing.T) {
+	cases := []struct {
+		f    Format
+		want int
+	}{
+		{Format{4, 4}, 8},
+		{Format{9, -2}, 7}, // dropped integer LSBs (Stripes-style)
+		{Format{2, -5}, 0}, // degenerate
+		{Format{0, 8}, 8},
+	}
+	for _, c := range cases {
+		if got := c.f.Width(); got != c.want {
+			t.Errorf("%v.Width() = %d, want %d", c.f, got, c.want)
+		}
+	}
+}
+
+func TestStepDelta(t *testing.T) {
+	f := Format{4, 3}
+	if f.Step() != 0.125 {
+		t.Fatalf("Step = %v", f.Step())
+	}
+	if f.Delta() != 0.0625 {
+		t.Fatalf("Delta = %v", f.Delta())
+	}
+	// Negative F: step > 1.
+	g := Format{8, -2}
+	if g.Step() != 4 {
+		t.Fatalf("negative-F Step = %v", g.Step())
+	}
+	if g.Delta() != 2 {
+		t.Fatalf("negative-F Delta = %v", g.Delta())
+	}
+}
+
+func TestNoiseSD(t *testing.T) {
+	f := Format{4, 3}
+	want := f.Delta() / math.Sqrt(3)
+	if math.Abs(f.NoiseSD()-want) > 1e-15 {
+		t.Fatalf("NoiseSD = %v, want %v", f.NoiseSD(), want)
+	}
+}
+
+func TestQuantizeRounding(t *testing.T) {
+	f := Format{4, 2} // step 0.25, range [-8, 7.75]
+	cases := []struct{ in, want float64 }{
+		{0, 0},
+		{0.1, 0},
+		{0.13, 0.25},
+		{-0.13, -0.25},
+		{1.0, 1.0},
+		{100, 7.75},  // saturate high
+		{-100, -8.0}, // saturate low
+	}
+	for _, c := range cases {
+		if got := f.Quantize(c.in); got != c.want {
+			t.Errorf("Quantize(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestQuantizeSliceMatchesScalarAndAliases(t *testing.T) {
+	f := Format{5, 3}
+	r := rng.New(1)
+	src := make([]float64, 100)
+	for i := range src {
+		src[i] = r.Uniform(-20, 20)
+	}
+	dst := make([]float64, len(src))
+	f.QuantizeSlice(dst, src)
+	for i := range src {
+		if dst[i] != f.Quantize(src[i]) {
+			t.Fatalf("slice/scalar mismatch at %d", i)
+		}
+	}
+	// In-place aliasing.
+	cp := append([]float64(nil), src...)
+	f.QuantizeSlice(cp, cp)
+	for i := range cp {
+		if cp[i] != dst[i] {
+			t.Fatal("aliased quantization differs")
+		}
+	}
+}
+
+func TestQuantizeSlicePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Format{4, 2}.QuantizeSlice(make([]float64, 2), make([]float64, 3))
+}
+
+func TestFracBitsForDelta(t *testing.T) {
+	cases := []struct {
+		delta float64
+		want  int
+	}{
+		{0.0625, 3}, // 2^-4 ⇒ F=3
+		{0.5, 0},
+		{1.0, -1}, // Δ ≥ 1 drops integer LSBs
+		{2.0, -2},
+		{0.07, 3}, // needs at least as fine as Δ=0.0625
+	}
+	for _, c := range cases {
+		if got := FracBitsForDelta(c.delta); got != c.want {
+			t.Errorf("FracBitsForDelta(%v) = %d, want %d", c.delta, got, c.want)
+		}
+	}
+}
+
+func TestFracBitsForDeltaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on non-positive delta")
+		}
+	}()
+	FracBitsForDelta(0)
+}
+
+func TestDeltaForFracBitsInverse(t *testing.T) {
+	for f := -8; f <= 20; f++ {
+		if got := FracBitsForDelta(DeltaForFracBits(f)); got != f {
+			t.Errorf("roundtrip F=%d gave %d", f, got)
+		}
+	}
+}
+
+func TestIntBitsForRange(t *testing.T) {
+	cases := []struct {
+		maxAbs float64
+		want   int
+	}{
+		{0, 0},
+		{161, 9}, // paper's AlexNet conv1: max|X|=161 → 9 signed bits
+		{139, 9},
+		{443, 10},
+		{415, 10},
+		{1, 1},
+		{0.4, -1 + 1}, // ceil(log2 0.4) = -1 → 0 bits
+	}
+	for _, c := range cases {
+		if got := IntBitsForRange(c.maxAbs); got != c.want {
+			t.Errorf("IntBitsForRange(%v) = %d, want %d", c.maxAbs, got, c.want)
+		}
+	}
+}
+
+func TestSigmaDeltaConversions(t *testing.T) {
+	d := 0.25
+	s := SigmaFromDelta(d)
+	if math.Abs(DeltaFromSigma(s)-d) > 1e-15 {
+		t.Fatal("σ↔Δ roundtrip broken")
+	}
+	// σ² must equal (2Δ)²/12 (Widrow).
+	if math.Abs(s*s-(2*d)*(2*d)/12) > 1e-15 {
+		t.Fatalf("σ² = %v, want %v", s*s, (2*d)*(2*d)/12)
+	}
+}
+
+func TestFormatFor(t *testing.T) {
+	f := FormatFor(161, 0.0625)
+	if f.IntBits != 9 || f.FracBits != 3 {
+		t.Fatalf("FormatFor = %v", f)
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := (Format{9, -2}).String(); s != "9.-2" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+// Property: rounding error never exceeds Δ for in-range values.
+func TestQuickRoundingErrorBound(t *testing.T) {
+	f := func(raw int32, fbits int8) bool {
+		fb := int(fbits % 12)
+		format := Format{IntBits: 8, FracBits: fb}
+		x := float64(raw) / float64(1<<24) * 100 // within ±128
+		if x > format.MaxValue() || x < format.MinValue() {
+			return true
+		}
+		q := format.Quantize(x)
+		return math.Abs(q-x) <= format.Delta()+1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: quantization is idempotent.
+func TestQuickQuantizeIdempotent(t *testing.T) {
+	f := func(raw int32, fbits int8) bool {
+		fb := int(fbits % 10)
+		format := Format{IntBits: 6, FracBits: fb}
+		x := float64(raw) / float64(1<<26)
+		q := format.Quantize(x)
+		return format.Quantize(q) == q
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the quantization error of a large uniform sample has the
+// Widrow statistics: ≈ uniform with sd Δ/√3.
+func TestQuantizationNoiseStatistics(t *testing.T) {
+	f := Format{IntBits: 4, FracBits: 6}
+	r := rng.New(9)
+	n := 100000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		x := r.Uniform(-7, 7)
+		e := f.Quantize(x) - x
+		sum += e
+		sum2 += e * e
+	}
+	mean := sum / float64(n)
+	sd := math.Sqrt(sum2/float64(n) - mean*mean)
+	if math.Abs(mean) > f.Delta()/50 {
+		t.Errorf("noise mean = %v, want ≈ 0", mean)
+	}
+	if math.Abs(sd-f.NoiseSD()) > f.NoiseSD()*0.02 {
+		t.Errorf("noise sd = %v, want ≈ %v", sd, f.NoiseSD())
+	}
+}
+
+func TestQuantizeRNETies(t *testing.T) {
+	f := Format{IntBits: 4, FracBits: 1} // step 0.5, ties at 0.25, 0.75, ...
+	cases := []struct{ in, want float64 }{
+		{0.25, 0.0},  // tie → even multiple 0
+		{0.75, 1.0},  // tie → even multiple 1.0 (2×0.5)
+		{1.25, 1.0},  // tie → even 1.0
+		{-0.25, 0.0}, // symmetric
+		{-0.75, -1.0},
+		{0.3, 0.5}, // non-tie behaves like Quantize
+	}
+	for _, c := range cases {
+		if got := f.QuantizeRNE(c.in); got != c.want {
+			t.Errorf("QuantizeRNE(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestQuantizeRNEUnbiasedOnTies(t *testing.T) {
+	// Data sitting exactly on tie points: round-half-away accumulates a
+	// positive bias for positive data, RNE does not.
+	f := Format{IntBits: 6, FracBits: 2} // step 0.25, ties at odd multiples of 0.125
+	var sumAway, sumRNE float64
+	n := 0
+	for x := 0.125; x < 8; x += 0.25 { // every value is a tie
+		sumAway += f.Quantize(x) - x
+		sumRNE += f.QuantizeRNE(x) - x
+		n++
+	}
+	if math.Abs(sumRNE/float64(n)) > 1e-12 {
+		t.Errorf("RNE tie bias = %v, want 0", sumRNE/float64(n))
+	}
+	if sumAway/float64(n) < 0.1 { // half-away biases by +step/2 per tie
+		t.Errorf("half-away tie bias = %v, expected strongly positive", sumAway/float64(n))
+	}
+}
+
+func TestQuantizeRNEWithinDelta(t *testing.T) {
+	f := Format{IntBits: 4, FracBits: 5}
+	r := rng.New(77)
+	for i := 0; i < 2000; i++ {
+		x := r.Uniform(-7, 7)
+		if math.Abs(f.QuantizeRNE(x)-x) > f.Delta()+1e-15 {
+			t.Fatalf("RNE error exceeds Δ at %v", x)
+		}
+	}
+}

@@ -1,0 +1,323 @@
+// Package netdesc parses and writes a small line-oriented network
+// description language, so the cmd/mupod tool can optimize custom
+// topologies without recompiling (the role Caffe's prototxt played for
+// the paper's original tool).
+//
+// Format: '#' starts a comment; the header declares the network, then
+// one line per node:
+//
+//	network <name> input=<C>x<H>x<W> classes=<N> [seed=<n>]
+//	conv    <name> in=<node[,node...]> inc=3 outc=16 k=3 [stride=1] [pad=0] [gain=1] [analyzable=true]
+//	dwconv  <name> in=<node> c=16 k=3 [stride=1] [pad=0]
+//	fc      <name> in=<node> infeatures=96 outfeatures=10 [analyzable=true]
+//	relu | flatten | gap | add | concat   <name> in=<nodes>
+//	maxpool | avgpool <name> in=<node> k=2 [stride=2]
+//
+// Node references are by name; "input" names the network input. When a
+// seed is given, parameterized layers are He-initialized from it
+// (deterministically, in declaration order); otherwise weights are
+// zero and must be loaded with Network.LoadParams.
+package netdesc
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"mupod/internal/nn"
+	"mupod/internal/rng"
+)
+
+// Parse reads a description and builds the network.
+func Parse(r io.Reader) (*nn.Network, error) {
+	sc := bufio.NewScanner(r)
+	var net *nn.Network
+	var gen *rng.RNG
+	names := map[string]int{}
+	lineNo := 0
+
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		kind := fields[0]
+
+		if kind == "network" {
+			if net != nil {
+				return nil, fmt.Errorf("netdesc:%d: duplicate network header", lineNo)
+			}
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("netdesc:%d: network needs a name and attributes", lineNo)
+			}
+			attrs, err := parseAttrs(fields[2:])
+			if err != nil {
+				return nil, fmt.Errorf("netdesc:%d: %v", lineNo, err)
+			}
+			shape, err := parseShape(attrs["input"])
+			if err != nil {
+				return nil, fmt.Errorf("netdesc:%d: input: %v", lineNo, err)
+			}
+			classes, err := atoiAttr(attrs, "classes", 0)
+			if err != nil || classes <= 0 {
+				return nil, fmt.Errorf("netdesc:%d: classes must be a positive integer", lineNo)
+			}
+			net = nn.NewNetwork(fields[1], shape, classes)
+			names["input"] = 0
+			if s, ok := attrs["seed"]; ok {
+				seed, err := strconv.ParseUint(s, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("netdesc:%d: seed: %v", lineNo, err)
+				}
+				gen = rng.New(seed)
+			}
+			continue
+		}
+
+		if net == nil {
+			return nil, fmt.Errorf("netdesc:%d: %q before the network header", lineNo, kind)
+		}
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("netdesc:%d: %s needs a name", lineNo, kind)
+		}
+		name := fields[1]
+		if _, dup := names[name]; dup {
+			return nil, fmt.Errorf("netdesc:%d: duplicate node name %q", lineNo, name)
+		}
+		attrs, err := parseAttrs(fields[2:])
+		if err != nil {
+			return nil, fmt.Errorf("netdesc:%d: %v", lineNo, err)
+		}
+		inputs, err := resolveInputs(attrs["in"], names)
+		if err != nil {
+			return nil, fmt.Errorf("netdesc:%d: %v", lineNo, err)
+		}
+
+		layer, err := buildLayer(kind, attrs, gen)
+		if err != nil {
+			return nil, fmt.Errorf("netdesc:%d: %v", lineNo, err)
+		}
+		id := net.AddNode(name, layer, inputs...)
+		names[name] = id
+		if v, ok := attrs["analyzable"]; ok {
+			b, err := strconv.ParseBool(v)
+			if err != nil {
+				return nil, fmt.Errorf("netdesc:%d: analyzable: %v", lineNo, err)
+			}
+			net.Nodes[id].Analyzable = b
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("netdesc: reading: %w", err)
+	}
+	if net == nil {
+		return nil, fmt.Errorf("netdesc: no network header found")
+	}
+	if len(net.Nodes) < 2 {
+		return nil, fmt.Errorf("netdesc: network has no layers")
+	}
+	return net, nil
+}
+
+func buildLayer(kind string, attrs map[string]string, gen *rng.RNG) (nn.Layer, error) {
+	gain := 1.0
+	if g, ok := attrs["gain"]; ok {
+		v, err := strconv.ParseFloat(g, 64)
+		if err != nil {
+			return nil, fmt.Errorf("gain: %v", err)
+		}
+		gain = v
+	}
+	switch kind {
+	case "conv":
+		inc, err1 := atoiAttr(attrs, "inc", 0)
+		outc, err2 := atoiAttr(attrs, "outc", 0)
+		k, err3 := atoiAttr(attrs, "k", 0)
+		stride, err4 := atoiAttr(attrs, "stride", 1)
+		pad, err5 := atoiAttr(attrs, "pad", 0)
+		if err := firstErr(err1, err2, err3, err4, err5); err != nil {
+			return nil, err
+		}
+		c := nn.NewConv2D(inc, outc, k, stride, pad)
+		if gen != nil {
+			c.InitHe(gen, gain)
+		}
+		return c, nil
+	case "dwconv":
+		ch, err1 := atoiAttr(attrs, "c", 0)
+		k, err2 := atoiAttr(attrs, "k", 0)
+		stride, err3 := atoiAttr(attrs, "stride", 1)
+		pad, err4 := atoiAttr(attrs, "pad", 0)
+		if err := firstErr(err1, err2, err3, err4); err != nil {
+			return nil, err
+		}
+		d := nn.NewDepthwiseConv2D(ch, k, stride, pad)
+		if gen != nil {
+			d.InitHe(gen, gain)
+		}
+		return d, nil
+	case "fc":
+		in, err1 := atoiAttr(attrs, "infeatures", 0)
+		out, err2 := atoiAttr(attrs, "outfeatures", 0)
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		d := nn.NewDense(in, out)
+		if gen != nil {
+			d.InitHe(gen, gain)
+		}
+		return d, nil
+	case "relu":
+		return nn.ReLU{}, nil
+	case "flatten":
+		return nn.Flatten{}, nil
+	case "gap":
+		return nn.GlobalAvgPool{}, nil
+	case "add":
+		return nn.Add{}, nil
+	case "concat":
+		return nn.Concat{}, nil
+	case "maxpool":
+		k, err1 := atoiAttr(attrs, "k", 0)
+		stride, err2 := atoiAttr(attrs, "stride", k)
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		return nn.NewMaxPool2D(k, stride), nil
+	case "avgpool":
+		k, err1 := atoiAttr(attrs, "k", 0)
+		stride, err2 := atoiAttr(attrs, "stride", k)
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		return nn.NewAvgPool2D(k, stride), nil
+	default:
+		return nil, fmt.Errorf("unknown layer kind %q", kind)
+	}
+}
+
+func parseAttrs(fields []string) (map[string]string, error) {
+	attrs := map[string]string{}
+	for _, f := range fields {
+		eq := strings.IndexByte(f, '=')
+		if eq <= 0 {
+			return nil, fmt.Errorf("malformed attribute %q (want key=value)", f)
+		}
+		attrs[f[:eq]] = f[eq+1:]
+	}
+	return attrs, nil
+}
+
+func parseShape(s string) ([]int, error) {
+	if s == "" {
+		return nil, fmt.Errorf("missing (want CxHxW)")
+	}
+	parts := strings.Split(s, "x")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("%q is not CxHxW", s)
+	}
+	shape := make([]int, 3)
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("%q is not CxHxW", s)
+		}
+		shape[i] = v
+	}
+	return shape, nil
+}
+
+func resolveInputs(s string, names map[string]int) ([]int, error) {
+	if s == "" {
+		return nil, fmt.Errorf("missing in= attribute")
+	}
+	parts := strings.Split(s, ",")
+	ids := make([]int, len(parts))
+	for i, p := range parts {
+		id, ok := names[p]
+		if !ok {
+			return nil, fmt.Errorf("unknown input node %q", p)
+		}
+		ids[i] = id
+	}
+	return ids, nil
+}
+
+func atoiAttr(attrs map[string]string, key string, def int) (int, error) {
+	s, ok := attrs[key]
+	if !ok {
+		if def != 0 || key == "pad" {
+			return def, nil
+		}
+		return 0, fmt.Errorf("missing %s=", key)
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %v", key, err)
+	}
+	return v, nil
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// Write serializes a network back into the description language.
+// Parameter values are NOT serialized (use Network.SaveParams); a
+// Parse(Write(net)) round trip reproduces the topology.
+func Write(w io.Writer, net *nn.Network) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "network %s input=%dx%dx%d classes=%d\n",
+		net.Name, net.InputShape[0], net.InputShape[1], net.InputShape[2], net.NumClasses)
+	for _, nd := range net.Nodes[1:] {
+		ins := make([]string, len(nd.Inputs))
+		for i, in := range nd.Inputs {
+			if in == 0 {
+				ins[i] = "input"
+			} else {
+				ins[i] = net.Nodes[in].Name
+			}
+		}
+		inAttr := "in=" + strings.Join(ins, ",")
+		switch l := nd.Layer.(type) {
+		case *nn.Conv2D:
+			fmt.Fprintf(bw, "conv %s %s inc=%d outc=%d k=%d stride=%d pad=%d", nd.Name, inAttr, l.InC, l.OutC, l.K, l.Stride, l.Pad)
+		case *nn.DepthwiseConv2D:
+			fmt.Fprintf(bw, "dwconv %s %s c=%d k=%d stride=%d pad=%d", nd.Name, inAttr, l.C, l.K, l.Stride, l.Pad)
+		case *nn.Dense:
+			fmt.Fprintf(bw, "fc %s %s infeatures=%d outfeatures=%d", nd.Name, inAttr, l.In, l.Out)
+		case *nn.MaxPool2D:
+			fmt.Fprintf(bw, "maxpool %s %s k=%d stride=%d", nd.Name, inAttr, l.K, l.Stride)
+		case *nn.AvgPool2D:
+			fmt.Fprintf(bw, "avgpool %s %s k=%d stride=%d", nd.Name, inAttr, l.K, l.Stride)
+		case nn.ReLU:
+			fmt.Fprintf(bw, "relu %s %s", nd.Name, inAttr)
+		case nn.Flatten:
+			fmt.Fprintf(bw, "flatten %s %s", nd.Name, inAttr)
+		case nn.GlobalAvgPool:
+			fmt.Fprintf(bw, "gap %s %s", nd.Name, inAttr)
+		case nn.Add:
+			fmt.Fprintf(bw, "add %s %s", nd.Name, inAttr)
+		case nn.Concat:
+			fmt.Fprintf(bw, "concat %s %s", nd.Name, inAttr)
+		default:
+			return fmt.Errorf("netdesc: cannot serialize layer kind %q", nd.Layer.Kind())
+		}
+		// Only emit analyzable= when it differs from the default.
+		_, isDot := nd.Layer.(nn.DotProduct)
+		if isDot != nd.Analyzable {
+			fmt.Fprintf(bw, " analyzable=%v", nd.Analyzable)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,97 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"mupod/internal/rng"
+	"mupod/internal/tensor"
+)
+
+// TestGEMMMatchesDirect sweeps kernel/stride/pad/channel combinations
+// and demands the two convolution implementations agree to 1e-12.
+func TestGEMMMatchesDirect(t *testing.T) {
+	r := rng.New(33)
+	cases := []struct{ inC, outC, k, stride, pad, h, w int }{
+		{1, 1, 1, 1, 0, 4, 4},
+		{3, 8, 3, 1, 1, 8, 8},
+		{2, 4, 3, 2, 1, 7, 7},
+		{4, 2, 5, 1, 2, 6, 6},
+		{2, 3, 2, 2, 0, 8, 6},
+		{8, 8, 3, 1, 1, 5, 5},
+	}
+	for _, cse := range cases {
+		c := NewConv2D(cse.inC, cse.outC, cse.k, cse.stride, cse.pad)
+		c.InitHe(r, 1)
+		for i := range c.B.Data {
+			c.B.Data[i] = r.Uniform(-0.5, 0.5)
+		}
+		x := randTensor(r, 2, cse.inC, cse.h, cse.w)
+		direct := c.Forward([]*tensor.Tensor{x})
+		gemm := c.forwardGEMM(x)
+		if !tensor.SameShape(direct, gemm) {
+			t.Fatalf("%+v: shapes differ %v vs %v", cse, direct.Shape, gemm.Shape)
+		}
+		for i := range direct.Data {
+			if math.Abs(direct.Data[i]-gemm.Data[i]) > 1e-12 {
+				t.Fatalf("%+v: element %d differs %v vs %v", cse, i, direct.Data[i], gemm.Data[i])
+			}
+		}
+	}
+}
+
+// TestUseGEMMConvSwitch verifies the global toggle routes Forward.
+func TestUseGEMMConvSwitch(t *testing.T) {
+	r := rng.New(34)
+	c := NewConv2D(2, 3, 3, 1, 1)
+	c.InitHe(r, 1)
+	x := randTensor(r, 1, 2, 6, 6)
+	defer func() { UseGEMMConv = false }()
+	UseGEMMConv = false
+	a := c.Forward([]*tensor.Tensor{x})
+	UseGEMMConv = true
+	b := c.Forward([]*tensor.Tensor{x})
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-b.Data[i]) > 1e-12 {
+			t.Fatal("toggled implementations disagree")
+		}
+	}
+}
+
+func BenchmarkConvAlgorithms(b *testing.B) {
+	r := rng.New(35)
+	for _, cse := range []struct{ c, hw int }{{8, 16}, {32, 16}, {64, 8}} {
+		c := NewConv2D(cse.c, cse.c, 3, 1, 1)
+		c.InitHe(r, 1)
+		x := randTensor(r, 1, cse.c, cse.hw, cse.hw)
+		ins := []*tensor.Tensor{x}
+		b.Run(sprintfCase("direct", cse.c, cse.hw), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c.Forward(ins)
+			}
+		})
+		b.Run(sprintfCase("gemm", cse.c, cse.hw), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c.forwardGEMM(x)
+			}
+		})
+	}
+}
+
+func sprintfCase(name string, c, hw int) string {
+	return name + "-c" + itoa(c) + "-hw" + itoa(hw)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,279 @@
+package nn
+
+import (
+	"fmt"
+
+	"mupod/internal/tensor"
+)
+
+// Node is one vertex of a Network DAG.
+type Node struct {
+	ID     int
+	Name   string
+	Layer  Layer // nil for the input placeholder (node 0)
+	Inputs []int // predecessor node IDs, all < ID
+
+	// Analyzable marks the dot-product layers whose INPUT bitwidth the
+	// paper's method allocates (conv / dwconv / fc). The zoo clears it
+	// on fully connected layers for the four networks where the paper
+	// follows Stripes and ignores FC layers.
+	Analyzable bool
+
+	// Shape is the per-image output shape (batch dimension omitted),
+	// fixed at construction time.
+	Shape []int
+}
+
+// Injector perturbs (in place) a copy of the input tensor of an
+// analyzable node during a forward pass — the paper's error-injection
+// primitive (Sec. V-A step 3).
+type Injector func(t *tensor.Tensor)
+
+// Network is a feed-forward DAG of layers. Nodes are stored in
+// topological order (construction order); node 0 is the input, the last
+// node is the output (pre-softmax logits — the paper's layer Ł).
+type Network struct {
+	Name       string
+	InputShape []int // per-image [C, H, W]
+	NumClasses int
+	Nodes      []*Node
+}
+
+// NewNetwork creates a network with the given per-image input shape.
+func NewNetwork(name string, inputShape []int, numClasses int) *Network {
+	in := &Node{ID: 0, Name: "input", Shape: append([]int(nil), inputShape...)}
+	return &Network{
+		Name:       name,
+		InputShape: append([]int(nil), inputShape...),
+		NumClasses: numClasses,
+		Nodes:      []*Node{in},
+	}
+}
+
+// AddNode appends a layer consuming the outputs of the given
+// predecessor nodes and returns its node ID. Dot-product layers are
+// marked analyzable by default.
+func (n *Network) AddNode(name string, l Layer, inputs ...int) int {
+	if len(inputs) == 0 {
+		panic("nn: AddNode requires at least one input")
+	}
+	id := len(n.Nodes)
+	inShapes := make([][]int, len(inputs))
+	for i, in := range inputs {
+		if in < 0 || in >= id {
+			panic(fmt.Sprintf("nn: AddNode(%s): input %d out of range [0,%d)", name, in, id))
+		}
+		// Prepend a unit batch dimension for shape computation.
+		inShapes[i] = append([]int{1}, n.Nodes[in].Shape...)
+	}
+	outShape := l.OutShape(inShapes)
+	_, isDot := l.(DotProduct)
+	n.Nodes = append(n.Nodes, &Node{
+		ID:         id,
+		Name:       name,
+		Layer:      l,
+		Inputs:     append([]int(nil), inputs...),
+		Analyzable: isDot,
+		Shape:      append([]int(nil), outShape[1:]...),
+	})
+	return id
+}
+
+// Output returns the ID of the output node.
+func (n *Network) Output() int { return len(n.Nodes) - 1 }
+
+// AnalyzableNodes returns the IDs of all analyzable layers in
+// topological order — the layers 1..Ł the paper allocates bitwidths to.
+func (n *Network) AnalyzableNodes() []int {
+	var out []int
+	for _, nd := range n.Nodes {
+		if nd.Analyzable {
+			out = append(out, nd.ID)
+		}
+	}
+	return out
+}
+
+// NodeByName returns the first node with the given name, or nil.
+func (n *Network) NodeByName(name string) *Node {
+	for _, nd := range n.Nodes {
+		if nd.Name == name {
+			return nd
+		}
+	}
+	return nil
+}
+
+func (n *Network) gather(acts []*tensor.Tensor, ids []int) []*tensor.Tensor {
+	out := make([]*tensor.Tensor, len(ids))
+	for i, id := range ids {
+		out[i] = acts[id]
+	}
+	return out
+}
+
+// ForwardAll runs a full forward pass and returns the activation of
+// every node (index = node ID). x has shape [N, C, H, W].
+func (n *Network) ForwardAll(x *tensor.Tensor) []*tensor.Tensor {
+	acts := make([]*tensor.Tensor, len(n.Nodes))
+	acts[0] = x
+	for _, nd := range n.Nodes[1:] {
+		acts[nd.ID] = nd.Layer.Forward(n.gather(acts, nd.Inputs))
+	}
+	return acts
+}
+
+// Forward runs a full forward pass and returns the output logits.
+func (n *Network) Forward(x *tensor.Tensor) *tensor.Tensor {
+	acts := n.ForwardAll(x)
+	return acts[len(acts)-1]
+}
+
+// ForwardInject runs a forward pass perturbing the input of each node
+// in inject with its Injector before the node computes — the paper's
+// Scheme 1 simultaneous multi-layer injection. The perturbation applies
+// to a private copy, so a tensor consumed by several nodes is only
+// perturbed as seen by the injected node.
+func (n *Network) ForwardInject(x *tensor.Tensor, inject map[int]Injector) *tensor.Tensor {
+	acts := make([]*tensor.Tensor, len(n.Nodes))
+	acts[0] = x
+	for _, nd := range n.Nodes[1:] {
+		ins := n.gather(acts, nd.Inputs)
+		if fn, ok := inject[nd.ID]; ok {
+			cp := ins[0].Clone()
+			fn(cp)
+			ins = append([]*tensor.Tensor(nil), ins...)
+			ins[0] = cp
+		}
+		acts[nd.ID] = nd.Layer.Forward(ins)
+	}
+	return acts[len(acts)-1]
+}
+
+// ReplayFrom re-executes the sub-graph downstream of nodeID using
+// cached exact activations for everything that is unaffected, with the
+// input of nodeID perturbed by inject. It returns the resulting output
+// logits. This is what makes per-layer profiling affordable: injecting
+// at layer K costs only the K..Ł suffix of the network.
+func (n *Network) ReplayFrom(acts []*tensor.Tensor, nodeID int, inject Injector) *tensor.Tensor {
+	if nodeID <= 0 || nodeID >= len(n.Nodes) {
+		panic(fmt.Sprintf("nn: ReplayFrom node %d out of range", nodeID))
+	}
+	cur := make([]*tensor.Tensor, len(n.Nodes))
+	copy(cur, acts)
+	dirty := make([]bool, len(n.Nodes))
+
+	nd := n.Nodes[nodeID]
+	ins := n.gather(cur, nd.Inputs)
+	cp := ins[0].Clone()
+	inject(cp)
+	ins = append([]*tensor.Tensor(nil), ins...)
+	ins[0] = cp
+	cur[nodeID] = nd.Layer.Forward(ins)
+	dirty[nodeID] = true
+
+	for id := nodeID + 1; id < len(n.Nodes); id++ {
+		node := n.Nodes[id]
+		affected := false
+		for _, in := range node.Inputs {
+			if dirty[in] {
+				affected = true
+				break
+			}
+		}
+		if !affected {
+			continue
+		}
+		cur[id] = node.Layer.Forward(n.gather(cur, node.Inputs))
+		dirty[id] = true
+	}
+	return cur[len(n.Nodes)-1]
+}
+
+// Params returns every trainable parameter in node order.
+func (n *Network) Params() []Param {
+	var out []Param
+	for _, nd := range n.Nodes {
+		if p, ok := nd.Layer.(Parameterized); ok {
+			for _, pr := range p.Params() {
+				pr.Name = fmt.Sprintf("%s.%s", nd.Name, pr.Name)
+				out = append(out, pr)
+			}
+		}
+	}
+	return out
+}
+
+// NumParams returns the total number of trainable scalars.
+func (n *Network) NumParams() int {
+	total := 0
+	for _, p := range n.Params() {
+		total += p.Value.Len()
+	}
+	return total
+}
+
+// ZeroGrads clears every parameter gradient.
+func (n *Network) ZeroGrads() {
+	for _, p := range n.Params() {
+		p.Grad.Zero()
+	}
+}
+
+// InputCount returns the number of input elements one image feeds into
+// the given node (the paper's #Input row: for AlexNet conv1 this is
+// C·H·W of the layer input).
+func (n *Network) InputCount(nodeID int) int {
+	nd := n.Nodes[nodeID]
+	return shapeSize(n.Nodes[nd.Inputs[0]].Shape)
+}
+
+// MACCount returns the number of MAC operations the node performs per
+// image (the paper's #MAC row); 0 for non-dot-product layers.
+func (n *Network) MACCount(nodeID int) int {
+	nd := n.Nodes[nodeID]
+	dp, ok := nd.Layer.(DotProduct)
+	if !ok {
+		return 0
+	}
+	inShapes := make([][]int, len(nd.Inputs))
+	for i, in := range nd.Inputs {
+		inShapes[i] = append([]int{1}, n.Nodes[in].Shape...)
+	}
+	return dp.MACs(inShapes)
+}
+
+// TotalMACs returns the per-image MAC count across all dot-product
+// layers.
+func (n *Network) TotalMACs() int {
+	total := 0
+	for _, id := range n.AnalyzableNodes() {
+		total += n.MACCount(id)
+	}
+	// Include non-analyzable dot-product layers (e.g. FC layers the
+	// paper excludes from bitwidth analysis still execute MACs).
+	for _, nd := range n.Nodes {
+		if nd.Analyzable {
+			continue
+		}
+		if _, ok := nd.Layer.(DotProduct); ok {
+			total += n.MACCount(nd.ID)
+		}
+	}
+	return total
+}
+
+// Summary renders a one-line-per-node description of the network.
+func (n *Network) Summary() string {
+	s := fmt.Sprintf("%s: input %v, %d classes, %d params\n",
+		n.Name, n.InputShape, n.NumClasses, n.NumParams())
+	for _, nd := range n.Nodes[1:] {
+		mark := " "
+		if nd.Analyzable {
+			mark = "*"
+		}
+		s += fmt.Sprintf("%s %3d %-18s %-8s in=%v out=%v\n",
+			mark, nd.ID, nd.Name, nd.Layer.Kind(), nd.Inputs, nd.Shape)
+	}
+	return s
+}

@@ -1,0 +1,79 @@
+package nn
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// netParams is the on-disk representation of a network's trained
+// parameters: names keep load order honest across refactors.
+type netParams struct {
+	Names  []string
+	Values [][]float64
+}
+
+// SaveParams writes the network's parameters (gob, gzip-compressed) to
+// path, creating parent directories as needed.
+func (n *Network) SaveParams(path string) error {
+	var np netParams
+	for _, p := range n.Params() {
+		np.Names = append(np.Names, p.Name)
+		np.Values = append(np.Values, p.Value.Data)
+	}
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if err := gob.NewEncoder(zw).Encode(np); err != nil {
+		return fmt.Errorf("nn: encoding params: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return fmt.Errorf("nn: compressing params: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("nn: writing params: %w", err)
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadParams reads parameters previously written by SaveParams into the
+// network. The network must have the identical topology (names, order
+// and sizes are all checked).
+func (n *Network) LoadParams(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return n.ReadParams(f)
+}
+
+// ReadParams decodes parameters from r into the network.
+func (n *Network) ReadParams(r io.Reader) error {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return fmt.Errorf("nn: opening params: %w", err)
+	}
+	defer zr.Close()
+	var np netParams
+	if err := gob.NewDecoder(zr).Decode(&np); err != nil {
+		return fmt.Errorf("nn: decoding params: %w", err)
+	}
+	ps := n.Params()
+	if len(ps) != len(np.Names) {
+		return fmt.Errorf("nn: param count mismatch: net has %d, file has %d", len(ps), len(np.Names))
+	}
+	for i, p := range ps {
+		if p.Name != np.Names[i] {
+			return fmt.Errorf("nn: param %d name mismatch: net %q, file %q", i, p.Name, np.Names[i])
+		}
+		if len(p.Value.Data) != len(np.Values[i]) {
+			return fmt.Errorf("nn: param %q size mismatch: net %d, file %d", p.Name, len(p.Value.Data), len(np.Values[i]))
+		}
+		copy(p.Value.Data, np.Values[i])
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package optimize
+
+import (
+	"fmt"
+	"math"
+
+	"mupod/internal/profile"
+)
+
+// ln2 converts natural logs to bits.
+var ln2 = math.Log(2)
+
+// BitObjective is Eq. 8 of the paper: F(ξ) = Σ ρ_K·(−log2 Δ_K(ξ_K))
+// with Δ_K(ξ) = λ_K·σ_YŁ·√ξ + θ_K. Build one with NewBitObjective.
+type BitObjective struct {
+	Rho     []float64 // relative importance per layer (#Input or #MAC)
+	A       []float64 // a_K = λ_K·σ_YŁ
+	Theta   []float64
+	lb      []float64
+	deltaLo float64
+}
+
+// NewBitObjective assembles the objective from a profile, the searched
+// σ_YŁ, and the per-layer importance weights ρ (len == prof layers).
+//
+// deltaFloor sets the smallest Δ any layer is allowed to reach (> 0);
+// the per-coordinate lower bound lb_K is derived from it, which both
+// keeps Δ_K positive when θ_K < 0 and caps the finest representable
+// fraction width. Pass 0 for the default 2^-20.
+func NewBitObjective(prof *profile.Profile, sigmaYL float64, rho []float64, deltaFloor float64) (*BitObjective, error) {
+	n := prof.NumLayers()
+	if len(rho) != n {
+		return nil, fmt.Errorf("optimize: %d ρ weights for %d layers", len(rho), n)
+	}
+	if sigmaYL <= 0 {
+		return nil, fmt.Errorf("optimize: σ_YŁ must be positive, got %g", sigmaYL)
+	}
+	if deltaFloor <= 0 {
+		deltaFloor = math.Exp2(-20)
+	}
+	o := &BitObjective{
+		Rho:     append([]float64(nil), rho...),
+		A:       make([]float64, n),
+		Theta:   make([]float64, n),
+		lb:      make([]float64, n),
+		deltaLo: deltaFloor,
+	}
+	for k := 0; k < n; k++ {
+		lp := &prof.Layers[k]
+		if rho[k] < 0 {
+			return nil, fmt.Errorf("optimize: negative ρ for layer %s", lp.Name)
+		}
+		o.A[k] = lp.Lambda * sigmaYL
+		o.Theta[k] = lp.Theta
+		// Δ(lb) = deltaFloor ⇒ lb = ((deltaFloor−θ)/a)², clamped ≥ εξ.
+		lb := 1e-9
+		if need := (deltaFloor - lp.Theta) / o.A[k]; need > 0 {
+			if b := need * need; b > lb {
+				lb = b
+			}
+		}
+		o.lb[k] = lb
+	}
+	return o, nil
+}
+
+// Dim implements Problem.
+func (o *BitObjective) Dim() int { return len(o.Rho) }
+
+// LowerBound implements Problem.
+func (o *BitObjective) LowerBound(k int) float64 { return o.lb[k] }
+
+// Delta evaluates Δ_K(ξ) = a_K·√ξ + θ_K, floored at the configured
+// minimum so logs stay finite.
+func (o *BitObjective) Delta(k int, xi float64) float64 {
+	d := o.A[k]*math.Sqrt(xi) + o.Theta[k]
+	if d < o.deltaLo {
+		return o.deltaLo
+	}
+	return d
+}
+
+// Value implements Problem.
+func (o *BitObjective) Value(xi []float64) float64 {
+	total := 0.0
+	for k := range o.Rho {
+		total += o.Rho[k] * (-math.Log2(o.Delta(k, xi[k])))
+	}
+	return total
+}
+
+// Deriv implements Problem.
+func (o *BitObjective) Deriv(k int, xik float64) (grad, hess float64) {
+	a := o.A[k]
+	sq := math.Sqrt(xik)
+	d := a*sq + o.Theta[k]
+	if d < o.deltaLo {
+		d = o.deltaLo
+	}
+	c := o.Rho[k] / ln2
+	grad = -c * a / (2 * sq * d)
+	hess = c * (a/(4*sq*sq*sq*d) + a*a/(4*sq*sq*d*d))
+	return grad, hess
+}
+
+// ClosedFormXi returns the analytic optimum for the θ=0 special case:
+// with Δ_K = a_K√ξ_K the Lagrange condition gives ξ_K ∝ ρ_K. It is the
+// reference the solvers are tested against and a useful fast path.
+func ClosedFormXi(rho []float64) []float64 {
+	total := 0.0
+	for _, r := range rho {
+		total += r
+	}
+	xi := make([]float64, len(rho))
+	if total == 0 {
+		for k := range xi {
+			xi[k] = 1 / float64(len(rho))
+		}
+		return xi
+	}
+	for k, r := range rho {
+		xi[k] = r / total
+	}
+	return xi
+}

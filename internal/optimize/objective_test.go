@@ -1,0 +1,173 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+
+	"mupod/internal/profile"
+)
+
+// fakeProfile builds a profile with the given λ, θ per layer.
+func fakeProfile(lambda, theta []float64) *profile.Profile {
+	p := &profile.Profile{NetName: "fake"}
+	for k := range lambda {
+		p.Layers = append(p.Layers, profile.LayerProfile{
+			NodeID: k + 1,
+			Name:   "l",
+			Lambda: lambda[k],
+			Theta:  theta[k],
+		})
+	}
+	return p
+}
+
+func TestNewBitObjectiveValidation(t *testing.T) {
+	p := fakeProfile([]float64{1, 1}, []float64{0, 0})
+	if _, err := NewBitObjective(p, 1, []float64{1}, 0); err == nil {
+		t.Fatal("no error on ρ length mismatch")
+	}
+	if _, err := NewBitObjective(p, 0, []float64{1, 1}, 0); err == nil {
+		t.Fatal("no error on σ=0")
+	}
+	if _, err := NewBitObjective(p, 1, []float64{1, -1}, 0); err == nil {
+		t.Fatal("no error on negative ρ")
+	}
+}
+
+func TestBitObjectiveGradientNumerically(t *testing.T) {
+	p := fakeProfile([]float64{2, 0.5, 1}, []float64{0.01, -0.002, 0})
+	o, err := NewBitObjective(p, 0.7, []float64{3, 1, 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xi := []float64{0.5, 0.2, 0.3}
+	const eps = 1e-7
+	for k := range xi {
+		g, h := o.Deriv(k, xi[k])
+		up := append([]float64(nil), xi...)
+		up[k] += eps
+		dn := append([]float64(nil), xi...)
+		dn[k] -= eps
+		numG := (o.Value(up) - o.Value(dn)) / (2 * eps)
+		if math.Abs(g-numG) > 1e-4*math.Max(1, math.Abs(numG)) {
+			t.Fatalf("grad[%d] = %v, numerical %v", k, g, numG)
+		}
+		gu, _ := o.Deriv(k, xi[k]+eps)
+		gd, _ := o.Deriv(k, xi[k]-eps)
+		numH := (gu - gd) / (2 * eps)
+		if math.Abs(h-numH) > 1e-3*math.Max(1, math.Abs(numH)) {
+			t.Fatalf("hess[%d] = %v, numerical %v", k, h, numH)
+		}
+		if h <= 0 {
+			t.Fatalf("hessian not positive at %d: %v", k, h)
+		}
+	}
+}
+
+func TestSolverMatchesClosedFormWhenThetaZero(t *testing.T) {
+	// θ = 0 ⇒ optimal ξ ∝ ρ (Lagrange condition; see ClosedFormXi).
+	lambda := []float64{1.5, 0.3, 2.0, 0.8}
+	theta := []float64{0, 0, 0, 0}
+	rho := []float64{10, 40, 25, 25}
+	p := fakeProfile(lambda, theta)
+	o, err := NewBitObjective(p, 0.5, rho, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xi, st, err := SolveNewtonKKT(o, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged {
+		t.Fatalf("did not converge: %+v", st)
+	}
+	want := ClosedFormXi(rho)
+	for k := range xi {
+		if math.Abs(xi[k]-want[k]) > 1e-4 {
+			t.Fatalf("ξ = %v, closed form %v", xi, want)
+		}
+	}
+}
+
+func TestSolverHandlesNegativeTheta(t *testing.T) {
+	p := fakeProfile([]float64{1, 1}, []float64{-0.05, 0.02})
+	o, err := NewBitObjective(p, 0.3, []float64{1, 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xi, _, err := SolveNewtonKKT(o, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both deltas must be positive at the solution.
+	for k := range xi {
+		if o.Delta(k, xi[k]) <= 0 {
+			t.Fatalf("Δ[%d] = %v", k, o.Delta(k, xi[k]))
+		}
+	}
+	if math.Abs(sum(xi)-1) > 1e-9 {
+		t.Fatalf("Σξ = %v", sum(xi))
+	}
+}
+
+func TestHigherRhoGetsHigherXi(t *testing.T) {
+	// The paper's core reallocation: heavier layers (more inputs/MACs)
+	// receive a larger error share → fewer bits.
+	p := fakeProfile([]float64{1, 1, 1}, []float64{0.001, 0.001, 0.001})
+	o, err := NewBitObjective(p, 0.5, []float64{100, 10, 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xi, _, err := SolveNewtonKKT(o, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(xi[0] > xi[1] && xi[1] > xi[2]) {
+		t.Fatalf("ξ not ordered with ρ: %v", xi)
+	}
+}
+
+func TestOptimizedBeatsEqualScheme(t *testing.T) {
+	// The optimizer must never do worse than ξ_K = 1/Ł on its own
+	// objective (the claim behind Table II's savings).
+	lambda := []float64{0.36, 0.9, 1.5, 1.1, 2.2}
+	theta := []float64{0.002, 0.01, -0.003, 0.004, 0.0}
+	rho := []float64{154.6, 70, 43.2, 64.9, 64.9} // paper's #Input row
+	p := fakeProfile(lambda, theta)
+	o, err := NewBitObjective(p, 0.32, rho, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xi, _, err := SolveNewtonKKT(o, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	equal := []float64{0.2, 0.2, 0.2, 0.2, 0.2}
+	if o.Value(xi) > o.Value(equal)+1e-9 {
+		t.Fatalf("optimizer (%v) worse than equal scheme (%v)", o.Value(xi), o.Value(equal))
+	}
+}
+
+func TestClosedFormXiDegenerate(t *testing.T) {
+	xi := ClosedFormXi([]float64{0, 0})
+	if xi[0] != 0.5 || xi[1] != 0.5 {
+		t.Fatalf("all-zero ρ: %v", xi)
+	}
+	xi = ClosedFormXi([]float64{3, 1})
+	if xi[0] != 0.75 || xi[1] != 0.25 {
+		t.Fatalf("ξ = %v", xi)
+	}
+}
+
+func TestDeltaFloorRespected(t *testing.T) {
+	p := fakeProfile([]float64{1}, []float64{-1}) // θ very negative
+	floor := 1.0 / 1024
+	o, err := NewBitObjective(p, 1, []float64{1}, floor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At the lower bound, Δ must be exactly the floor.
+	if d := o.Delta(0, o.LowerBound(0)); math.Abs(d-floor) > 1e-12 {
+		t.Fatalf("Δ at bound = %v, want %v", d, floor)
+	}
+}

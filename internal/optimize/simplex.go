@@ -1,0 +1,284 @@
+// Package optimize solves the paper's multi-objective bitwidth problem
+// (Eq. 8): choose the error-budget decomposition ξ on the probability
+// simplex that minimizes the ρ-weighted total bit count
+//
+//	min F(ξ) = Σ_K ρ_K·(−log2 Δ_K(ξ_K)),  Δ_K = λ_K·σ_YŁ·√ξ_K + θ_K
+//	s.t. Σ_K ξ_K = 1,  ξ_K ≥ lb_K
+//
+// The paper hands this to Octave's sqp; offline we implement the
+// equivalent: F is separable and convex in ξ (−log of a concave
+// positive function), so a diagonal-Hessian Newton step with the
+// equality constraint handled through its KKT multiplier converges in
+// a handful of iterations. A projected-gradient method with
+// backtracking is provided both as a fallback and as an ablation
+// (bench: solver choice).
+package optimize
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Problem is a separable objective over the simplex.
+type Problem interface {
+	// Value returns F(ξ).
+	Value(xi []float64) float64
+	// Deriv returns dF/dξ_K and d²F/dξ_K² for one coordinate.
+	Deriv(k int, xik float64) (grad, hess float64)
+	// Dim returns the number of coordinates.
+	Dim() int
+	// LowerBound returns the per-coordinate feasibility bound lb_K
+	// (≥ some tiny positive value; Δ_K must stay positive).
+	LowerBound(k int) float64
+}
+
+// Options tunes the solvers.
+type Options struct {
+	MaxIter int     // default 200
+	Tol     float64 // step-size convergence tolerance (default 1e-10)
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIter == 0 {
+		o.MaxIter = 200
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-10
+	}
+	return o
+}
+
+// Stats reports solver behaviour for logging and tests.
+type Stats struct {
+	Iterations int
+	Converged  bool
+	Value      float64
+}
+
+// ErrInfeasible is returned when the per-coordinate lower bounds sum
+// above 1 and no feasible ξ exists.
+var ErrInfeasible = errors.New("optimize: lower bounds exceed the simplex")
+
+func feasibleStart(p Problem) ([]float64, error) {
+	n := p.Dim()
+	lb := make([]float64, n)
+	sum := 0.0
+	for k := 0; k < n; k++ {
+		lb[k] = p.LowerBound(k)
+		sum += lb[k]
+	}
+	if sum >= 1 {
+		return nil, fmt.Errorf("%w: Σlb=%.4g", ErrInfeasible, sum)
+	}
+	// Start at lb plus an equal share of the remaining mass.
+	xi := make([]float64, n)
+	share := (1 - sum) / float64(n)
+	for k := 0; k < n; k++ {
+		xi[k] = lb[k] + share
+	}
+	return xi, nil
+}
+
+// SolveNewtonKKT minimizes p over the simplex using diagonal-Hessian
+// Newton steps. Each iteration solves the equality-constrained QP
+//
+//	min ½ Σ h_K d_K² + Σ g_K d_K   s.t. Σ d_K = 0
+//
+// whose KKT solution is d_K = −(g_K + μ)/h_K with
+// μ = −Σ(g_K/h_K)/Σ(1/h_K), then backtracks along d until the bounded
+// step decreases F. Coordinates pinned at their lower bound with
+// inward-pointing multipliers are released naturally because the step
+// is recomputed every iteration over all coordinates.
+func SolveNewtonKKT(p Problem, opts Options) ([]float64, Stats, error) {
+	opts = opts.withDefaults()
+	xi, err := feasibleStart(p)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	n := p.Dim()
+	grad := make([]float64, n)
+	hess := make([]float64, n)
+	cand := make([]float64, n)
+	val := p.Value(xi)
+	var st Stats
+	for it := 0; it < opts.MaxIter; it++ {
+		st.Iterations = it + 1
+		var sumInvH, sumGoverH float64
+		for k := 0; k < n; k++ {
+			g, h := p.Deriv(k, xi[k])
+			if h < 1e-12 {
+				h = 1e-12
+			}
+			grad[k], hess[k] = g, h
+			sumInvH += 1 / h
+			sumGoverH += g / h
+		}
+		mu := -sumGoverH / sumInvH
+		// Backtracking on the Newton direction, with bound clipping and
+		// mass renormalization folded into the candidate construction.
+		step := 1.0
+		improved := false
+		var norm float64
+		for bt := 0; bt < 30; bt++ {
+			norm = 0
+			for k := 0; k < n; k++ {
+				d := -step * (grad[k] + mu) / hess[k]
+				c := xi[k] + d
+				if lb := p.LowerBound(k); c < lb {
+					c = lb
+				}
+				cand[k] = c
+			}
+			renormalize(p, cand)
+			for k := 0; k < n; k++ {
+				dd := cand[k] - xi[k]
+				norm += dd * dd
+			}
+			if cv := p.Value(cand); cv < val {
+				copy(xi, cand)
+				val = cv
+				improved = true
+				break
+			}
+			step /= 2
+		}
+		if !improved || math.Sqrt(norm) < opts.Tol {
+			st.Converged = true
+			break
+		}
+	}
+	st.Value = val
+	return xi, st, nil
+}
+
+// renormalize rescales the free mass (above the lower bounds) so the
+// coordinates sum to exactly 1 again after clipping.
+func renormalize(p Problem, xi []float64) {
+	var lbSum, free float64
+	n := len(xi)
+	for k := 0; k < n; k++ {
+		lb := p.LowerBound(k)
+		lbSum += lb
+		free += xi[k] - lb
+	}
+	if free <= 0 {
+		// Degenerate: distribute the remaining mass equally.
+		rem := (1 - lbSum) / float64(n)
+		for k := 0; k < n; k++ {
+			xi[k] = p.LowerBound(k) + rem
+		}
+		return
+	}
+	scale := (1 - lbSum) / free
+	for k := 0; k < n; k++ {
+		lb := p.LowerBound(k)
+		xi[k] = lb + (xi[k]-lb)*scale
+	}
+}
+
+// SolveProjectedGradient minimizes p over the simplex by projected
+// gradient descent with backtracking line search.
+func SolveProjectedGradient(p Problem, opts Options) ([]float64, Stats, error) {
+	opts = opts.withDefaults()
+	xi, err := feasibleStart(p)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	n := p.Dim()
+	lb := make([]float64, n)
+	for k := 0; k < n; k++ {
+		lb[k] = p.LowerBound(k)
+	}
+	grad := make([]float64, n)
+	cand := make([]float64, n)
+	val := p.Value(xi)
+	step := 1.0
+	var st Stats
+	for it := 0; it < opts.MaxIter; it++ {
+		st.Iterations = it + 1
+		for k := 0; k < n; k++ {
+			grad[k], _ = p.Deriv(k, xi[k])
+		}
+		improved := false
+		var norm float64
+		for bt := 0; bt < 40; bt++ {
+			for k := 0; k < n; k++ {
+				cand[k] = xi[k] - step*grad[k]
+			}
+			ProjectSimplexLB(cand, lb)
+			norm = 0
+			for k := 0; k < n; k++ {
+				d := cand[k] - xi[k]
+				norm += d * d
+			}
+			if cv := p.Value(cand); cv < val {
+				copy(xi, cand)
+				val = cv
+				improved = true
+				step *= 1.5 // recover step size after successes
+				break
+			}
+			step /= 2
+		}
+		if !improved || math.Sqrt(norm) < opts.Tol {
+			st.Converged = true
+			break
+		}
+	}
+	st.Value = val
+	return xi, st, nil
+}
+
+// ProjectSimplexLB projects v in place onto {x : Σx = 1, x_K ≥ lb_K}
+// in Euclidean distance. It shifts by the lower bounds and applies the
+// standard O(n log n) simplex projection (Held-Wolfe-Crowder) to the
+// remaining mass.
+func ProjectSimplexLB(v []float64, lb []float64) {
+	n := len(v)
+	mass := 1.0
+	w := make([]float64, n)
+	for k := 0; k < n; k++ {
+		w[k] = v[k] - lb[k]
+		mass -= lb[k]
+	}
+	if mass < 0 {
+		panic("optimize: ProjectSimplexLB infeasible lower bounds")
+	}
+	projectSimplex(w, mass)
+	for k := 0; k < n; k++ {
+		v[k] = lb[k] + w[k]
+	}
+}
+
+// projectSimplex projects w in place onto {x ≥ 0, Σx = mass}.
+func projectSimplex(w []float64, mass float64) {
+	n := len(w)
+	sorted := append([]float64(nil), w...)
+	// Descending insertion sort is fine for n ≤ a few hundred.
+	for i := 1; i < n; i++ {
+		x := sorted[i]
+		j := i - 1
+		for j >= 0 && sorted[j] < x {
+			sorted[j+1] = sorted[j]
+			j--
+		}
+		sorted[j+1] = x
+	}
+	var cum float64
+	tau := 0.0
+	for i := 0; i < n; i++ {
+		cum += sorted[i]
+		t := (cum - mass) / float64(i+1)
+		if i == n-1 || sorted[i+1] <= t {
+			tau = t
+			break
+		}
+	}
+	for k := 0; k < n; k++ {
+		w[k] -= tau
+		if w[k] < 0 {
+			w[k] = 0
+		}
+	}
+}

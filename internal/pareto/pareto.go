@@ -1,0 +1,158 @@
+// Package pareto makes the "multi-objective" of the paper's title
+// explicit: instead of optimizing for ONE criterion at a time (Sec. V-D
+// optimizes either bandwidth or MAC energy), it sweeps a weighted blend
+// of the two Eq. 8 objectives and returns the non-dominated frontier of
+// (input-bandwidth, MAC-energy) operating points, from which a designer
+// picks a trade-off. Because each blended problem is still a separable
+// convex program on the simplex, the whole frontier costs one profile
+// plus a few dozen solver runs — seconds, not the hours a search-based
+// method would need per point.
+package pareto
+
+import (
+	"fmt"
+	"sort"
+
+	"mupod/internal/core"
+	"mupod/internal/energy"
+	"mupod/internal/profile"
+)
+
+// Point is one operating point of the frontier.
+type Point struct {
+	// Alpha is the blend weight: 0 = pure bandwidth objective,
+	// 1 = pure MAC-energy objective.
+	Alpha float64
+
+	InputBits int64   // total input bandwidth per image (bits)
+	MACEnergy float64 // pJ per image at the given weight width
+
+	EffInputBits float64
+	EffMACBits   float64
+
+	Allocation *core.Allocation
+}
+
+// Config tunes the sweep.
+type Config struct {
+	// Alphas lists the blend weights to solve (default: 0, 0.1, …, 1).
+	Alphas []float64
+	// WeightBits is the uniform weight width used by the energy model
+	// (default 8).
+	WeightBits int
+	// Model is the MAC energy model (default energy.Default40nm).
+	Model energy.MACModel
+	// DeltaFloor forwards to the allocator.
+	DeltaFloor float64
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Alphas) == 0 {
+		for i := 0; i <= 10; i++ {
+			c.Alphas = append(c.Alphas, float64(i)/10)
+		}
+	}
+	if c.WeightBits == 0 {
+		c.WeightBits = 8
+	}
+	if c.Model == (energy.MACModel{}) {
+		c.Model = energy.Default40nm
+	}
+	return c
+}
+
+// Sweep solves the blended objective for every α and returns one point
+// per α (dominated points included; filter with NonDominated).
+//
+// The blend normalizes each ρ vector to unit sum first, so α moves
+// between the two criteria on comparable scales regardless of the
+// magnitude difference between #Input and #MAC counts.
+func Sweep(prof *profile.Profile, sigmaYL float64, cfg Config) ([]Point, error) {
+	cfg = cfg.withDefaults()
+	L := prof.NumLayers()
+	if L == 0 {
+		return nil, fmt.Errorf("pareto: empty profile")
+	}
+	inputRho := make([]float64, L)
+	macRho := make([]float64, L)
+	var inSum, macSum float64
+	for k := range prof.Layers {
+		inputRho[k] = float64(prof.Layers[k].Inputs)
+		macRho[k] = float64(prof.Layers[k].MACs)
+		inSum += inputRho[k]
+		macSum += macRho[k]
+	}
+	if inSum == 0 || macSum == 0 {
+		return nil, fmt.Errorf("pareto: degenerate ρ (Σ#Input=%g, Σ#MAC=%g)", inSum, macSum)
+	}
+
+	var points []Point
+	for _, alpha := range cfg.Alphas {
+		if alpha < 0 || alpha > 1 {
+			return nil, fmt.Errorf("pareto: α=%g outside [0,1]", alpha)
+		}
+		rho := make([]float64, L)
+		for k := 0; k < L; k++ {
+			rho[k] = (1-alpha)*inputRho[k]/inSum + alpha*macRho[k]/macSum
+		}
+		xi, err := core.OptimizeXi(prof, sigmaYL, core.Config{
+			Objective: core.CustomRho, Rho: rho, DeltaFloor: cfg.DeltaFloor,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("pareto: α=%g: %w", alpha, err)
+		}
+		alloc, err := core.FromXi(prof, sigmaYL, xi, fmt.Sprintf("blend_%.2f", alpha), cfg.DeltaFloor)
+		if err != nil {
+			return nil, fmt.Errorf("pareto: α=%g: %w", alpha, err)
+		}
+		points = append(points, Point{
+			Alpha:        alpha,
+			InputBits:    alloc.TotalInputBits(),
+			MACEnergy:    alloc.MACEnergy(cfg.Model, cfg.WeightBits),
+			EffInputBits: alloc.EffectiveInputBits(),
+			EffMACBits:   alloc.EffectiveMACBits(),
+			Allocation:   alloc,
+		})
+	}
+	return points, nil
+}
+
+// NonDominated filters to the Pareto-optimal subset (minimizing both
+// InputBits and MACEnergy) and returns it sorted by InputBits.
+func NonDominated(points []Point) []Point {
+	var front []Point
+	for i, p := range points {
+		dominated := false
+		for j, q := range points {
+			if i == j {
+				continue
+			}
+			// q dominates p when it is no worse in both and strictly
+			// better in at least one criterion.
+			if q.InputBits <= p.InputBits && q.MACEnergy <= p.MACEnergy &&
+				(q.InputBits < p.InputBits || q.MACEnergy < p.MACEnergy) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, p)
+		}
+	}
+	sort.Slice(front, func(i, j int) bool {
+		if front[i].InputBits != front[j].InputBits {
+			return front[i].InputBits < front[j].InputBits
+		}
+		return front[i].MACEnergy < front[j].MACEnergy
+	})
+	// Drop duplicates (several α can map to identical allocations after
+	// integer rounding).
+	out := front[:0]
+	for i, p := range front {
+		if i > 0 && p.InputBits == front[i-1].InputBits && p.MACEnergy == front[i-1].MACEnergy {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package pareto
+
+import (
+	"sync"
+	"testing"
+
+	"mupod/internal/profile"
+	"mupod/internal/testnet"
+)
+
+var (
+	fixOnce sync.Once
+	fixProf *profile.Profile
+)
+
+func sharedProfile(t *testing.T) *profile.Profile {
+	t.Helper()
+	fixOnce.Do(func() {
+		net, _, te := testnet.Trained()
+		if p, err := profile.Run(net, te, profile.Config{Images: 16, Points: 8, Seed: 5}); err == nil {
+			fixProf = p
+		}
+	})
+	if fixProf == nil {
+		t.Fatal("profile fixture unavailable")
+	}
+	return fixProf
+}
+
+func TestSweepEndpointsMatchSingleObjectives(t *testing.T) {
+	prof := sharedProfile(t)
+	pts, err := Sweep(prof, 0.8, Config{Alphas: []float64{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("%d points", len(pts))
+	}
+	// α=0 is the bandwidth objective: it must have the lower (or equal)
+	// input bits; α=1 the lower (or equal) energy. Integer rounding can
+	// tie them on a 4-layer fixture, but never invert beyond a layer's
+	// worth of bits.
+	if pts[0].InputBits > pts[1].InputBits+int64(prof.Layers[0].Inputs) {
+		t.Fatalf("α=0 input bits %d ≫ α=1 %d", pts[0].InputBits, pts[1].InputBits)
+	}
+	if pts[1].MACEnergy > pts[0].MACEnergy*1.1 {
+		t.Fatalf("α=1 energy %v ≫ α=0 %v", pts[1].MACEnergy, pts[0].MACEnergy)
+	}
+}
+
+func TestSweepDefaultGrid(t *testing.T) {
+	prof := sharedProfile(t)
+	pts, err := Sweep(prof, 0.8, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 11 {
+		t.Fatalf("default grid gave %d points", len(pts))
+	}
+	for _, p := range pts {
+		if p.Allocation == nil || p.InputBits <= 0 || p.MACEnergy <= 0 {
+			t.Fatalf("bad point %+v", p)
+		}
+	}
+}
+
+func TestSweepRejectsBadAlpha(t *testing.T) {
+	prof := sharedProfile(t)
+	if _, err := Sweep(prof, 0.8, Config{Alphas: []float64{-0.1}}); err == nil {
+		t.Fatal("no error for α<0")
+	}
+	if _, err := Sweep(prof, 0.8, Config{Alphas: []float64{1.5}}); err == nil {
+		t.Fatal("no error for α>1")
+	}
+}
+
+func TestSweepRejectsEmptyProfile(t *testing.T) {
+	if _, err := Sweep(&profile.Profile{}, 0.8, Config{}); err == nil {
+		t.Fatal("no error for empty profile")
+	}
+}
+
+func TestNonDominatedFiltersAndSorts(t *testing.T) {
+	pts := []Point{
+		{Alpha: 0, InputBits: 100, MACEnergy: 50},
+		{Alpha: 1, InputBits: 120, MACEnergy: 40},
+		{Alpha: 2, InputBits: 130, MACEnergy: 45}, // dominated by #2? 130>120 & 45>40 → dominated
+		{Alpha: 3, InputBits: 90, MACEnergy: 60},
+	}
+	front := NonDominated(pts)
+	if len(front) != 3 {
+		t.Fatalf("front has %d points: %+v", len(front), front)
+	}
+	for i := 1; i < len(front); i++ {
+		if front[i].InputBits < front[i-1].InputBits {
+			t.Fatal("front not sorted by input bits")
+		}
+		if front[i].MACEnergy > front[i-1].MACEnergy {
+			t.Fatal("front energies not decreasing along increasing bits")
+		}
+	}
+}
+
+func TestNonDominatedDropsDuplicates(t *testing.T) {
+	pts := []Point{
+		{InputBits: 100, MACEnergy: 50},
+		{InputBits: 100, MACEnergy: 50},
+	}
+	if got := NonDominated(pts); len(got) != 1 {
+		t.Fatalf("duplicates kept: %d", len(got))
+	}
+}
+
+func TestRealFrontierIsMonotone(t *testing.T) {
+	prof := sharedProfile(t)
+	pts, err := Sweep(prof, 1.0, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := NonDominated(pts)
+	if len(front) == 0 {
+		t.Fatal("empty frontier")
+	}
+	for i := 1; i < len(front); i++ {
+		if front[i].MACEnergy > front[i-1].MACEnergy {
+			t.Fatalf("frontier not monotone: %+v", front)
+		}
+	}
+}

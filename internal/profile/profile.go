@@ -1,0 +1,267 @@
+// Package profile implements the paper's error-injection measurement
+// (Sec. V-A): for every analyzable layer K it injects uniform noise of
+// boundary Δ_XK into the layer's input, replays the network suffix to
+// the last layer Ł, measures the standard deviation σ_{Y_K→Ł} of the
+// induced output error, and fits the per-layer linear model of Eq. 5:
+//
+//	Δ_XK ≈ λ_K·σ_{Y_K→Ł} + θ_K
+//
+// Exact activations are computed once and cached, so injecting at layer
+// K only re-executes the K..Ł suffix of the DAG — this is what makes
+// 156-layer networks profileable in minutes (Sec. VI-A).
+package profile
+
+import (
+	"fmt"
+	"math"
+
+	"mupod/internal/dataset"
+	"mupod/internal/fixedpoint"
+	"mupod/internal/nn"
+	"mupod/internal/rng"
+	"mupod/internal/stats"
+	"mupod/internal/tensor"
+)
+
+// Config controls a profiling run.
+type Config struct {
+	// Images is the number of profiling images (paper: 50-200 produce
+	// stable regressions; default 30).
+	Images int
+	// Points is the number of Δ values measured per layer for the
+	// regression (paper: 20; default 12).
+	Points int
+	// DeltaLoFrac / DeltaHiFrac bound the injected Δ sweep as fractions
+	// of the layer input's max |x| (defaults 2^-10 and 2^-2). The sweep
+	// is logarithmically spaced.
+	DeltaLoFrac, DeltaHiFrac float64
+	// Seed drives the injected noise.
+	Seed uint64
+	// TargetSamples sets the adaptive repeat count: each measurement
+	// point pools enough independent injection replays that at least
+	// this many noise sources contribute (default 8192, capped at 12
+	// replays). Late layers have tiny input tensors — a single replay
+	// there draws too few uniform deviates for a stable σ estimate —
+	// but their replay suffix is short, so the repeats are cheap.
+	TargetSamples int
+	// IncludeZeros, if set, also perturbs exactly-zero input elements.
+	// The default (false) matches fixed point, where zeros are always
+	// represented exactly (Fig. 1: "Zero values at X_K are always
+	// accurately represented ... and hence not included").
+	IncludeZeros bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Images == 0 {
+		c.Images = 30
+	}
+	if c.Points == 0 {
+		c.Points = 12
+	}
+	if c.DeltaLoFrac == 0 {
+		c.DeltaLoFrac = 1.0 / 512
+	}
+	if c.DeltaHiFrac == 0 {
+		c.DeltaHiFrac = 1.0 / 16
+	}
+	if c.TargetSamples == 0 {
+		c.TargetSamples = 8192
+	}
+	return c
+}
+
+// LayerProfile holds the fitted error model and the counting metadata
+// of one analyzable layer.
+type LayerProfile struct {
+	NodeID int
+	Name   string
+	Kind   string
+
+	// Lambda and Theta are the Eq. 5 constants; R2 is the regression's
+	// coefficient of determination and MaxRelErr the worst relative
+	// error of predicting Δ from σ over the measured points (the paper
+	// reports <5% typical, ~10% worst case).
+	Lambda, Theta float64
+	R2            float64
+	MaxRelErr     float64
+
+	// Deltas/Sigmas are the raw measurement points (x=σ_{Y_K→Ł},
+	// y=Δ_XK) behind the fit — exactly what Fig. 2 plots.
+	Deltas, Sigmas []float64
+
+	// MaxAbs is max |x| over the layer's profiled inputs; IntBits the
+	// derived signed integer bit count (Sec. II-A).
+	MaxAbs  float64
+	IntBits int
+
+	// Inputs and MACs are the per-image element/operation counts — the
+	// ρ_K candidates of Sec. V-D (#Input and #MAC rows of Table II).
+	Inputs int
+	MACs   int
+}
+
+// DeltaFor evaluates Eq. 7 for this layer: Δ = λ·σ_YŁ·√ξ + θ.
+func (lp *LayerProfile) DeltaFor(sigmaYL, xi float64) float64 {
+	return lp.Lambda*sigmaYL*math.Sqrt(xi) + lp.Theta
+}
+
+// FormatFor converts a tolerated Δ into the layer's complete fixed-
+// point format (integer bits from the profiled range).
+func (lp *LayerProfile) FormatFor(delta float64) fixedpoint.Format {
+	return fixedpoint.Format{
+		IntBits:  lp.IntBits,
+		FracBits: fixedpoint.FracBitsForDelta(delta),
+	}
+}
+
+// Profile is the per-network profiling result.
+type Profile struct {
+	NetName string
+	Layers  []LayerProfile // analyzable layers in topological order
+	Config  Config
+}
+
+// Layer returns the profile of the given node ID, or nil.
+func (p *Profile) Layer(nodeID int) *LayerProfile {
+	for i := range p.Layers {
+		if p.Layers[i].NodeID == nodeID {
+			return &p.Layers[i]
+		}
+	}
+	return nil
+}
+
+// NumLayers returns Ł, the number of analyzable layers.
+func (p *Profile) NumLayers() int { return len(p.Layers) }
+
+// UniformInjector returns an nn.Injector adding i.i.d. uniform noise of
+// boundary delta to every (non-zero unless includeZeros) element.
+func UniformInjector(r *rng.RNG, delta float64, includeZeros bool) nn.Injector {
+	return func(t *tensor.Tensor) {
+		if delta <= 0 {
+			return
+		}
+		for i, v := range t.Data {
+			if v == 0 && !includeZeros {
+				continue
+			}
+			t.Data[i] = v + r.Uniform(-delta, delta)
+		}
+	}
+}
+
+// QuantizeInjector returns an nn.Injector that REALLY quantizes the
+// tensor to the given fixed-point format — used for final validation of
+// an allocation, where the statistical model is replaced by actual
+// rounding.
+func QuantizeInjector(f fixedpoint.Format) nn.Injector {
+	return func(t *tensor.Tensor) {
+		f.QuantizeSlice(t.Data, t.Data)
+	}
+}
+
+// Run profiles every analyzable layer of net over the first cfg.Images
+// images of ds.
+func Run(net *nn.Network, ds *dataset.Dataset, cfg Config) (*Profile, error) {
+	cfg = cfg.withDefaults()
+	if ds.Len() < cfg.Images {
+		return nil, fmt.Errorf("profile: dataset has %d images, config needs %d", ds.Len(), cfg.Images)
+	}
+	batch := ds.Batch(0, cfg.Images)
+
+	// Step 1 of Sec. V-A: record the exact output Y_Ł (and every
+	// intermediate activation, enabling suffix-only replay).
+	acts := net.ForwardAll(batch)
+	exact := acts[len(acts)-1]
+
+	p := &Profile{NetName: net.Name, Config: cfg}
+	for _, nodeID := range net.AnalyzableNodes() {
+		lp, err := profileLayer(net, acts, exact, nodeID, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("profile: layer %s: %w", net.Nodes[nodeID].Name, err)
+		}
+		p.Layers = append(p.Layers, lp)
+	}
+	return p, nil
+}
+
+func profileLayer(net *nn.Network, acts []*tensor.Tensor, exact *tensor.Tensor, nodeID int, cfg Config) (LayerProfile, error) {
+	nd := net.Nodes[nodeID]
+	input := acts[nd.Inputs[0]]
+	maxAbs := input.MaxAbs()
+	lp := LayerProfile{
+		NodeID:  nodeID,
+		Name:    nd.Name,
+		Kind:    nd.Layer.Kind(),
+		MaxAbs:  maxAbs,
+		IntBits: fixedpoint.IntBitsForRange(maxAbs),
+		Inputs:  net.InputCount(nodeID),
+		MACs:    net.MACCount(nodeID),
+	}
+	if maxAbs == 0 {
+		return lp, fmt.Errorf("input is all zeros; network is degenerate here")
+	}
+
+	// Adaptive repeat count: pool replays until enough independent
+	// noise sources contribute to the σ estimate.
+	nonzero := 0
+	for _, v := range input.Data {
+		if v != 0 {
+			nonzero++
+		}
+	}
+	if nonzero == 0 {
+		return lp, fmt.Errorf("input has no non-zero elements")
+	}
+	repeats := (cfg.TargetSamples + nonzero - 1) / nonzero
+	if repeats < 1 {
+		repeats = 1
+	}
+	if repeats > 12 {
+		repeats = 12
+	}
+
+	// Steps 2-5: sweep Δ over a log-spaced grid and measure the induced
+	// output error s.d. per point (pooled over the repeats). Noise
+	// streams derive sequentially from one per-layer generator so every
+	// (point, repeat) replay draws independent deviates.
+	base := rng.New(cfg.Seed ^ uint64(nodeID)*0x9e3779b97f4a7c15)
+	diff := make([]float64, 0, exact.Len()*repeats)
+	lo, hi := cfg.DeltaLoFrac*maxAbs, cfg.DeltaHiFrac*maxAbs
+	for pt := 0; pt < cfg.Points; pt++ {
+		frac := 0.0
+		if cfg.Points > 1 {
+			frac = float64(pt) / float64(cfg.Points-1)
+		}
+		delta := lo * math.Pow(hi/lo, frac)
+		diff = diff[:0]
+		for rep := 0; rep < repeats; rep++ {
+			r := base.Split()
+			out := net.ReplayFrom(acts, nodeID, UniformInjector(r, delta, cfg.IncludeZeros))
+			for i := range out.Data {
+				diff = append(diff, out.Data[i]-exact.Data[i])
+			}
+		}
+		_, sd := stats.MeanStd(diff)
+		lp.Deltas = append(lp.Deltas, delta)
+		lp.Sigmas = append(lp.Sigmas, sd)
+	}
+
+	// Relative-error weighting (w = 1/Δ²) balances the log-spaced sweep
+	// so the fit is accurate across the whole operating range, not just
+	// at the largest Δ.
+	w := make([]float64, len(lp.Deltas))
+	for i, d := range lp.Deltas {
+		w[i] = 1 / (d * d)
+	}
+	fit, err := stats.FitLineWeighted(lp.Sigmas, lp.Deltas, w)
+	if err != nil {
+		return lp, err
+	}
+	lp.Lambda, lp.Theta, lp.R2 = fit.Slope, fit.Intercept, fit.R2
+	lp.MaxRelErr = stats.Max(fit.RelativeErrors(lp.Sigmas, lp.Deltas))
+	if lp.Lambda <= 0 {
+		return lp, fmt.Errorf("non-positive λ=%.4g (R²=%.3f): injection did not reach the output", lp.Lambda, lp.R2)
+	}
+	return lp, nil
+}

@@ -1,0 +1,121 @@
+// Package report renders the ASCII tables the benchmark commands print
+// — the same rows the paper's Tables II and III carry, so a run of the
+// harness can be compared against the publication side by side.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// New creates a table with the given header.
+func New(header ...string) *Table {
+	return &Table{Header: header}
+}
+
+// Add appends one row; values are formatted with %v.
+func (t *Table) Add(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddStrings appends one pre-formatted row.
+func (t *Table) AddStrings(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	ncol := len(t.Header)
+	for _, r := range t.Rows {
+		if len(r) > ncol {
+			ncol = len(r)
+		}
+	}
+	widths := make([]int, ncol)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.Header)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	var b strings.Builder
+	writeRow := func(r []string) {
+		for i := 0; i < ncol; i++ {
+			c := ""
+			if i < len(r) {
+				c = r[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Header)
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total+2*(ncol-1)) + "\n")
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC-4180-ish CSV (fields containing commas
+// or quotes are quoted), for piping experiment results into plotting
+// tools.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(r []string) {
+		for i, c := range r {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// FormatBits renders a bitwidth vector compactly ("6 6 5 6 7").
+func FormatBits(bits []int) string {
+	parts := make([]string, len(bits))
+	for i, b := range bits {
+		parts[i] = fmt.Sprintf("%d", b)
+	}
+	return strings.Join(parts, " ")
+}

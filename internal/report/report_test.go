@@ -1,0 +1,65 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := New("name", "value")
+	tb.Add("x", 1.5)
+	tb.Add("longer-name", 12)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header, rule, 2 rows
+		t.Fatalf("%d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Fatalf("header: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "1.50") {
+		t.Fatalf("float formatting: %q", lines[2])
+	}
+	// All data rows begin at the same column for field 2.
+	col := strings.Index(lines[2], "1.50")
+	if strings.Index(lines[3], "12") != col {
+		t.Fatalf("misaligned columns:\n%s", out)
+	}
+}
+
+func TestAddStrings(t *testing.T) {
+	tb := New("a")
+	tb.AddStrings("pre-formatted")
+	if !strings.Contains(tb.String(), "pre-formatted") {
+		t.Fatal("AddStrings row missing")
+	}
+}
+
+func TestRaggedRows(t *testing.T) {
+	tb := New("a", "b")
+	tb.Add("only-one")
+	tb.Add("x", "y", "extra")
+	out := tb.String()
+	if !strings.Contains(out, "extra") {
+		t.Fatalf("extra column dropped:\n%s", out)
+	}
+}
+
+func TestFormatBits(t *testing.T) {
+	if got := FormatBits([]int{6, 6, 5, -1}); got != "6 6 5 -1" {
+		t.Fatalf("FormatBits = %q", got)
+	}
+	if FormatBits(nil) != "" {
+		t.Fatal("empty FormatBits should be empty")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := New("a", "b")
+	tb.AddStrings("plain", `has,comma "and quotes"`)
+	got := tb.CSV()
+	want := "a,b\nplain,\"has,comma \"\"and quotes\"\"\"\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}

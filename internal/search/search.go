@@ -1,0 +1,272 @@
+// Package search relates the output-layer numerical error σ_YŁ to
+// classification accuracy and finds, by binary search (Sec. V-C), the
+// largest σ_YŁ whose induced accuracy loss stays within the user's
+// constraint. Two validation schemes from the paper are supported:
+//
+//   - Scheme 1 (equal_scheme): distribute the error budget equally,
+//     ξ_K = 1/Ł, derive each Δ_XK from Eq. 7, inject uniform noise into
+//     every analyzable layer simultaneously and measure accuracy.
+//   - Scheme 2 (gaussian_approx): exploit that the output error is
+//     approximately Gaussian (Fig. 3 right) and inject N(0, σ²) into
+//     the logits only — much cheaper, one forward pass suffices.
+package search
+
+import (
+	"fmt"
+	"math"
+
+	"mupod/internal/dataset"
+	"mupod/internal/nn"
+	"mupod/internal/profile"
+	"mupod/internal/rng"
+	"mupod/internal/tensor"
+)
+
+// Scheme selects the σ→accuracy validation procedure.
+type Scheme int
+
+// The two schemes of Sec. V-C.
+const (
+	Scheme1Uniform Scheme = iota + 1
+	Scheme2Gaussian
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case Scheme1Uniform:
+		return "equal_scheme"
+	case Scheme2Gaussian:
+		return "gaussian_approx"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// Options controls the binary search.
+type Options struct {
+	Scheme  Scheme
+	RelDrop float64 // relative top-1 accuracy loss constraint (e.g. 0.01)
+
+	// EvalImages is the number of held-out images per accuracy
+	// evaluation; the paper uses at least half the test set (default:
+	// half of ds).
+	EvalImages int
+	// Repeats averages each accuracy evaluation over this many noise
+	// realizations (default 1; Fig. 3 uses 3).
+	Repeats int
+	// Tol is the binary-search termination width (paper: 0.01).
+	Tol float64
+	// InitUpper is the initial σ upper-bound guess (paper: 1.0).
+	InitUpper float64
+	// BatchSize for evaluation forward passes (default 32).
+	BatchSize int
+	// Seed drives the injected noise.
+	Seed uint64
+}
+
+func (o Options) withDefaults(ds *dataset.Dataset) Options {
+	if o.Scheme == 0 {
+		o.Scheme = Scheme1Uniform
+	}
+	if o.EvalImages == 0 {
+		o.EvalImages = ds.Len() / 2
+	}
+	if o.EvalImages > ds.Len() {
+		o.EvalImages = ds.Len()
+	}
+	if o.Repeats == 0 {
+		o.Repeats = 1
+	}
+	if o.Tol == 0 {
+		o.Tol = 0.01
+	}
+	if o.InitUpper == 0 {
+		o.InitUpper = 1.0
+	}
+	if o.BatchSize == 0 {
+		o.BatchSize = 32
+	}
+	return o
+}
+
+// Result reports the found σ_YŁ and the search trace.
+type Result struct {
+	SigmaYL       float64 // largest σ_YŁ that satisfies the constraint
+	ExactAccuracy float64 // noise-free accuracy on the eval subset
+	TargetAcc     float64 // ExactAccuracy·(1−RelDrop)
+	EvalImages    int     // evaluation subset size actually used
+	Evaluations   int     // number of accuracy evaluations performed
+	Trace         []Probe // every probed σ with its measured accuracy
+}
+
+// Probe is one accuracy evaluation at a candidate σ.
+type Probe struct {
+	Sigma    float64
+	Accuracy float64
+	Pass     bool
+}
+
+// Accuracy measures top-1 accuracy of net over the first n images of ds
+// with an optional per-node injection plan applied to every batch.
+func Accuracy(net *nn.Network, ds *dataset.Dataset, n, batchSize int, inject map[int]nn.Injector) float64 {
+	if n <= 0 || n > ds.Len() {
+		n = ds.Len()
+	}
+	if batchSize <= 0 {
+		batchSize = 32
+	}
+	correct := 0
+	for start := 0; start < n; start += batchSize {
+		b := batchSize
+		if start+b > n {
+			b = n - start
+		}
+		var logits *tensor.Tensor
+		if len(inject) == 0 {
+			logits = net.Forward(ds.Batch(start, b))
+		} else {
+			logits = net.ForwardInject(ds.Batch(start, b), inject)
+		}
+		for i, p := range nn.Argmax(logits) {
+			if p == ds.Labels[start+i] {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(n)
+}
+
+// Scheme1Plan builds the equal-scheme injection plan for a given σ_YŁ:
+// ξ_K = 1/Ł for every layer, Δ_XK from Eq. 7. Non-positive Δ (possible
+// when θ_K < 0 at tiny budgets) injects nothing.
+func Scheme1Plan(prof *profile.Profile, sigmaYL float64, r *rng.RNG) map[int]nn.Injector {
+	xi := 1 / float64(prof.NumLayers())
+	plan := make(map[int]nn.Injector, prof.NumLayers())
+	for i := range prof.Layers {
+		lp := &prof.Layers[i]
+		delta := lp.DeltaFor(sigmaYL, xi)
+		if delta <= 0 {
+			continue
+		}
+		plan[lp.NodeID] = profile.UniformInjector(r.Split(), delta, false)
+	}
+	return plan
+}
+
+// XiPlan builds an injection plan for an arbitrary ξ assignment
+// (indexed like prof.Layers). Used by the Fig. 3 corner-case study and
+// by allocation validation.
+func XiPlan(prof *profile.Profile, sigmaYL float64, xi []float64, r *rng.RNG) map[int]nn.Injector {
+	if len(xi) != prof.NumLayers() {
+		panic(fmt.Sprintf("search: ξ has %d entries for %d layers", len(xi), prof.NumLayers()))
+	}
+	plan := make(map[int]nn.Injector, prof.NumLayers())
+	for i := range prof.Layers {
+		lp := &prof.Layers[i]
+		delta := lp.DeltaFor(sigmaYL, xi[i])
+		if delta <= 0 {
+			continue
+		}
+		plan[lp.NodeID] = profile.UniformInjector(r.Split(), delta, false)
+	}
+	return plan
+}
+
+// GaussianLogitInjector perturbs the OUTPUT node input... — Scheme 2
+// does not inject at a layer input; it adds N(0, σ²) directly to the
+// logits, so it is implemented inside EvaluateSigma rather than as an
+// nn.Injector.
+func gaussianAccuracy(net *nn.Network, ds *dataset.Dataset, n, batchSize int, sigma float64, r *rng.RNG) float64 {
+	if n <= 0 || n > ds.Len() {
+		n = ds.Len()
+	}
+	if batchSize <= 0 {
+		batchSize = 32
+	}
+	correct := 0
+	for start := 0; start < n; start += batchSize {
+		b := batchSize
+		if start+b > n {
+			b = n - start
+		}
+		logits := net.Forward(ds.Batch(start, b)).Clone()
+		for i := range logits.Data {
+			logits.Data[i] += r.NormalScaled(0, sigma)
+		}
+		for i, p := range nn.Argmax(logits) {
+			if p == ds.Labels[start+i] {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(n)
+}
+
+// EvaluateSigma measures the accuracy at a candidate σ_YŁ under the
+// chosen scheme, averaged over opts.Repeats noise realizations.
+func EvaluateSigma(net *nn.Network, prof *profile.Profile, ds *dataset.Dataset, sigma float64, opts Options) float64 {
+	opts = opts.withDefaults(ds)
+	r := rng.New(opts.Seed ^ math.Float64bits(sigma))
+	total := 0.0
+	for rep := 0; rep < opts.Repeats; rep++ {
+		switch opts.Scheme {
+		case Scheme1Uniform:
+			plan := Scheme1Plan(prof, sigma, r)
+			total += Accuracy(net, ds, opts.EvalImages, opts.BatchSize, plan)
+		case Scheme2Gaussian:
+			total += gaussianAccuracy(net, ds, opts.EvalImages, opts.BatchSize, sigma, r.Split())
+		default:
+			panic(fmt.Sprintf("search: unknown scheme %v", opts.Scheme))
+		}
+	}
+	return total / float64(opts.Repeats)
+}
+
+// Run performs the Sec. V-C procedure: establish the exact accuracy,
+// grow the upper bound until it violates the constraint (doubling from
+// InitUpper), then binary-search σ_YŁ to within Tol. The returned
+// σ satisfies the constraint; σ+Tol does not (up to evaluation noise).
+func Run(net *nn.Network, prof *profile.Profile, ds *dataset.Dataset, opts Options) (*Result, error) {
+	opts = opts.withDefaults(ds)
+	if opts.RelDrop <= 0 {
+		return nil, fmt.Errorf("search: RelDrop must be positive, got %g", opts.RelDrop)
+	}
+	res := &Result{
+		ExactAccuracy: Accuracy(net, ds, opts.EvalImages, opts.BatchSize, nil),
+		EvalImages:    opts.EvalImages,
+	}
+	res.TargetAcc = res.ExactAccuracy * (1 - opts.RelDrop)
+
+	probe := func(sigma float64) bool {
+		acc := EvaluateSigma(net, prof, ds, sigma, opts)
+		res.Evaluations++
+		pass := acc >= res.TargetAcc
+		res.Trace = append(res.Trace, Probe{Sigma: sigma, Accuracy: acc, Pass: pass})
+		return pass
+	}
+
+	// Find a violated upper bound, doubling from the initial guess.
+	lo, hi := 0.0, opts.InitUpper
+	for i := 0; probe(hi); i++ {
+		lo = hi
+		hi *= 2
+		if i > 40 {
+			return nil, fmt.Errorf("search: accuracy never violated up to σ=%g; constraint is vacuous", hi)
+		}
+	}
+	// Standard binary search on the real line.
+	for hi-lo > opts.Tol {
+		mid := (lo + hi) / 2
+		if probe(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	res.SigmaYL = lo
+	if lo == 0 {
+		return nil, fmt.Errorf("search: even σ=%g violates the %g relative-drop constraint", opts.Tol, opts.RelDrop)
+	}
+	return res, nil
+}

@@ -1,0 +1,161 @@
+package search
+
+import (
+	"sync"
+	"testing"
+
+	"mupod/internal/profile"
+	"mupod/internal/rng"
+	"mupod/internal/testnet"
+)
+
+var (
+	profOnce sync.Once
+	profMemo *profile.Profile
+)
+
+// sharedProfile profiles the testnet once for the whole package.
+func sharedProfile(t *testing.T) *profile.Profile {
+	t.Helper()
+	profOnce.Do(func() {
+		net, _, te := testnet.Trained()
+		p, err := profile.Run(net, te, profile.Config{Images: 16, Points: 8, Seed: 5})
+		if err != nil {
+			t.Fatalf("profiling fixture: %v", err)
+		}
+		profMemo = p
+	})
+	if profMemo == nil {
+		t.Fatal("profile fixture unavailable")
+	}
+	return profMemo
+}
+
+func TestAccuracyNoInjectionMatchesExact(t *testing.T) {
+	net, _, te := testnet.Trained()
+	acc := Accuracy(net, te, 0, 32, nil)
+	if acc < 0.7 {
+		t.Fatalf("trained fixture accuracy %v", acc)
+	}
+	// Subset evaluation stays in range.
+	sub := Accuracy(net, te, 50, 16, nil)
+	if sub < 0 || sub > 1 {
+		t.Fatalf("subset accuracy %v", sub)
+	}
+}
+
+func TestAccuracyMonotoneInSigmaScheme2(t *testing.T) {
+	net, _, te := testnet.Trained()
+	prof := sharedProfile(t)
+	opts := Options{Scheme: Scheme2Gaussian, EvalImages: te.Len(), Repeats: 3, Seed: 1}
+	prev := 1.1
+	violations := 0
+	for _, sigma := range []float64{0.1, 1, 4, 16, 64} {
+		acc := EvaluateSigma(net, prof, te, sigma, opts)
+		if acc > prev+0.03 { // allow tiny evaluation noise
+			violations++
+		}
+		prev = acc
+	}
+	if violations > 0 {
+		t.Fatalf("accuracy not monotone decreasing in σ (%d violations)", violations)
+	}
+}
+
+func TestSchemesAgreeQualitatively(t *testing.T) {
+	// At tiny σ both schemes report near-exact accuracy; at huge σ both
+	// report near-chance accuracy.
+	net, _, te := testnet.Trained()
+	prof := sharedProfile(t)
+	for _, scheme := range []Scheme{Scheme1Uniform, Scheme2Gaussian} {
+		opts := Options{Scheme: scheme, EvalImages: 120, Seed: 2}
+		hi := EvaluateSigma(net, prof, te, 1e-4, opts)
+		lo := EvaluateSigma(net, prof, te, 256, opts)
+		if hi < 0.7 {
+			t.Errorf("%v: accuracy at tiny σ = %v", scheme, hi)
+		}
+		if lo > 0.45 {
+			t.Errorf("%v: accuracy at huge σ = %v (should approach chance)", scheme, lo)
+		}
+	}
+}
+
+func TestRunFindsSigmaWithinConstraint(t *testing.T) {
+	net, _, te := testnet.Trained()
+	prof := sharedProfile(t)
+	for _, scheme := range []Scheme{Scheme1Uniform, Scheme2Gaussian} {
+		res, err := Run(net, prof, te, Options{
+			Scheme: scheme, RelDrop: 0.05, EvalImages: 120, Seed: 3,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		if res.SigmaYL <= 0 {
+			t.Fatalf("%v: σ = %v", scheme, res.SigmaYL)
+		}
+		// The found σ must satisfy the constraint when re-evaluated.
+		acc := EvaluateSigma(net, prof, te, res.SigmaYL, Options{
+			Scheme: scheme, EvalImages: 120, Seed: 4,
+		})
+		if acc < res.TargetAcc-0.05 {
+			t.Fatalf("%v: σ=%v gives %v, target %v", scheme, res.SigmaYL, acc, res.TargetAcc)
+		}
+		if res.Evaluations != len(res.Trace) {
+			t.Fatalf("trace/evaluation mismatch %d/%d", res.Evaluations, len(res.Trace))
+		}
+	}
+}
+
+func TestRunTighterConstraintGivesSmallerSigma(t *testing.T) {
+	net, _, te := testnet.Trained()
+	prof := sharedProfile(t)
+	tight, err := Run(net, prof, te, Options{Scheme: Scheme2Gaussian, RelDrop: 0.01, EvalImages: 200, Repeats: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := Run(net, prof, te, Options{Scheme: Scheme2Gaussian, RelDrop: 0.10, EvalImages: 200, Repeats: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.SigmaYL > loose.SigmaYL {
+		t.Fatalf("σ(1%%)=%v > σ(10%%)=%v", tight.SigmaYL, loose.SigmaYL)
+	}
+}
+
+func TestRunRejectsNonPositiveRelDrop(t *testing.T) {
+	net, _, te := testnet.Trained()
+	prof := sharedProfile(t)
+	if _, err := Run(net, prof, te, Options{RelDrop: 0}); err == nil {
+		t.Fatal("no error for RelDrop = 0")
+	}
+}
+
+func TestScheme1PlanSkipsNonPositiveDelta(t *testing.T) {
+	p := &profile.Profile{Layers: []profile.LayerProfile{
+		{NodeID: 1, Lambda: 1, Theta: 0},
+		{NodeID: 2, Lambda: 0.001, Theta: -1}, // Δ < 0 at small σ
+	}}
+	plan := Scheme1Plan(p, 0.1, rng.New(1))
+	if _, ok := plan[1]; !ok {
+		t.Fatal("layer 1 missing from plan")
+	}
+	if _, ok := plan[2]; ok {
+		t.Fatal("non-positive Δ layer must be skipped")
+	}
+}
+
+func TestXiPlanValidatesLength(t *testing.T) {
+	p := &profile.Profile{Layers: []profile.LayerProfile{{NodeID: 1, Lambda: 1}}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on ξ length mismatch")
+		}
+	}()
+	XiPlan(p, 1, []float64{0.5, 0.5}, rng.New(1))
+}
+
+func TestSchemeString(t *testing.T) {
+	if Scheme1Uniform.String() != "equal_scheme" || Scheme2Gaussian.String() != "gaussian_approx" {
+		t.Fatal("scheme names drifted from the paper's")
+	}
+}

@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-bin histogram over [Lo, Hi); values outside the
+// range are clamped into the first/last bin so no sample is lost, which
+// matches how the paper's Fig. 3 histogram treats its tails.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	Total  int
+}
+
+// NewHistogram creates a histogram with bins equal-width bins over
+// [lo, hi). It panics on a degenerate range or non-positive bin count.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if !(hi > lo) || bins <= 0 {
+		panic(fmt.Sprintf("stats: bad histogram range [%g,%g) bins=%d", lo, hi, bins))
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	b := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+	if b < 0 {
+		b = 0
+	}
+	if b >= len(h.Counts) {
+		b = len(h.Counts) - 1
+	}
+	h.Counts[b]++
+	h.Total++
+}
+
+// AddAll records every value in xs.
+func (h *Histogram) AddAll(xs []float64) {
+	for _, x := range xs {
+		h.Add(x)
+	}
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(i)+0.5)*w
+}
+
+// Density returns the empirical probability density of bin i.
+func (h *Histogram) Density(i int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return float64(h.Counts[i]) / (float64(h.Total) * w)
+}
+
+// NormalPDF is the density of N(mean, sd²) at x.
+func NormalPDF(x, mean, sd float64) float64 {
+	if sd <= 0 {
+		return 0
+	}
+	z := (x - mean) / sd
+	return math.Exp(-0.5*z*z) / (sd * math.Sqrt(2*math.Pi))
+}
+
+// GaussianFitError compares the histogram against N(mean, sd²) and
+// returns the mean absolute density error normalized by the Gaussian
+// peak density. Small values (≲0.05) indicate the data is visually
+// indistinguishable from the Gaussian, which is the claim in Fig. 3
+// (right) of the paper.
+func (h *Histogram) GaussianFitError(mean, sd float64) float64 {
+	if h.Total == 0 || sd <= 0 {
+		return math.NaN()
+	}
+	peak := NormalPDF(mean, mean, sd)
+	var sum float64
+	for i := range h.Counts {
+		x := h.BinCenter(i)
+		sum += math.Abs(h.Density(i) - NormalPDF(x, mean, sd))
+	}
+	return sum / float64(len(h.Counts)) / peak
+}
+
+// Render draws the histogram as ASCII art with the given number of
+// character columns for the tallest bin, one bin per row. It is used by
+// the figure-reproduction commands.
+func (h *Histogram) Render(width int) string {
+	maxC := 0
+	for _, c := range h.Counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if maxC == 0 {
+		return "(empty histogram)\n"
+	}
+	var b strings.Builder
+	for i, c := range h.Counts {
+		bar := int(math.Round(float64(c) / float64(maxC) * float64(width)))
+		fmt.Fprintf(&b, "%+8.3f | %-*s %d\n", h.BinCenter(i), width, strings.Repeat("#", bar), c)
+	}
+	return b.String()
+}

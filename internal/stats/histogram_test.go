@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mupod/internal/rng"
+)
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	h.AddAll([]float64{0.5, 1.5, 1.6, 9.9})
+	if h.Counts[0] != 1 || h.Counts[1] != 2 || h.Counts[9] != 1 {
+		t.Fatalf("counts = %v", h.Counts)
+	}
+	if h.Total != 4 {
+		t.Fatalf("total = %d", h.Total)
+	}
+}
+
+func TestHistogramClampsOutliers(t *testing.T) {
+	h := NewHistogram(-1, 1, 4)
+	h.Add(-100)
+	h.Add(+100)
+	if h.Counts[0] != 1 || h.Counts[3] != 1 {
+		t.Fatalf("outliers not clamped: %v", h.Counts)
+	}
+}
+
+func TestHistogramPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on inverted range")
+		}
+	}()
+	NewHistogram(1, 0, 4)
+}
+
+func TestBinCenter(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	if c := h.BinCenter(0); c != 0.5 {
+		t.Fatalf("BinCenter(0) = %v", c)
+	}
+	if c := h.BinCenter(9); c != 9.5 {
+		t.Fatalf("BinCenter(9) = %v", c)
+	}
+}
+
+func TestDensityIntegratesToOne(t *testing.T) {
+	h := NewHistogram(-4, 4, 32)
+	r := rng.New(3)
+	for i := 0; i < 20000; i++ {
+		h.Add(r.Normal())
+	}
+	w := 8.0 / 32
+	integral := 0.0
+	for i := range h.Counts {
+		integral += h.Density(i) * w
+	}
+	if math.Abs(integral-1) > 1e-9 {
+		t.Fatalf("density integral = %v", integral)
+	}
+}
+
+func TestNormalPDF(t *testing.T) {
+	if got := NormalPDF(0, 0, 1); math.Abs(got-1/math.Sqrt(2*math.Pi)) > 1e-12 {
+		t.Fatalf("NormalPDF(0;0,1) = %v", got)
+	}
+	if NormalPDF(0, 0, 0) != 0 {
+		t.Fatal("degenerate sd should give 0")
+	}
+}
+
+func TestGaussianFitErrorOnGaussianData(t *testing.T) {
+	h := NewHistogram(-4, 4, 40)
+	r := rng.New(5)
+	for i := 0; i < 300000; i++ {
+		h.Add(r.Normal())
+	}
+	if e := h.GaussianFitError(0, 1); e > 0.02 {
+		t.Fatalf("Gaussian data fit error = %v", e)
+	}
+	// A badly mismatched reference must score much worse.
+	if e := h.GaussianFitError(2, 0.3); e < 0.1 {
+		t.Fatalf("mismatched Gaussian scored too well: %v", e)
+	}
+}
+
+func TestGaussianFitErrorDegenerate(t *testing.T) {
+	h := NewHistogram(-1, 1, 4)
+	if !math.IsNaN(h.GaussianFitError(0, 1)) {
+		t.Fatal("empty histogram should give NaN")
+	}
+}
+
+func TestRender(t *testing.T) {
+	h := NewHistogram(0, 2, 2)
+	h.AddAll([]float64{0.5, 0.6, 1.5})
+	out := h.Render(10)
+	if !strings.Contains(out, "#") {
+		t.Fatalf("render has no bars:\n%s", out)
+	}
+	if lines := strings.Count(out, "\n"); lines != 2 {
+		t.Fatalf("render has %d lines, want 2", lines)
+	}
+	if NewHistogram(0, 1, 3).Render(10) != "(empty histogram)\n" {
+		t.Fatal("empty histogram render wrong")
+	}
+}

@@ -1,0 +1,223 @@
+// Package stats implements the descriptive statistics and ordinary
+// least-squares regression the precision-optimization pipeline relies
+// on: the paper's core procedure fits Δ_XK ≈ λ_K·σ_{Y_K→Ł} + θ_K per
+// layer by linear regression over ~20 injection measurements (Sec. V-A),
+// and validates that the output error is approximately Gaussian
+// (Fig. 3 right).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs (division by n, not
+// n-1): quantization-noise theory works with population moments and the
+// sample sizes here are in the thousands, where the distinction is
+// irrelevant.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// MeanStd returns both the mean and population standard deviation in a
+// single pass (Welford's algorithm, numerically stable for the large
+// activation vectors this package sees).
+func MeanStd(xs []float64) (mean, sd float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	var m, m2 float64
+	for i, x := range xs {
+		d := x - m
+		m += d / float64(i+1)
+		m2 += d * (x - m)
+	}
+	return m, math.Sqrt(m2 / float64(len(xs)))
+}
+
+// LinearFit is the result of an ordinary least-squares fit
+// y ≈ Slope·x + Intercept.
+type LinearFit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64 // coefficient of determination
+	N         int     // number of points fitted
+}
+
+// FitLine fits y ≈ slope·x + intercept by ordinary least squares. It
+// returns an error when fewer than two points are supplied or the x
+// values are (numerically) constant, both of which make the slope
+// undefined.
+func FitLine(x, y []float64) (LinearFit, error) {
+	if len(x) != len(y) {
+		return LinearFit{}, fmt.Errorf("stats: FitLine length mismatch %d vs %d", len(x), len(y))
+	}
+	n := len(x)
+	if n < 2 {
+		return LinearFit{}, fmt.Errorf("stats: FitLine needs at least 2 points, got %d", n)
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxx, sxy, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := x[i]-mx, y[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinearFit{}, fmt.Errorf("stats: FitLine x values are constant")
+	}
+	slope := sxy / sxx
+	intercept := my - slope*mx
+	r2 := 1.0
+	if syy > 0 {
+		// residual sum of squares
+		var rss float64
+		for i := 0; i < n; i++ {
+			r := y[i] - (slope*x[i] + intercept)
+			rss += r * r
+		}
+		r2 = 1 - rss/syy
+	}
+	return LinearFit{Slope: slope, Intercept: intercept, R2: r2, N: n}, nil
+}
+
+// FitLineWeighted fits y ≈ slope·x + intercept by weighted least
+// squares. With weights w_i = 1/y_i² the fit minimizes the RELATIVE
+// residuals Σ((ŷ−y)/y)², which is the right loss when the points span
+// decades (the profiler's log-spaced Δ sweep) and the paper's quality
+// metric is the relative prediction error of Δ.
+func FitLineWeighted(x, y, w []float64) (LinearFit, error) {
+	if len(x) != len(y) || len(x) != len(w) {
+		return LinearFit{}, fmt.Errorf("stats: FitLineWeighted length mismatch %d/%d/%d", len(x), len(y), len(w))
+	}
+	n := len(x)
+	if n < 2 {
+		return LinearFit{}, fmt.Errorf("stats: FitLineWeighted needs at least 2 points, got %d", n)
+	}
+	var sw, swx, swy float64
+	for i := 0; i < n; i++ {
+		sw += w[i]
+		swx += w[i] * x[i]
+		swy += w[i] * y[i]
+	}
+	if sw <= 0 {
+		return LinearFit{}, fmt.Errorf("stats: FitLineWeighted non-positive total weight")
+	}
+	mx, my := swx/sw, swy/sw
+	var sxx, sxy float64
+	for i := 0; i < n; i++ {
+		dx := x[i] - mx
+		sxx += w[i] * dx * dx
+		sxy += w[i] * dx * (y[i] - my)
+	}
+	if sxx == 0 {
+		return LinearFit{}, fmt.Errorf("stats: FitLineWeighted x values are constant")
+	}
+	slope := sxy / sxx
+	intercept := my - slope*mx
+	// R² is still reported unweighted for comparability with FitLine.
+	var rss, syy float64
+	myu := Mean(y)
+	for i := 0; i < n; i++ {
+		r := y[i] - (slope*x[i] + intercept)
+		rss += r * r
+		d := y[i] - myu
+		syy += d * d
+	}
+	r2 := 1.0
+	if syy > 0 {
+		r2 = 1 - rss/syy
+	}
+	return LinearFit{Slope: slope, Intercept: intercept, R2: r2, N: n}, nil
+}
+
+// Predict evaluates the fitted line at x.
+func (f LinearFit) Predict(x float64) float64 { return f.Slope*x + f.Intercept }
+
+// RelativeErrors returns |predicted-actual|/|actual| for each point,
+// used to reproduce the paper's "<5% prediction error, worst case ~10%"
+// validation of Eq. 5 (Sec. IV).
+func (f LinearFit) RelativeErrors(x, y []float64) []float64 {
+	out := make([]float64, len(x))
+	for i := range x {
+		p := f.Predict(x[i])
+		if y[i] == 0 {
+			out[i] = math.Abs(p)
+			continue
+		}
+		out[i] = math.Abs(p-y[i]) / math.Abs(y[i])
+	}
+	return out
+}
+
+// Max returns the maximum of xs (−Inf for an empty slice).
+func Max(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Min returns the minimum of xs (+Inf for an empty slice).
+func Min(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using
+// linear interpolation between closest ranks. It copies and sorts the
+// input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	pos := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[len(s)-1]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}

@@ -1,0 +1,228 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mupod/internal/rng"
+)
+
+func TestMeanVarianceKnown(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("Mean = %v, want 5", m)
+	}
+	if v := Variance(xs); v != 4 {
+		t.Fatalf("Variance = %v, want 4", v)
+	}
+	if s := StdDev(xs); s != 2 {
+		t.Fatalf("StdDev = %v, want 2", s)
+	}
+}
+
+func TestEmptySlices(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 || StdDev(nil) != 0 {
+		t.Fatal("empty-slice statistics should be 0")
+	}
+	m, s := MeanStd(nil)
+	if m != 0 || s != 0 {
+		t.Fatal("empty MeanStd should be 0,0")
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Fatal("empty Percentile should be NaN")
+	}
+}
+
+func TestMeanStdMatchesNaive(t *testing.T) {
+	r := rng.New(1)
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = r.NormalScaled(3, 2)
+	}
+	m, s := MeanStd(xs)
+	if math.Abs(m-Mean(xs)) > 1e-12 {
+		t.Fatalf("MeanStd mean %v vs %v", m, Mean(xs))
+	}
+	if math.Abs(s-StdDev(xs)) > 1e-12 {
+		t.Fatalf("MeanStd sd %v vs %v", s, StdDev(xs))
+	}
+}
+
+func TestQuickMeanStdAgree(t *testing.T) {
+	f := func(a [16]float64) bool {
+		for _, v := range a {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e10 {
+				return true
+			}
+		}
+		m, s := MeanStd(a[:])
+		return math.Abs(m-Mean(a[:])) < 1e-6 && math.Abs(s-StdDev(a[:])) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitLineExact(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = 3*v - 2
+	}
+	fit, err := FitLine(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-3) > 1e-12 || math.Abs(fit.Intercept+2) > 1e-12 {
+		t.Fatalf("fit = %+v", fit)
+	}
+	if fit.R2 < 1-1e-12 {
+		t.Fatalf("R² = %v on exact data", fit.R2)
+	}
+	if fit.N != 5 {
+		t.Fatalf("N = %d", fit.N)
+	}
+}
+
+func TestFitLineNoisy(t *testing.T) {
+	r := rng.New(2)
+	var x, y []float64
+	for i := 0; i < 200; i++ {
+		xi := r.Uniform(0, 10)
+		x = append(x, xi)
+		y = append(y, 2*xi+1+r.NormalScaled(0, 0.1))
+	}
+	fit, err := FitLine(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-2) > 0.05 || math.Abs(fit.Intercept-1) > 0.1 {
+		t.Fatalf("fit = %+v", fit)
+	}
+	if fit.R2 < 0.99 {
+		t.Fatalf("R² = %v", fit.R2)
+	}
+}
+
+func TestFitLineErrors(t *testing.T) {
+	if _, err := FitLine([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("no error on single point")
+	}
+	if _, err := FitLine([]float64{1, 1, 1}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("no error on constant x")
+	}
+	if _, err := FitLine([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("no error on length mismatch")
+	}
+}
+
+func TestFitLineWeightedMatchesUnweightedOnUniformWeights(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{2.1, 3.9, 6.2, 7.8}
+	w := []float64{1, 1, 1, 1}
+	a, _ := FitLine(x, y)
+	b, err := FitLineWeighted(x, y, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Slope-b.Slope) > 1e-9 || math.Abs(a.Intercept-b.Intercept) > 1e-9 {
+		t.Fatalf("uniform-weight fit differs: %+v vs %+v", a, b)
+	}
+}
+
+func TestFitLineWeightedFavorsHighWeightPoints(t *testing.T) {
+	// Two clusters on different lines; weights select the first.
+	x := []float64{1, 2, 10, 20}
+	y := []float64{1, 2, 100, 200} // second cluster slope 10
+	w := []float64{1e6, 1e6, 1e-6, 1e-6}
+	fit, err := FitLineWeighted(x, y, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-1) > 0.01 {
+		t.Fatalf("weighted slope = %v, want ≈ 1", fit.Slope)
+	}
+}
+
+func TestFitLineWeightedErrors(t *testing.T) {
+	if _, err := FitLineWeighted([]float64{1, 2}, []float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("no error on weight length mismatch")
+	}
+	if _, err := FitLineWeighted([]float64{1, 1}, []float64{1, 2}, []float64{1, 1}); err == nil {
+		t.Fatal("no error on constant x")
+	}
+}
+
+func TestRelativeErrors(t *testing.T) {
+	fit := LinearFit{Slope: 2, Intercept: 0}
+	errs := fit.RelativeErrors([]float64{1, 2}, []float64{2, 5})
+	if errs[0] != 0 {
+		t.Fatalf("exact point err = %v", errs[0])
+	}
+	if math.Abs(errs[1]-0.2) > 1e-12 { // predict 4 vs actual 5
+		t.Fatalf("err = %v, want 0.2", errs[1])
+	}
+}
+
+func TestMaxMin(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	if Max(xs) != 7 || Min(xs) != -1 {
+		t.Fatal("Max/Min wrong")
+	}
+	if !math.IsInf(Max(nil), -1) || !math.IsInf(Min(nil), 1) {
+		t.Fatal("empty Max/Min should be ∓Inf")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if p := Percentile(xs, 50); p != 3 {
+		t.Fatalf("median = %v", p)
+	}
+	if p := Percentile(xs, 0); p != 1 {
+		t.Fatalf("p0 = %v", p)
+	}
+	if p := Percentile(xs, 100); p != 5 {
+		t.Fatalf("p100 = %v", p)
+	}
+	if p := Percentile(xs, 25); p != 2 {
+		t.Fatalf("p25 = %v", p)
+	}
+	// Input must not be mutated (sorted copy).
+	if xs[0] != 1 || xs[4] != 5 {
+		t.Fatal("Percentile mutated input")
+	}
+}
+
+// Property: the OLS fit is invariant to shifting y by a constant
+// (slope unchanged, intercept shifts).
+func TestQuickFitShiftInvariance(t *testing.T) {
+	f := func(pts [8]float64, c int8) bool {
+		x := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+		y := make([]float64, 8)
+		for i := range y {
+			v := pts[i]
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e6 {
+				return true
+			}
+			y[i] = v
+		}
+		a, err := FitLine(x, y)
+		if err != nil {
+			return true
+		}
+		for i := range y {
+			y[i] += float64(c)
+		}
+		b, err := FitLine(x, y)
+		if err != nil {
+			return true
+		}
+		return math.Abs(a.Slope-b.Slope) < 1e-6 &&
+			math.Abs((b.Intercept-a.Intercept)-float64(c)) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

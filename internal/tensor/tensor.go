@@ -1,0 +1,193 @@
+// Package tensor implements dense float64 tensors in NCHW layout plus
+// the handful of shape and arithmetic helpers the inference and training
+// engines need. It deliberately avoids cleverness (no views with
+// strides, no lazy evaluation): every tensor owns a contiguous backing
+// slice, which keeps the error-injection code in internal/profile easy
+// to reason about.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tensor is a dense float64 array with an explicit shape. Data is laid
+// out row-major with the last dimension contiguous (NCHW for 4-D
+// activations: index = ((n*C+c)*H+h)*W + w).
+type Tensor struct {
+	Shape []int
+	Data  []float64
+}
+
+// New allocates a zero-filled tensor of the given shape.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension in shape %v", shape))
+		}
+		n *= d
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{Shape: s, Data: make([]float64, n)}
+}
+
+// FromSlice wraps data in a tensor of the given shape. The slice is not
+// copied; it panics if the element count does not match.
+func FromSlice(data []float64, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: shape %v needs %d elements, got %d", shape, n, len(data)))
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{Shape: s, Data: data}
+}
+
+// Len returns the total number of elements.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.Shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// CopyFrom copies src's data into t. Shapes must have equal element
+// counts (shape metadata is kept).
+func (t *Tensor) CopyFrom(src *Tensor) {
+	if len(t.Data) != len(src.Data) {
+		panic(fmt.Sprintf("tensor: CopyFrom size mismatch %d vs %d", len(t.Data), len(src.Data)))
+	}
+	copy(t.Data, src.Data)
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float64) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// Reshape returns a tensor sharing t's data with a new shape of equal
+// element count.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	return FromSlice(t.Data, shape...)
+}
+
+// SameShape reports whether two tensors have identical shapes.
+func SameShape(a, b *Tensor) bool {
+	if len(a.Shape) != len(b.Shape) {
+		return false
+	}
+	for i := range a.Shape {
+		if a.Shape[i] != b.Shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// At4 returns the element at (n, c, h, w) of a 4-D tensor.
+func (t *Tensor) At4(n, c, h, w int) float64 {
+	N, C, H, W := t.Shape[0], t.Shape[1], t.Shape[2], t.Shape[3]
+	_ = N
+	return t.Data[((n*C+c)*H+h)*W+w]
+}
+
+// Set4 sets the element at (n, c, h, w) of a 4-D tensor.
+func (t *Tensor) Set4(n, c, h, w int, v float64) {
+	C, H, W := t.Shape[1], t.Shape[2], t.Shape[3]
+	t.Data[((n*C+c)*H+h)*W+w] = v
+}
+
+// Add accumulates src into t element-wise.
+func (t *Tensor) Add(src *Tensor) {
+	if len(t.Data) != len(src.Data) {
+		panic("tensor: Add size mismatch")
+	}
+	for i, v := range src.Data {
+		t.Data[i] += v
+	}
+}
+
+// Sub subtracts src from t element-wise.
+func (t *Tensor) Sub(src *Tensor) {
+	if len(t.Data) != len(src.Data) {
+		panic("tensor: Sub size mismatch")
+	}
+	for i, v := range src.Data {
+		t.Data[i] -= v
+	}
+}
+
+// Scale multiplies every element by k.
+func (t *Tensor) Scale(k float64) {
+	for i := range t.Data {
+		t.Data[i] *= k
+	}
+}
+
+// AxpyInto writes a*x + y into dst (all same length).
+func AxpyInto(dst *Tensor, a float64, x, y *Tensor) {
+	if len(dst.Data) != len(x.Data) || len(x.Data) != len(y.Data) {
+		panic("tensor: AxpyInto size mismatch")
+	}
+	for i := range dst.Data {
+		dst.Data[i] = a*x.Data[i] + y.Data[i]
+	}
+}
+
+// MaxAbs returns max_i |t_i|; 0 for an empty tensor.
+func (t *Tensor) MaxAbs() float64 {
+	m := 0.0
+	for _, v := range t.Data {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Sum returns the sum of all elements.
+func (t *Tensor) Sum() float64 {
+	s := 0.0
+	for _, v := range t.Data {
+		s += v
+	}
+	return s
+}
+
+// Dot returns the inner product of two equally sized tensors.
+func Dot(a, b *Tensor) float64 {
+	if len(a.Data) != len(b.Data) {
+		panic("tensor: Dot size mismatch")
+	}
+	s := 0.0
+	for i := range a.Data {
+		s += a.Data[i] * b.Data[i]
+	}
+	return s
+}
+
+// String renders a compact description (shape plus a data prefix) for
+// debugging; it never prints more than eight elements.
+func (t *Tensor) String() string {
+	n := len(t.Data)
+	if n > 8 {
+		n = 8
+	}
+	return fmt.Sprintf("Tensor%v%v…", t.Shape, t.Data[:n])
+}

@@ -1,0 +1,245 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewShapesAndZero(t *testing.T) {
+	x := New(2, 3, 4)
+	if x.Len() != 24 {
+		t.Fatalf("Len = %d, want 24", x.Len())
+	}
+	for _, v := range x.Data {
+		if v != 0 {
+			t.Fatal("New tensor not zeroed")
+		}
+	}
+}
+
+func TestNewPanicsOnNegativeDim(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on negative dim")
+		}
+	}()
+	New(2, -1)
+}
+
+func TestFromSliceSharesData(t *testing.T) {
+	d := []float64{1, 2, 3, 4}
+	x := FromSlice(d, 2, 2)
+	x.Data[0] = 9
+	if d[0] != 9 {
+		t.Fatal("FromSlice copied data")
+	}
+}
+
+func TestFromSlicePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on size mismatch")
+		}
+	}()
+	FromSlice([]float64{1, 2, 3}, 2, 2)
+}
+
+func TestCloneIndependent(t *testing.T) {
+	x := FromSlice([]float64{1, 2}, 2)
+	y := x.Clone()
+	y.Data[0] = 7
+	if x.Data[0] != 1 {
+		t.Fatal("Clone shares storage")
+	}
+	if !SameShape(x, y) {
+		t.Fatal("Clone changed shape")
+	}
+}
+
+func TestAt4Set4Roundtrip(t *testing.T) {
+	x := New(2, 3, 4, 5)
+	v := 0.0
+	for n := 0; n < 2; n++ {
+		for c := 0; c < 3; c++ {
+			for h := 0; h < 4; h++ {
+				for w := 0; w < 5; w++ {
+					x.Set4(n, c, h, w, v)
+					v++
+				}
+			}
+		}
+	}
+	// NCHW layout: data must simply count up.
+	for i, d := range x.Data {
+		if d != float64(i) {
+			t.Fatalf("layout broken at %d: %v", i, d)
+		}
+	}
+	if got := x.At4(1, 2, 3, 4); got != float64(x.Len()-1) {
+		t.Fatalf("At4 last = %v", got)
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	x := FromSlice([]float64{1, 2, 3}, 3)
+	y := FromSlice([]float64{10, 20, 30}, 3)
+	x.Add(y)
+	if x.Data[2] != 33 {
+		t.Fatalf("Add: %v", x.Data)
+	}
+	x.Sub(y)
+	if x.Data[2] != 3 {
+		t.Fatalf("Sub: %v", x.Data)
+	}
+	x.Scale(2)
+	if x.Data[0] != 2 {
+		t.Fatalf("Scale: %v", x.Data)
+	}
+}
+
+func TestAddPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on Add size mismatch")
+		}
+	}()
+	New(2).Add(New(3))
+}
+
+func TestAxpyInto(t *testing.T) {
+	x := FromSlice([]float64{1, 2}, 2)
+	y := FromSlice([]float64{10, 10}, 2)
+	dst := New(2)
+	AxpyInto(dst, 3, x, y)
+	if dst.Data[0] != 13 || dst.Data[1] != 16 {
+		t.Fatalf("AxpyInto: %v", dst.Data)
+	}
+}
+
+func TestMaxAbsAndSum(t *testing.T) {
+	x := FromSlice([]float64{-4, 1, 3}, 3)
+	if x.MaxAbs() != 4 {
+		t.Fatalf("MaxAbs = %v", x.MaxAbs())
+	}
+	if x.Sum() != 0 {
+		t.Fatalf("Sum = %v", x.Sum())
+	}
+	if New(0).MaxAbs() != 0 {
+		t.Fatal("empty MaxAbs != 0")
+	}
+}
+
+func TestDot(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3}, 3)
+	b := FromSlice([]float64{4, 5, 6}, 3)
+	if Dot(a, b) != 32 {
+		t.Fatalf("Dot = %v", Dot(a, b))
+	}
+}
+
+func TestReshapeSharesAndChecks(t *testing.T) {
+	x := New(2, 6)
+	y := x.Reshape(3, 4)
+	y.Data[0] = 5
+	if x.Data[0] != 5 {
+		t.Fatal("Reshape copied")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on bad reshape")
+		}
+	}()
+	x.Reshape(5, 5)
+}
+
+func TestCopyFromAndFill(t *testing.T) {
+	x := New(3)
+	y := FromSlice([]float64{1, 2, 3}, 3)
+	x.CopyFrom(y)
+	if x.Data[1] != 2 {
+		t.Fatal("CopyFrom failed")
+	}
+	x.Fill(7)
+	if x.Data[0] != 7 || x.Data[2] != 7 {
+		t.Fatal("Fill failed")
+	}
+	x.Zero()
+	if x.Sum() != 0 {
+		t.Fatal("Zero failed")
+	}
+}
+
+func TestSameShape(t *testing.T) {
+	if SameShape(New(2, 3), New(3, 2)) {
+		t.Fatal("SameShape confused transposed shapes")
+	}
+	if !SameShape(New(2, 3), New(2, 3)) {
+		t.Fatal("SameShape rejected equal shapes")
+	}
+	if SameShape(New(2), New(2, 1)) {
+		t.Fatal("SameShape ignored rank")
+	}
+}
+
+func TestStringTruncates(t *testing.T) {
+	s := New(100).String()
+	if len(s) > 200 {
+		t.Fatalf("String too long: %d chars", len(s))
+	}
+}
+
+// Property: Dot is symmetric and linear in its first argument.
+func TestQuickDotProperties(t *testing.T) {
+	f := func(a, b [8]float64, k float64) bool {
+		if math.IsNaN(k) || math.IsInf(k, 0) {
+			return true
+		}
+		for i := range a {
+			if math.IsNaN(a[i]) || math.IsNaN(b[i]) ||
+				math.Abs(a[i]) > 1e100 || math.Abs(b[i]) > 1e100 {
+				return true
+			}
+		}
+		x := FromSlice(append([]float64{}, a[:]...), 8)
+		y := FromSlice(append([]float64{}, b[:]...), 8)
+		d1 := Dot(x, y)
+		d2 := Dot(y, x)
+		if d1 != d2 {
+			return false
+		}
+		x.Scale(2)
+		return approxEq(Dot(x, y), 2*d1, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Add then Sub is the identity.
+func TestQuickAddSubInverse(t *testing.T) {
+	f := func(a, b [6]float64) bool {
+		x := FromSlice(append([]float64{}, a[:]...), 6)
+		y := FromSlice(append([]float64{}, b[:]...), 6)
+		orig := x.Clone()
+		x.Add(y)
+		x.Sub(y)
+		for i := range x.Data {
+			if !approxEq(x.Data[i], orig.Data[i], 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func approxEq(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) == math.IsNaN(b)
+	}
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= tol*scale
+}

@@ -1,0 +1,64 @@
+// Package testnet provides small deterministic fixtures shared by the
+// test suites: a tiny trained CNN (trains in well under a second) and
+// its dataset, so pipeline tests do not need the full model zoo.
+package testnet
+
+import (
+	"sync"
+
+	"mupod/internal/dataset"
+	"mupod/internal/nn"
+	"mupod/internal/rng"
+	"mupod/internal/train"
+)
+
+// Seed keeps the fixtures reproducible and independent of the zoo.
+const Seed uint64 = 424242
+
+var (
+	once  sync.Once
+	net   *nn.Network
+	trSet *dataset.Dataset
+	teSet *dataset.Dataset
+)
+
+// Build constructs the untrained 3-conv + FC network on 8×8 inputs.
+func Build() *nn.Network {
+	r := rng.New(Seed)
+	n := nn.NewNetwork("testnet", []int{3, 8, 8}, dataset.NumClasses)
+	c1 := nn.NewConv2D(3, 8, 3, 1, 1)
+	c1.InitHe(r, 1)
+	x := n.AddNode("conv1", c1, 0)
+	x = n.AddNode("relu1", nn.ReLU{}, x)
+	x = n.AddNode("pool1", nn.NewMaxPool2D(2, 2), x)
+	c2 := nn.NewConv2D(8, 12, 3, 1, 1)
+	c2.InitHe(r, 1)
+	x = n.AddNode("conv2", c2, x)
+	x = n.AddNode("relu2", nn.ReLU{}, x)
+	x = n.AddNode("pool2", nn.NewMaxPool2D(2, 2), x)
+	c3 := nn.NewConv2D(12, 12, 3, 1, 1)
+	c3.InitHe(r, 1)
+	x = n.AddNode("conv3", c3, x)
+	x = n.AddNode("relu3", nn.ReLU{}, x)
+	x = n.AddNode("flatten", nn.Flatten{}, x)
+	fc := nn.NewDense(12*2*2, dataset.NumClasses)
+	fc.InitHe(r, 1)
+	n.AddNode("fc", fc, x)
+	return n
+}
+
+// Trained returns the shared trained network and its train/test splits.
+// The network is trained once per process; callers MUST NOT mutate its
+// parameters (use Build for a private copy).
+func Trained() (*nn.Network, *dataset.Dataset, *dataset.Dataset) {
+	once.Do(func() {
+		trSet, teSet = dataset.Generate(dataset.Config{
+			H: 8, W: 8, Train: 300, Test: 240, Seed: Seed,
+		})
+		net = Build()
+		train.Run(net, trSet, train.Config{
+			Optimizer: train.Adam, LR: 0.005, Steps: 150, BatchSize: 8, Seed: Seed,
+		})
+	})
+	return net, trSet, teSet
+}

@@ -1,0 +1,391 @@
+// Package zoo builds the eight scaled-down CNN architectures evaluated
+// in the paper (Table III) and trains/caches them on the synthetic
+// dataset. Each topology preserves the structure of its namesake —
+// AlexNet's conv/pool chain, NiN's mlpconv stacks, GoogleNet's
+// inception modules, VGG-19's deep 3×3 blocks, ResNet bottlenecks,
+// SqueezeNet fire modules, MobileNet depthwise separables — and keeps
+// the paper's ANALYZABLE layer counts exactly (AlexNet 5, NiN 12,
+// GoogleNet 57, VGG-19 16, ResNet-50 54, ResNet-152 156, SqueezeNet 26,
+// MobileNet 28), while shrinking channels and spatial sizes so the full
+// pipeline runs on one CPU core.
+package zoo
+
+import (
+	"fmt"
+
+	"mupod/internal/nn"
+	"mupod/internal/rng"
+)
+
+// Arch names a zoo architecture.
+type Arch string
+
+// The eight architectures of Table III.
+const (
+	AlexNet    Arch = "alexnet"
+	NiN        Arch = "nin"
+	GoogleNet  Arch = "googlenet"
+	VGG19      Arch = "vgg19"
+	ResNet50   Arch = "resnet50"
+	ResNet152  Arch = "resnet152"
+	SqueezeNet Arch = "squeezenet"
+	MobileNet  Arch = "mobilenet"
+)
+
+// All lists every architecture in the order of Table III.
+var All = []Arch{AlexNet, NiN, GoogleNet, VGG19, ResNet50, ResNet152, SqueezeNet, MobileNet}
+
+// AnalyzableLayers is the layer count the paper reports per network
+// (Table III column "# layers"); Build is tested against these.
+var AnalyzableLayers = map[Arch]int{
+	AlexNet:    5,
+	NiN:        12,
+	GoogleNet:  57,
+	VGG19:      16,
+	ResNet50:   54,
+	ResNet152:  156,
+	SqueezeNet: 26,
+	MobileNet:  28,
+}
+
+// InputSize returns the synthetic image edge length used for the
+// architecture: 16 for most, 8 for the very deep ResNets to keep
+// single-core profiling affordable (DESIGN.md §5).
+func InputSize(a Arch) int {
+	switch a {
+	case ResNet50, ResNet152:
+		return 8
+	default:
+		return 16
+	}
+}
+
+const numClasses = 10
+
+// Build constructs the untrained network for an architecture with
+// deterministic He initialization derived from seed.
+func Build(a Arch, seed uint64) *nn.Network {
+	r := rng.New(seed ^ uint64(len(a))<<32)
+	switch a {
+	case AlexNet:
+		return buildAlexNet(r)
+	case NiN:
+		return buildNiN(r)
+	case GoogleNet:
+		return buildGoogleNet(r)
+	case VGG19:
+		return buildVGG19(r)
+	case ResNet50:
+		return buildResNet(r, "resnet50", []int{3, 4, 6, 3})
+	case ResNet152:
+		return buildResNet(r, "resnet152", []int{3, 8, 36, 3})
+	case SqueezeNet:
+		return buildSqueezeNet(r)
+	case MobileNet:
+		return buildMobileNet(r)
+	default:
+		panic(fmt.Sprintf("zoo: unknown architecture %q", a))
+	}
+}
+
+// builder carries shared state while assembling a network.
+type builder struct {
+	net *nn.Network
+	r   *rng.RNG
+	n   int // running count of conv/fc layers for naming
+}
+
+func (b *builder) conv(in int, inC, outC, k, stride, pad int, gain float64) int {
+	c := nn.NewConv2D(inC, outC, k, stride, pad)
+	c.InitHe(b.r, gain)
+	b.n++
+	id := b.net.AddNode(fmt.Sprintf("conv%d", b.n), c, in)
+	return id
+}
+
+func (b *builder) convReLU(in int, inC, outC, k, stride, pad int) int {
+	id := b.conv(in, inC, outC, k, stride, pad, 1)
+	return b.net.AddNode(fmt.Sprintf("relu%d", b.n), nn.ReLU{}, id)
+}
+
+func (b *builder) dwConvReLU(in int, c, k, stride, pad int) int {
+	dw := nn.NewDepthwiseConv2D(c, k, stride, pad)
+	dw.InitHe(b.r, 1)
+	b.n++
+	id := b.net.AddNode(fmt.Sprintf("dwconv%d", b.n), dw, in)
+	return b.net.AddNode(fmt.Sprintf("relu%d", b.n), nn.ReLU{}, id)
+}
+
+func (b *builder) maxPool(in, k, s int) int {
+	return b.net.AddNode(fmt.Sprintf("pool@%d", in), nn.NewMaxPool2D(k, s), in)
+}
+
+// markFCNotAnalyzable clears the Analyzable flag on fully connected
+// layers: "Stripes ignored the fully connected layers, so we did the
+// same for AlexNet, NiN, GoogleNet and VGG-19" (Sec. VI).
+func markFCNotAnalyzable(net *nn.Network) {
+	for _, nd := range net.Nodes {
+		if nd.Layer != nil && nd.Layer.Kind() == "fc" {
+			nd.Analyzable = false
+		}
+	}
+}
+
+// --- AlexNet-sim: 5 conv layers + 3 FC (FC not analyzable). ---
+
+func buildAlexNet(r *rng.RNG) *nn.Network {
+	net := nn.NewNetwork("alexnet", []int{3, 16, 16}, numClasses)
+	b := &builder{net: net, r: r}
+	x := b.convReLU(0, 3, 16, 3, 1, 1) // conv1 16×16
+	x = b.maxPool(x, 2, 2)             // 8×8
+	x = b.convReLU(x, 16, 24, 3, 1, 1) // conv2
+	x = b.maxPool(x, 2, 2)             // 4×4
+	x = b.convReLU(x, 24, 32, 3, 1, 1) // conv3
+	x = b.convReLU(x, 32, 32, 3, 1, 1) // conv4
+	x = b.convReLU(x, 32, 24, 3, 1, 1) // conv5
+	x = b.maxPool(x, 2, 2)             // 2×2
+	x = net.AddNode("flatten", nn.Flatten{}, x)
+	fc6 := nn.NewDense(24*2*2, 48)
+	fc6.InitHe(r, 1)
+	x = net.AddNode("fc6", fc6, x)
+	x = net.AddNode("relu_fc6", nn.ReLU{}, x)
+	fc7 := nn.NewDense(48, 32)
+	fc7.InitHe(r, 1)
+	x = net.AddNode("fc7", fc7, x)
+	x = net.AddNode("relu_fc7", nn.ReLU{}, x)
+	fc8 := nn.NewDense(32, numClasses)
+	fc8.InitHe(r, 1)
+	net.AddNode("fc8", fc8, x)
+	markFCNotAnalyzable(net)
+	return net
+}
+
+// --- NiN-sim: 4 mlpconv blocks of (3×3 conv + two 1×1 convs) = 12
+// conv layers, global average pooling head. ---
+
+func buildNiN(r *rng.RNG) *nn.Network {
+	net := nn.NewNetwork("nin", []int{3, 16, 16}, numClasses)
+	b := &builder{net: net, r: r}
+	widths := []int{16, 24, 32, numClasses}
+	x := 0
+	inC := 3
+	for blk, w := range widths {
+		x = b.convReLU(x, inC, w, 3, 1, 1) // mlpconv 3×3
+		x = b.convReLU(x, w, w, 1, 1, 0)   // cccp a
+		x = b.convReLU(x, w, w, 1, 1, 0)   // cccp b
+		if blk < len(widths)-1 {
+			x = b.maxPool(x, 2, 2)
+		}
+		inC = w
+	}
+	net.AddNode("gap", nn.GlobalAvgPool{}, x)
+	markFCNotAnalyzable(net)
+	return net
+}
+
+// --- VGG-19-sim: 16 conv layers in blocks of (2,2,4,4,4) + 3 FC. ---
+
+func buildVGG19(r *rng.RNG) *nn.Network {
+	net := nn.NewNetwork("vgg19", []int{3, 16, 16}, numClasses)
+	b := &builder{net: net, r: r}
+	blocks := []struct{ n, w int }{{2, 8}, {2, 16}, {4, 24}, {4, 32}, {4, 32}}
+	x := 0
+	inC := 3
+	for bi, blk := range blocks {
+		for i := 0; i < blk.n; i++ {
+			x = b.convReLU(x, inC, blk.w, 3, 1, 1)
+			inC = blk.w
+		}
+		if bi < 4 { // pool after the first four blocks: 16→8→4→2→1
+			x = b.maxPool(x, 2, 2)
+		}
+	}
+	x = net.AddNode("flatten", nn.Flatten{}, x)
+	fcIn := 32 * 1 * 1
+	fc1 := nn.NewDense(fcIn, 48)
+	fc1.InitHe(r, 1)
+	x = net.AddNode("fc1", fc1, x)
+	x = net.AddNode("relu_fc1", nn.ReLU{}, x)
+	fc2 := nn.NewDense(48, 32)
+	fc2.InitHe(r, 1)
+	x = net.AddNode("fc2", fc2, x)
+	x = net.AddNode("relu_fc2", nn.ReLU{}, x)
+	fc3 := nn.NewDense(32, numClasses)
+	fc3.InitHe(r, 1)
+	net.AddNode("fc3", fc3, x)
+	markFCNotAnalyzable(net)
+	return net
+}
+
+// --- GoogleNet-sim: 3 stem convs + 9 inception modules × 6 convs = 57
+// conv layers, GAP head (the paper counts 57 analyzable layers). ---
+
+func buildGoogleNet(r *rng.RNG) *nn.Network {
+	net := nn.NewNetwork("googlenet", []int{3, 16, 16}, numClasses)
+	b := &builder{net: net, r: r}
+	// Stem: 3 convs (7×7-ish reduced to 3×3 at this scale).
+	x := b.convReLU(0, 3, 8, 3, 1, 1) // conv1
+	x = b.maxPool(x, 2, 2)            // 8×8
+	x = b.convReLU(x, 8, 8, 1, 1, 0)  // conv2 reduce
+	x = b.convReLU(x, 8, 16, 3, 1, 1) // conv3
+	inC := 16
+
+	incep := func(x, inC int, c1, cr3, c3, cr5, c5, cp int) (int, int) {
+		b1 := b.convReLU(x, inC, c1, 1, 1, 0)
+		b2 := b.convReLU(x, inC, cr3, 1, 1, 0)
+		b2 = b.convReLU(b2, cr3, c3, 3, 1, 1)
+		b3 := b.convReLU(x, inC, cr5, 1, 1, 0)
+		b3 = b.convReLU(b3, cr5, c5, 5, 1, 2)
+		// Pool branch: 2×2 stride-1 pooling would change the spatial
+		// size; use a stride-1 3×3 *average* of the identity via 1×1
+		// conv directly on x (pool-proj). The projection conv is what
+		// the paper's 6-conv-per-module count includes.
+		b4 := b.convReLU(x, inC, cp, 1, 1, 0)
+		out := b.net.AddNode(fmt.Sprintf("concat@%d", x), nn.Concat{}, b1, b2, b3, b4)
+		return out, c1 + c3 + c5 + cp
+	}
+
+	// 9 inception modules: 2 (8×8) + pool + 5 (4×4) + pool + 2 (2×2).
+	x, inC = incep(x, inC, 4, 4, 6, 2, 3, 3) // 3a
+	x, inC = incep(x, inC, 4, 4, 6, 2, 3, 3) // 3b
+	x = b.maxPool(x, 2, 2)                   // 4×4
+	x, inC = incep(x, inC, 6, 4, 6, 2, 3, 3) // 4a
+	x, inC = incep(x, inC, 6, 4, 6, 2, 3, 3) // 4b
+	x, inC = incep(x, inC, 6, 4, 6, 2, 3, 3) // 4c
+	x, inC = incep(x, inC, 6, 4, 6, 2, 3, 3) // 4d
+	x, inC = incep(x, inC, 6, 4, 8, 2, 4, 4) // 4e
+	x = b.maxPool(x, 2, 2)                   // 2×2
+	x, inC = incep(x, inC, 8, 4, 8, 2, 4, 4) // 5a
+	x, inC = incep(x, inC, 8, 4, 8, 2, 4, 4) // 5b
+
+	// GAP head + FC classifier; the FC is marked not analyzable below so
+	// the analyzable count stays at 57 = 3 stem + 9×6 convs.
+	x = net.AddNode("gap", nn.GlobalAvgPool{}, x)
+	fc := nn.NewDense(inC, numClasses)
+	fc.InitHe(r, 1)
+	net.AddNode("fc", fc, x)
+	markFCNotAnalyzable(net)
+	return net
+}
+
+// --- ResNet-sim: conv1 + bottleneck stages + FC. ResNet-50 uses
+// (3,4,6,3) blocks → 1 + 3·16 + 4 downsample projections + 1 FC = 54
+// analyzable layers; ResNet-152 uses (3,8,36,3) → 156. All layers
+// (including FC) are analyzable, matching the paper's layer counts. ---
+
+func buildResNet(r *rng.RNG, name string, blocks []int) *nn.Network {
+	net := nn.NewNetwork(name, []int{3, 8, 8}, numClasses)
+	b := &builder{net: net, r: r}
+	width := 8                            // stage-1 bottleneck output channels
+	x := b.convReLU(0, 3, width, 3, 1, 1) // conv1, 8×8
+	inC := width
+
+	for stage, nblocks := range blocks {
+		// 10, 12, 14, 16: stage-0 output differs from conv1's width so
+		// every stage (like the real ResNet) starts with a projection
+		// shortcut — that keeps the analyzable layer counts at exactly
+		// 54 / 156.
+		outC := width + 2 + 2*stage
+		mid := maxInt(outC/2, 2)
+		stride := 1
+		if stage > 0 && stage%2 == 1 {
+			stride = 2 // downsample twice: 8×8 → 4×4 → 2×2
+		}
+		for blk := 0; blk < nblocks; blk++ {
+			s := 1
+			if blk == 0 {
+				s = stride
+			}
+			// Main branch: 1×1 → 3×3 → 1×1, last conv near-zero gain so
+			// the deep net starts near identity (Fixup-style, replaces
+			// batch normalization).
+			m := b.conv(x, inC, mid, 1, s, 0, 1)
+			m = net.AddNode(fmt.Sprintf("relu%d", b.n), nn.ReLU{}, m)
+			m = b.conv(m, mid, mid, 3, 1, 1, 1)
+			m = net.AddNode(fmt.Sprintf("relu%d", b.n), nn.ReLU{}, m)
+			m = b.conv(m, mid, outC, 1, 1, 0, 0.05)
+			// Shortcut: identity, or 1×1 projection when shape changes.
+			short := x
+			if blk == 0 && (inC != outC || s != 1) {
+				short = b.conv(x, inC, outC, 1, s, 0, 1)
+			}
+			x = net.AddNode(fmt.Sprintf("add@%d", m), nn.Add{}, m, short)
+			x = net.AddNode(fmt.Sprintf("relu%d_out", b.n), nn.ReLU{}, x)
+			inC = outC
+		}
+	}
+	x = net.AddNode("gap", nn.GlobalAvgPool{}, x)
+	fc := nn.NewDense(inC, numClasses)
+	fc.InitHe(r, 1)
+	net.AddNode("fc", fc, x)
+	// ResNets keep FC analyzable (paper layer counts include it).
+	return net
+}
+
+// --- SqueezeNet-sim: conv1 + 8 fire modules × 3 convs + conv10 = 26
+// analyzable layers. ---
+
+func buildSqueezeNet(r *rng.RNG) *nn.Network {
+	net := nn.NewNetwork("squeezenet", []int{3, 16, 16}, numClasses)
+	b := &builder{net: net, r: r}
+	x := b.convReLU(0, 3, 12, 3, 1, 1) // conv1
+	x = b.maxPool(x, 2, 2)             // 8×8
+	inC := 12
+
+	fire := func(x, inC, squeeze, expand int) (int, int) {
+		s := b.convReLU(x, inC, squeeze, 1, 1, 0)
+		e1 := b.convReLU(s, squeeze, expand, 1, 1, 0)
+		e3 := b.convReLU(s, squeeze, expand, 3, 1, 1)
+		out := b.net.AddNode(fmt.Sprintf("fireconcat@%d", x), nn.Concat{}, e1, e3)
+		return out, 2 * expand
+	}
+
+	x, inC = fire(x, inC, 4, 8)                 // fire2
+	x, inC = fire(x, inC, 4, 8)                 // fire3
+	x = b.maxPool(x, 2, 2)                      // 4×4
+	x, inC = fire(x, inC, 6, 10)                // fire4
+	x, inC = fire(x, inC, 6, 10)                // fire5
+	x = b.maxPool(x, 2, 2)                      // 2×2
+	x, inC = fire(x, inC, 6, 12)                // fire6
+	x, inC = fire(x, inC, 6, 12)                // fire7
+	x, inC = fire(x, inC, 8, 12)                // fire8
+	x, inC = fire(x, inC, 8, 12)                // fire9
+	x = b.convReLU(x, inC, numClasses, 1, 1, 0) // conv10
+	net.AddNode("gap", nn.GlobalAvgPool{}, x)
+	return net
+}
+
+// --- MobileNet-sim: conv1 + 13 × (depthwise + pointwise) + FC = 28
+// analyzable layers. ---
+
+func buildMobileNet(r *rng.RNG) *nn.Network {
+	net := nn.NewNetwork("mobilenet", []int{3, 16, 16}, numClasses)
+	b := &builder{net: net, r: r}
+	x := b.convReLU(0, 3, 8, 3, 2, 1) // conv1, 8×8
+	inC := 8
+	// (outC, stride) for the 13 separable blocks, scaled from the
+	// MobileNet-v1 schedule.
+	plan := []struct{ c, s int }{
+		{12, 1}, {16, 2}, {16, 1}, {24, 2}, {24, 1},
+		{32, 1}, {32, 1}, {32, 1}, {32, 1}, {32, 1},
+		{32, 1}, {40, 2}, {40, 1},
+	}
+	for _, p := range plan {
+		x = b.dwConvReLU(x, inC, 3, p.s, 1)
+		x = b.convReLU(x, inC, p.c, 1, 1, 0)
+		inC = p.c
+	}
+	x = net.AddNode("gap", nn.GlobalAvgPool{}, x)
+	fc := nn.NewDense(inC, numClasses)
+	fc.InitHe(r, 1)
+	net.AddNode("fc", fc, x)
+	// MobileNet keeps FC analyzable (28 = 1 + 26 + 1).
+	return net
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

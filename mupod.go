@@ -1,0 +1,272 @@
+// Package mupod is an open-source reimplementation of "Multi-objective
+// Precision Optimization of Deep Neural Networks for Edge Devices"
+// (Ho, Vaddi, Wong — DATE 2019): post-training, layer-granular
+// fixed-point bitwidth allocation for CNN inference, driven by a
+// measurable statistical property of rounding-error propagation.
+//
+// The method in one paragraph: quantizing the inputs of layer K to a
+// fixed-point format adds uniform noise with boundary Δ_XK; that noise
+// arrives at the network output as an approximately Gaussian error
+// whose standard deviation σ_{Y_K→Ł} relates LINEARLY to Δ_XK
+// (Δ_XK ≈ λ_K·σ_{Y_K→Ł} + θ_K, Eq. 5 — constants measurable by error
+// injection and linear regression). Given a user accuracy constraint,
+// a binary search finds the tolerable output error σ_YŁ, a convex
+// optimization splits that budget across layers to minimize any
+// ρ-weighted bit count (bandwidth, MAC energy, or a custom criterion),
+// and Eq. 7 converts each layer's share into a concrete I.F format.
+//
+// Quick start:
+//
+//	net := mupod.MustLoad(mupod.AlexNet)          // trained model zoo
+//	_, test := mupod.Data(mupod.AlexNet)          // synthetic dataset
+//	res, err := mupod.Run(net, test, mupod.Config{
+//	    Search:    mupod.SearchOptions{RelDrop: 0.01},
+//	    Objective: mupod.MinimizeMACBits,
+//	})
+//	fmt.Println(res.Allocation.Bits())            // per-layer widths
+//	acc := res.Allocation.Validate(net, test, 0)  // real quantized inference
+//
+// The facade re-exports the full pipeline; the implementation lives in
+// internal/{profile,search,optimize,core,...} — see DESIGN.md for the
+// system inventory and EXPERIMENTS.md for the paper-vs-measured record.
+package mupod
+
+import (
+	"io"
+
+	"mupod/internal/accel"
+	"mupod/internal/baseline"
+	"mupod/internal/core"
+	"mupod/internal/dataset"
+	"mupod/internal/energy"
+	"mupod/internal/fixedpoint"
+	"mupod/internal/fxnet"
+	"mupod/internal/netdesc"
+	"mupod/internal/nn"
+	"mupod/internal/pareto"
+	"mupod/internal/profile"
+	"mupod/internal/search"
+	"mupod/internal/tensor"
+	"mupod/internal/weights"
+	"mupod/internal/zoo"
+)
+
+// Core pipeline types.
+type (
+	// Network is the CNN inference DAG (see internal/nn).
+	Network = nn.Network
+	// Tensor is a dense float64 NCHW array (see internal/tensor).
+	Tensor = tensor.Tensor
+	// Dataset is a labelled image split (see internal/dataset).
+	Dataset = dataset.Dataset
+	// Profile holds the fitted λ_K/θ_K error model of every layer.
+	Profile = profile.Profile
+	// LayerProfile is one layer's fitted model and counts.
+	LayerProfile = profile.LayerProfile
+	// ProfileConfig tunes the error-injection measurement.
+	ProfileConfig = profile.Config
+	// SearchOptions tunes the σ_YŁ binary search.
+	SearchOptions = search.Options
+	// SearchResult reports the found σ_YŁ and the search trace.
+	SearchResult = search.Result
+	// Config collects the tunables of a full pipeline run.
+	Config = core.Config
+	// Result is the output of a full pipeline run.
+	Result = core.Result
+	// Allocation is a complete per-layer bitwidth assignment.
+	Allocation = core.Allocation
+	// LayerAlloc is one layer's assigned format and metadata.
+	LayerAlloc = core.LayerAlloc
+	// Objective selects the ρ weights of Eq. 8.
+	Objective = core.Objective
+	// Format is a signed fixed-point format I.F.
+	Format = fixedpoint.Format
+	// Scheme selects the σ→accuracy validation procedure.
+	Scheme = search.Scheme
+	// Arch names a model-zoo architecture.
+	Arch = zoo.Arch
+	// MACModel is the bitwidth-dependent MAC energy model.
+	MACModel = energy.MACModel
+	// AccelConfig describes the bit-serial accelerator simulator.
+	AccelConfig = accel.Config
+	// AccelReport is the simulated execution of an allocation.
+	AccelReport = accel.Report
+	// BaselineOptions tunes the comparison searches.
+	BaselineOptions = baseline.Options
+	// BaselineResult wraps a baseline allocation with its search cost.
+	BaselineResult = baseline.SearchResult
+
+	// WeightProfile holds the per-layer weight-noise model (the
+	// repository's joint activation+weight extension).
+	WeightProfile = weights.Profile
+	// WeightAllocation assigns a fixed-point format to every layer's
+	// weights.
+	WeightAllocation = weights.Allocation
+	// JointConfig tunes the joint activation+weight allocation.
+	JointConfig = weights.JointConfig
+	// ParetoPoint is one operating point of the two-objective frontier.
+	ParetoPoint = pareto.Point
+	// ParetoConfig tunes the frontier sweep.
+	ParetoConfig = pareto.Config
+	// FixedPointConfig selects the weight formats of the integer
+	// execution path.
+	FixedPointConfig = fxnet.Config
+	// FixedPointReport audits integer execution (accumulator widths).
+	FixedPointReport = fxnet.Report
+)
+
+// Accelerator execution styles.
+const (
+	StripesMode = accel.Stripes
+	LoomMode    = accel.Loom
+)
+
+// Objectives (Sec. V-D).
+const (
+	MinimizeInputBits = core.MinimizeInputBits
+	MinimizeMACBits   = core.MinimizeMACBits
+	CustomRho         = core.CustomRho
+)
+
+// Validation schemes (Sec. V-C).
+const (
+	Scheme1Uniform  = search.Scheme1Uniform
+	Scheme2Gaussian = search.Scheme2Gaussian
+)
+
+// Model zoo architectures (Table III).
+const (
+	AlexNet    = zoo.AlexNet
+	NiN        = zoo.NiN
+	GoogleNet  = zoo.GoogleNet
+	VGG19      = zoo.VGG19
+	ResNet50   = zoo.ResNet50
+	ResNet152  = zoo.ResNet152
+	SqueezeNet = zoo.SqueezeNet
+	MobileNet  = zoo.MobileNet
+)
+
+// Architectures lists the zoo in Table III order.
+var Architectures = zoo.All
+
+// Default40nm is the MAC energy model calibrated per DESIGN.md.
+var Default40nm = energy.Default40nm
+
+// MustLoad returns the trained zoo network for an architecture,
+// training it on first use (deterministic; results are cached).
+func MustLoad(a Arch) *Network { return zoo.MustLoad(a) }
+
+// Data returns the train/test splits used with an architecture.
+func Data(a Arch) (train, test *Dataset) { return zoo.Data(a) }
+
+// Run executes the complete pipeline: profile → σ search → ξ
+// optimization → allocation (Sec. V).
+func Run(net *Network, ds *Dataset, cfg Config) (*Result, error) {
+	return core.Run(net, ds, cfg)
+}
+
+// ProfileNetwork measures λ_K and θ_K for every analyzable layer
+// (Sec. V-A).
+func ProfileNetwork(net *Network, ds *Dataset, cfg ProfileConfig) (*Profile, error) {
+	return profile.Run(net, ds, cfg)
+}
+
+// SearchSigma binary-searches the output error budget σ_YŁ that meets
+// the accuracy constraint (Sec. V-C).
+func SearchSigma(net *Network, prof *Profile, ds *Dataset, opts SearchOptions) (*SearchResult, error) {
+	return search.Run(net, prof, ds, opts)
+}
+
+// OptimizeXi solves Eq. 8 and returns the optimal error decomposition.
+func OptimizeXi(prof *Profile, sigmaYL float64, cfg Config) ([]float64, error) {
+	return core.OptimizeXi(prof, sigmaYL, cfg)
+}
+
+// AllocationFromXi converts a ξ decomposition into concrete formats.
+func AllocationFromXi(prof *Profile, sigmaYL float64, xi []float64, objective string) (*Allocation, error) {
+	return core.FromXi(prof, sigmaYL, xi, objective, 0)
+}
+
+// AllocateGuarded solves ξ for the searched σ and, when cfg.Guard is
+// set, shrinks σ until the allocation passes REAL quantized validation
+// (see core.Allocate). Use this instead of OptimizeXi+AllocationFromXi
+// when reusing one profile across several constraints or objectives.
+func AllocateGuarded(net *Network, ds *Dataset, prof *Profile, sr *SearchResult, cfg Config) (*Allocation, error) {
+	alloc, _, _, err := core.Allocate(net, ds, prof, sr, cfg)
+	return alloc, err
+}
+
+// UniformAllocation builds the smallest-uniform-bitwidth style baseline
+// assignment at the given total width.
+func UniformAllocation(prof *Profile, bits int) *Allocation { return core.Uniform(prof, bits) }
+
+// SmallestUniform finds the narrowest uniform bitwidth meeting the
+// constraint (the paper's fallback baseline).
+func SmallestUniform(net *Network, prof *Profile, ds *Dataset, o BaselineOptions) (*BaselineResult, error) {
+	return baseline.SmallestUniform(net, prof, ds, o)
+}
+
+// StripesSearch runs the expensive per-layer dynamic search the paper
+// competes against.
+func StripesSearch(net *Network, prof *Profile, ds *Dataset, o BaselineOptions) (*BaselineResult, error) {
+	return baseline.StripesSearch(net, prof, ds, o)
+}
+
+// UniformWeightSearch finds the smallest uniform weight bitwidth that,
+// combined with the given activation allocation, meets the constraint
+// (Sec. V-E).
+func UniformWeightSearch(net *Network, alloc *Allocation, ds *Dataset, o BaselineOptions) (int, error) {
+	return baseline.UniformWeightSearch(net, alloc, ds, o)
+}
+
+// SimulateAccelerator runs an allocation through the bit-serial
+// (Stripes- or Loom-style) accelerator model.
+func SimulateAccelerator(alloc *Allocation, cfg AccelConfig) (*AccelReport, error) {
+	return accel.Simulate(alloc, cfg)
+}
+
+// ProfileWeights measures the weight-noise propagation constants of
+// every analyzable layer (the joint-quantization extension; weights are
+// restored afterwards).
+func ProfileWeights(net *Network, ds *Dataset, cfg ProfileConfig) (*WeightProfile, error) {
+	return weights.Run(net, ds, cfg)
+}
+
+// JointAllocate splits one output-error budget across both the
+// activations and the weights of every layer (2Ł noise sources).
+func JointAllocate(aprof *Profile, wprof *WeightProfile, sigmaYL float64, cfg JointConfig) (*Allocation, *WeightAllocation, error) {
+	return weights.JointAllocate(aprof, wprof, sigmaYL, cfg)
+}
+
+// ValidateJoint measures real accuracy with both the activation and the
+// weight formats applied.
+func ValidateJoint(net *Network, ds *Dataset, n int, act *Allocation, w *WeightAllocation) float64 {
+	return weights.Validate(net, ds, n, act, w)
+}
+
+// ParetoSweep solves a blend of the bandwidth and energy objectives for
+// each α and returns one operating point per α.
+func ParetoSweep(prof *Profile, sigmaYL float64, cfg ParetoConfig) ([]ParetoPoint, error) {
+	return pareto.Sweep(prof, sigmaYL, cfg)
+}
+
+// ParetoFront filters sweep results to the non-dominated frontier.
+func ParetoFront(points []ParetoPoint) []ParetoPoint {
+	return pareto.NonDominated(points)
+}
+
+// RunFixedPoint executes the network with TRUE integer arithmetic in
+// every analyzable layer (inputs and weights scaled to int64,
+// accumulation in the integer domain) and returns the logits plus the
+// per-layer accumulator-width audit a hardware implementation needs.
+func RunFixedPoint(net *Network, alloc *Allocation, cfg FixedPointConfig, x *Tensor) (*Tensor, *FixedPointReport, error) {
+	return fxnet.Run(net, alloc, cfg, x)
+}
+
+// ParseNetwork reads a network description (see internal/netdesc for
+// the format) and builds the network.
+func ParseNetwork(r io.Reader) (*Network, error) { return netdesc.Parse(r) }
+
+// WriteNetwork serializes a network's topology into the description
+// language (parameters are saved separately via Network.SaveParams).
+func WriteNetwork(w io.Writer, net *Network) error { return netdesc.Write(w, net) }

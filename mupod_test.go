@@ -1,0 +1,103 @@
+package mupod
+
+import (
+	"testing"
+)
+
+// TestFacadeEndToEnd drives the whole public API surface the way the
+// README quick start does. It uses the AlexNet zoo model (trained on
+// first use, then cached) and small budgets.
+func TestFacadeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("zoo-backed facade test skipped in -short mode")
+	}
+	net := MustLoad(AlexNet)
+	_, test := Data(AlexNet)
+
+	prof, err := ProfileNetwork(net, test, ProfileConfig{Images: 16, Points: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.NumLayers() != 5 {
+		t.Fatalf("AlexNet profile has %d layers", prof.NumLayers())
+	}
+
+	sr, err := SearchSigma(net, prof, test, SearchOptions{
+		Scheme: Scheme2Gaussian, RelDrop: 0.05, EvalImages: 100, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := Config{Objective: MinimizeMACBits}
+	xi, err := OptimizeXi(prof, sr.SigmaYL, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := AllocationFromXi(prof, sr.SigmaYL, xi, "opt_for_mac")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alloc.Bits()) != 5 {
+		t.Fatalf("allocation has %d layers", len(alloc.Bits()))
+	}
+
+	// Real quantized inference must stay within the relaxed constraint.
+	acc := alloc.Validate(net, test, 0)
+	if acc < sr.ExactAccuracy*(1-0.05)-0.03 {
+		t.Fatalf("quantized accuracy %v vs exact %v", acc, sr.ExactAccuracy)
+	}
+
+	// Baselines and hardware models hang off the same allocation.
+	uni, err := SmallestUniform(net, prof, test, BaselineOptions{RelDrop: 0.05, EvalImages: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uni.Allocation.EffectiveMACBits() < alloc.EffectiveMACBits()-0.5 {
+		t.Errorf("optimized (%v) much worse than uniform baseline (%v)",
+			alloc.EffectiveMACBits(), uni.Allocation.EffectiveMACBits())
+	}
+
+	rep, err := SimulateAccelerator(alloc, AccelConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Speedup <= 1 {
+		t.Errorf("bit-serial speedup %v not > 1", rep.Speedup)
+	}
+
+	w, err := UniformWeightSearch(net, alloc, test, BaselineOptions{RelDrop: 0.05, EvalImages: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w <= 0 {
+		t.Fatalf("weight bits %d", w)
+	}
+
+	e := alloc.MACEnergy(Default40nm, w)
+	if e <= 0 {
+		t.Fatalf("energy %v", e)
+	}
+}
+
+func TestRunFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("zoo-backed facade test skipped in -short mode")
+	}
+	net := MustLoad(AlexNet)
+	_, test := Data(AlexNet)
+	res, err := Run(net, test, Config{
+		Profile:   ProfileConfig{Images: 16, Points: 8, Seed: 3},
+		Search:    SearchOptions{Scheme: Scheme1Uniform, RelDrop: 0.05, EvalImages: 100, Seed: 4},
+		Objective: MinimizeInputBits,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Allocation == nil || res.Profile == nil || res.Search == nil {
+		t.Fatal("incomplete result")
+	}
+	if got := len(Architectures); got != 8 {
+		t.Fatalf("%d architectures", got)
+	}
+}
