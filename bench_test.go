@@ -12,21 +12,28 @@ package mupod
 // for a single CPU core; the cmd/ tools expose flags for bigger runs.
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"mupod/internal/bound"
+	"mupod/internal/dataset"
 	"mupod/internal/experiments"
 	"mupod/internal/fixedpoint"
 	"mupod/internal/fxnet"
 	"mupod/internal/groups"
+	"mupod/internal/nn"
 	"mupod/internal/optimize"
 	"mupod/internal/pareto"
 	"mupod/internal/profile"
 	"mupod/internal/rng"
 	"mupod/internal/search"
+	"mupod/internal/serve"
 	"mupod/internal/tensor"
+	"mupod/internal/testnet"
 	"mupod/internal/weights"
 	"mupod/internal/zoo"
 )
@@ -479,4 +486,68 @@ func BenchmarkGroupGranularity(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkServeSubmit measures end-to-end jobs/sec through the serving
+// subsystem's queue and worker pool on the tiny test network: after a
+// warm-up job fills the content-addressed profile cache, every job is a
+// cache hit and the measured path is queue → σ search → ξ solve —
+// exactly what a production daemon serves at steady state.
+func BenchmarkServeSubmit(b *testing.B) {
+	net, _, te := testnet.Trained()
+	m := serve.New(serve.Config{
+		Workers:    4,
+		QueueDepth: 1024,
+		Resolver: func(ctx context.Context, req *serve.JobRequest) (*nn.Network, *dataset.Dataset, error) {
+			return net, te, nil
+		},
+	})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		m.Shutdown(ctx) //nolint:errcheck
+	}()
+	req := serve.JobRequest{
+		Model:   "testnet",
+		Profile: profile.Config{Images: 8, Points: 5, Seed: 1},
+		Search:  search.Options{RelDrop: 0.05, EvalImages: 48, Tol: 0.2, Seed: 2},
+	}
+	warm, err := m.Submit(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := warm.Wait(context.Background()); err != nil || warm.State() != serve.StateDone {
+		b.Fatalf("warm-up job ended %s: %v %s", warm.State(), err, warm.Err())
+	}
+
+	b.ResetTimer()
+	pending := make([]*serve.Job, 0, b.N)
+	for i := 0; i < b.N; i++ {
+		for {
+			j, err := m.Submit(req)
+			if err == nil {
+				pending = append(pending, j)
+				break
+			}
+			if !errors.Is(err, serve.ErrQueueFull) {
+				b.Fatal(err)
+			}
+			// Backpressure: wait for the oldest outstanding job.
+			if err := pending[0].Wait(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	for _, j := range pending {
+		if err := j.Wait(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		if j.State() != serve.StateDone {
+			b.Fatalf("job %s ended %s: %s", j.ID(), j.State(), j.Err())
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+	hits := float64(m.Metrics().CacheHits())
+	b.ReportMetric(100*hits/float64(b.N+1), "%cache-hit")
 }

@@ -1,0 +1,82 @@
+// Command mupodd is the precision-optimization daemon: it serves the
+// full MUPOD pipeline (profile → σ search → ξ solve → allocation) over
+// HTTP as asynchronous jobs, drained by a worker pool, with a
+// content-addressed profile cache so repeated optimizations of the same
+// network skip the expensive error-injection profiling.
+//
+// Usage:
+//
+//	mupodd [-addr :8080] [-workers 2] [-queue 64]
+//	       [-stage-timeout 10m] [-drain-timeout 30s] [-cache 64]
+//
+// API:
+//
+//	POST   /v1/jobs       {"model":"alexnet","objective":"mac",...} → job ID
+//	GET    /v1/jobs/{id}  job state + result
+//	DELETE /v1/jobs/{id}  cancel
+//	GET    /healthz       liveness (503 while draining)
+//	GET    /metrics       Prometheus text format
+//
+// See the README's "Serving" section for a curl walkthrough.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mupod/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	workers := flag.Int("workers", 2, "pipeline worker pool size")
+	queue := flag.Int("queue", 64, "job queue depth (submissions beyond it are rejected)")
+	stageTimeout := flag.Duration("stage-timeout", 10*time.Minute, "per-stage timeout (0 disables)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget before in-flight jobs are cancelled")
+	cacheEntries := flag.Int("cache", 64, "profile cache capacity (entries)")
+	flag.Parse()
+
+	m := serve.New(serve.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		StageTimeout: *stageTimeout,
+		CacheEntries: *cacheEntries,
+		Logf:         log.Printf,
+	})
+	srv := &http.Server{Addr: *addr, Handler: serve.NewHandler(m)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("mupodd: listening on %s (%d workers, queue %d)", *addr, *workers, *queue)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("mupodd: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("mupodd: signal received, draining (budget %v)", *drainTimeout)
+	shCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Stop accepting: close the listener first, then drain the job
+	// queue so in-flight work finishes.
+	if err := srv.Shutdown(shCtx); err != nil {
+		log.Printf("mupodd: http shutdown: %v", err)
+	}
+	if err := m.Shutdown(shCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("mupodd: drain: %v", err)
+	} else if err != nil {
+		log.Printf("mupodd: drain budget exceeded, in-flight jobs cancelled")
+	}
+	log.Printf("mupodd: bye")
+}

@@ -12,6 +12,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -330,10 +331,17 @@ type Result struct {
 // (profiling uses its head, accuracy search its first half per the
 // paper's "at least half of the test dataset").
 func Run(net *nn.Network, ds *dataset.Dataset, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), net, ds, cfg)
+}
+
+// RunContext is Run with cancellation threaded through every stage:
+// profiling, the σ search and the guard loop all check ctx and return
+// promptly once the caller cancels.
+func RunContext(ctx context.Context, net *nn.Network, ds *dataset.Dataset, cfg Config) (*Result, error) {
 	res := &Result{}
 
 	t0 := time.Now()
-	prof, err := profile.Run(net, ds, cfg.Profile)
+	prof, err := profile.RunContext(ctx, net, ds, cfg.Profile)
 	if err != nil {
 		return nil, fmt.Errorf("core: profiling: %w", err)
 	}
@@ -341,7 +349,7 @@ func Run(net *nn.Network, ds *dataset.Dataset, cfg Config) (*Result, error) {
 	res.ProfileTime = time.Since(t0)
 
 	t0 = time.Now()
-	sr, err := search.Run(net, prof, ds, cfg.Search)
+	sr, err := search.RunContext(ctx, net, prof, ds, cfg.Search)
 	if err != nil {
 		return nil, fmt.Errorf("core: σ search: %w", err)
 	}
@@ -349,7 +357,7 @@ func Run(net *nn.Network, ds *dataset.Dataset, cfg Config) (*Result, error) {
 	res.SearchTime = time.Since(t0)
 
 	t0 = time.Now()
-	alloc, sigma, retries, err := Allocate(net, ds, prof, sr, cfg)
+	alloc, sigma, retries, err := AllocateContext(ctx, net, ds, prof, sr, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -364,6 +372,13 @@ func Run(net *nn.Network, ds *dataset.Dataset, cfg Config) (*Result, error) {
 // applying the guard loop when cfg.Guard is set. It returns the final
 // allocation, the σ actually used, and the number of guard retries.
 func Allocate(net *nn.Network, ds *dataset.Dataset, prof *profile.Profile, sr *search.Result, cfg Config) (*Allocation, float64, int, error) {
+	return AllocateContext(context.Background(), net, ds, prof, sr, cfg)
+}
+
+// AllocateContext is Allocate with cancellation: the guard loop checks
+// ctx before every (potentially expensive) real-quantization validation
+// pass.
+func AllocateContext(ctx context.Context, net *nn.Network, ds *dataset.Dataset, prof *profile.Profile, sr *search.Result, cfg Config) (*Allocation, float64, int, error) {
 	sigma := sr.SigmaYL
 	shrink := cfg.GuardShrink
 	if shrink <= 0 || shrink >= 1 {
@@ -392,6 +407,9 @@ func Allocate(net *nn.Network, ds *dataset.Dataset, prof *profile.Profile, sr *s
 		}
 		if !cfg.Guard {
 			return alloc, sigma, attempt, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, 0, 0, fmt.Errorf("core: guard: %w", err)
 		}
 		acc := search.Accuracy(net, ds, evalImages, 32, alloc.InjectionPlan())
 		if acc >= sr.TargetAcc {

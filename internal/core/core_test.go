@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"math"
 	"sync"
 	"testing"
@@ -219,4 +221,17 @@ func TestOptimizedBeatsUniformAtSameSigma(t *testing.T) {
 		t.Fatalf("optimized %d input bits > equal scheme %d", opt.TotalInputBits(), equal.TotalInputBits())
 	}
 	_ = te
+}
+
+func TestRunContextCancelled(t *testing.T) {
+	net, _, te := testnet.Trained()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunContext(ctx, net, te, Config{
+		Profile: profile.Config{Images: 8, Points: 5, Seed: 1},
+		Search:  search.Options{RelDrop: 0.05, EvalImages: 40, Seed: 1},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
 }

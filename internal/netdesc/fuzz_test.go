@@ -1,0 +1,51 @@
+package netdesc
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseNetwork exercises the parser with arbitrary input — netdesc
+// is a network-facing input path (cmd/mupodd accepts descriptions over
+// HTTP), so Parse must never panic, and every description it accepts
+// must survive a write→parse→write round trip byte-identically.
+func FuzzParseNetwork(f *testing.F) {
+	seeds := []string{
+		sample,
+		"network a input=3x8x8 classes=10 seed=3\nconv c in=input inc=3 outc=4 k=3 pad=1\nrelu r in=c\ngap g in=r\n",
+		"network a input=2x4x4 classes=2\nfc l in=input infeatures=32 outfeatures=2\n",
+		"network a input=1x6x6 classes=2\ndwconv d in=input c=1 k=3 pad=1\nmaxpool p in=d k=2\nflatten f in=p\nfc l in=f infeatures=9 outfeatures=2\n",
+		"network b input=3x8x8 classes=10\nconv a in=input inc=3 outc=2 k=1\nconv b2 in=input inc=3 outc=2 k=1\nconcat c in=a,b2\nadd s in=c,c\navgpool p in=s k=2\ngap g in=p\n",
+		"# comment only",
+		"network x input=3x8x8 classes=10\nconv c in=input inc=999999 outc=999999 k=99\n",
+		"relu r in=input",
+		"network a input=3x8x8 classes=10\nrelu r in=input analyzable=true\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		net, err := Parse(bytes.NewReader(data)) // must not panic
+		if err != nil {
+			return
+		}
+		var first bytes.Buffer
+		if err := Write(&first, net); err != nil {
+			t.Fatalf("Write failed on a parsed network: %v", err)
+		}
+		again, err := Parse(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("re-parsing serialized output: %v\n%s", err, first.String())
+		}
+		if len(again.Nodes) != len(net.Nodes) {
+			t.Fatalf("round trip changed node count %d → %d\n%s", len(net.Nodes), len(again.Nodes), first.String())
+		}
+		var second bytes.Buffer
+		if err := Write(&second, again); err != nil {
+			t.Fatalf("second Write: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("round trip is not a fixed point:\n--- first ---\n%s--- second ---\n%s", first.String(), second.String())
+		}
+	})
+}

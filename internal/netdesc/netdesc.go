@@ -30,6 +30,28 @@ import (
 	"mupod/internal/rng"
 )
 
+// Limits on untrusted descriptions: with cmd/mupodd the parser is a
+// network-facing input path, so every dimension attribute and every
+// per-layer parameter tensor is bounded to keep a hostile description
+// from allocating unbounded memory during He initialization.
+const (
+	maxDim        = 1 << 14 // per-dimension bound (channels, kernel, stride, features, input sides)
+	maxLayerElems = 1 << 24 // per-layer parameter/shape element bound
+)
+
+// addNode wires a built layer into the network, converting the panics
+// of the nn construction API (shape mismatches, collapsing outputs)
+// into parse errors — descriptions are untrusted input and must never
+// crash the process.
+func addNode(net *nn.Network, name string, l nn.Layer, inputs []int) (id int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%v", r)
+		}
+	}()
+	return net.AddNode(name, l, inputs...), nil
+}
+
 // Parse reads a description and builds the network.
 func Parse(r io.Reader) (*nn.Network, error) {
 	sc := bufio.NewScanner(r)
@@ -101,7 +123,10 @@ func Parse(r io.Reader) (*nn.Network, error) {
 		if err != nil {
 			return nil, fmt.Errorf("netdesc:%d: %v", lineNo, err)
 		}
-		id := net.AddNode(name, layer, inputs...)
+		id, err := addNode(net, name, layer, inputs)
+		if err != nil {
+			return nil, fmt.Errorf("netdesc:%d: %v", lineNo, err)
+		}
 		names[name] = id
 		if v, ok := attrs["analyzable"]; ok {
 			b, err := strconv.ParseBool(v)
@@ -139,7 +164,10 @@ func buildLayer(kind string, attrs map[string]string, gen *rng.RNG) (nn.Layer, e
 		k, err3 := atoiAttr(attrs, "k", 0)
 		stride, err4 := atoiAttr(attrs, "stride", 1)
 		pad, err5 := atoiAttr(attrs, "pad", 0)
-		if err := firstErr(err1, err2, err3, err4, err5); err != nil {
+		if err := firstErr(err1, err2, err3, err4, err5,
+			dimCheck("inc", inc, 1), dimCheck("outc", outc, 1), dimCheck("k", k, 1),
+			dimCheck("stride", stride, 1), dimCheck("pad", pad, 0),
+			elemCheck(inc, outc, k, k)); err != nil {
 			return nil, err
 		}
 		c := nn.NewConv2D(inc, outc, k, stride, pad)
@@ -152,7 +180,10 @@ func buildLayer(kind string, attrs map[string]string, gen *rng.RNG) (nn.Layer, e
 		k, err2 := atoiAttr(attrs, "k", 0)
 		stride, err3 := atoiAttr(attrs, "stride", 1)
 		pad, err4 := atoiAttr(attrs, "pad", 0)
-		if err := firstErr(err1, err2, err3, err4); err != nil {
+		if err := firstErr(err1, err2, err3, err4,
+			dimCheck("c", ch, 1), dimCheck("k", k, 1),
+			dimCheck("stride", stride, 1), dimCheck("pad", pad, 0),
+			elemCheck(ch, k, k)); err != nil {
 			return nil, err
 		}
 		d := nn.NewDepthwiseConv2D(ch, k, stride, pad)
@@ -163,7 +194,9 @@ func buildLayer(kind string, attrs map[string]string, gen *rng.RNG) (nn.Layer, e
 	case "fc":
 		in, err1 := atoiAttr(attrs, "infeatures", 0)
 		out, err2 := atoiAttr(attrs, "outfeatures", 0)
-		if err := firstErr(err1, err2); err != nil {
+		if err := firstErr(err1, err2,
+			dimCheck("infeatures", in, 1), dimCheck("outfeatures", out, 1),
+			elemCheck(in, out)); err != nil {
 			return nil, err
 		}
 		d := nn.NewDense(in, out)
@@ -184,14 +217,14 @@ func buildLayer(kind string, attrs map[string]string, gen *rng.RNG) (nn.Layer, e
 	case "maxpool":
 		k, err1 := atoiAttr(attrs, "k", 0)
 		stride, err2 := atoiAttr(attrs, "stride", k)
-		if err := firstErr(err1, err2); err != nil {
+		if err := firstErr(err1, err2, dimCheck("k", k, 1), dimCheck("stride", stride, 1)); err != nil {
 			return nil, err
 		}
 		return nn.NewMaxPool2D(k, stride), nil
 	case "avgpool":
 		k, err1 := atoiAttr(attrs, "k", 0)
 		stride, err2 := atoiAttr(attrs, "stride", k)
-		if err := firstErr(err1, err2); err != nil {
+		if err := firstErr(err1, err2, dimCheck("k", k, 1), dimCheck("stride", stride, 1)); err != nil {
 			return nil, err
 		}
 		return nn.NewAvgPool2D(k, stride), nil
@@ -223,12 +256,38 @@ func parseShape(s string) ([]int, error) {
 	shape := make([]int, 3)
 	for i, p := range parts {
 		v, err := strconv.Atoi(p)
-		if err != nil || v <= 0 {
-			return nil, fmt.Errorf("%q is not CxHxW", s)
+		if err != nil || v <= 0 || v > maxDim {
+			return nil, fmt.Errorf("%q is not CxHxW (each dimension in [1,%d])", s, maxDim)
 		}
 		shape[i] = v
 	}
+	if err := elemCheck(shape...); err != nil {
+		return nil, err
+	}
 	return shape, nil
+}
+
+// dimCheck bounds one dimension attribute to [min, maxDim].
+func dimCheck(name string, v, min int) error {
+	if v < min || v > maxDim {
+		return fmt.Errorf("%s=%d out of range [%d,%d]", name, v, min, maxDim)
+	}
+	return nil
+}
+
+// elemCheck bounds the element count of a parameter tensor or shape.
+func elemCheck(dims ...int) error {
+	total := int64(1)
+	for _, d := range dims {
+		if d <= 0 {
+			return nil // caught by dimCheck with a better message
+		}
+		total *= int64(d)
+		if total > maxLayerElems {
+			return fmt.Errorf("layer size %v exceeds %d elements", dims, maxLayerElems)
+		}
+	}
+	return nil
 }
 
 func resolveInputs(s string, names map[string]int) ([]int, error) {

@@ -12,6 +12,7 @@
 package profile
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -69,6 +70,13 @@ func (c Config) withDefaults() Config {
 	}
 	return c
 }
+
+// Normalized returns the config with every zero field replaced by its
+// default. Two configs that normalize identically produce identical
+// profiles — content-addressed caches (internal/serve) hash the
+// normalized form so a zero field and its explicit default share an
+// entry.
+func (c Config) Normalized() Config { return c.withDefaults() }
 
 // LayerProfile holds the fitted error model and the counting metadata
 // of one analyzable layer.
@@ -163,9 +171,19 @@ func QuantizeInjector(f fixedpoint.Format) nn.Injector {
 // Run profiles every analyzable layer of net over the first cfg.Images
 // images of ds.
 func Run(net *nn.Network, ds *dataset.Dataset, cfg Config) (*Profile, error) {
+	return RunContext(context.Background(), net, ds, cfg)
+}
+
+// RunContext is Run with cancellation: the measurement sweep checks ctx
+// between replays, so a long profiling run aborts promptly when the
+// caller cancels (the serving daemon relies on this).
+func RunContext(ctx context.Context, net *nn.Network, ds *dataset.Dataset, cfg Config) (*Profile, error) {
 	cfg = cfg.withDefaults()
 	if ds.Len() < cfg.Images {
 		return nil, fmt.Errorf("profile: dataset has %d images, config needs %d", ds.Len(), cfg.Images)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("profile: %w", err)
 	}
 	batch := ds.Batch(0, cfg.Images)
 
@@ -176,7 +194,7 @@ func Run(net *nn.Network, ds *dataset.Dataset, cfg Config) (*Profile, error) {
 
 	p := &Profile{NetName: net.Name, Config: cfg}
 	for _, nodeID := range net.AnalyzableNodes() {
-		lp, err := profileLayer(net, acts, exact, nodeID, cfg)
+		lp, err := profileLayer(ctx, net, acts, exact, nodeID, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("profile: layer %s: %w", net.Nodes[nodeID].Name, err)
 		}
@@ -185,7 +203,7 @@ func Run(net *nn.Network, ds *dataset.Dataset, cfg Config) (*Profile, error) {
 	return p, nil
 }
 
-func profileLayer(net *nn.Network, acts []*tensor.Tensor, exact *tensor.Tensor, nodeID int, cfg Config) (LayerProfile, error) {
+func profileLayer(ctx context.Context, net *nn.Network, acts []*tensor.Tensor, exact *tensor.Tensor, nodeID int, cfg Config) (LayerProfile, error) {
 	nd := net.Nodes[nodeID]
 	input := acts[nd.Inputs[0]]
 	maxAbs := input.MaxAbs()
@@ -236,6 +254,9 @@ func profileLayer(net *nn.Network, acts []*tensor.Tensor, exact *tensor.Tensor, 
 		delta := lo * math.Pow(hi/lo, frac)
 		diff = diff[:0]
 		for rep := 0; rep < repeats; rep++ {
+			if err := ctx.Err(); err != nil {
+				return lp, err
+			}
 			r := base.Split()
 			out := net.ReplayFrom(acts, nodeID, UniformInjector(r, delta, cfg.IncludeZeros))
 			for i := range out.Data {

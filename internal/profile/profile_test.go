@@ -1,6 +1,8 @@
 package profile
 
 import (
+	"context"
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -241,4 +243,37 @@ func TestEq6VarianceAdditivity(t *testing.T) {
 			combVar, sumVar, ratio)
 	}
 	t.Logf("Eq. 6: combined/Σ individual variance ratio = %.3f", ratio)
+}
+
+func TestRunContextCancelled(t *testing.T) {
+	net, _, te := testnet.Trained()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, net, te, testConfig()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// RunContext with a live context matches Run exactly.
+	a, err := RunContext(context.Background(), net, te, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(net, te, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range a.Layers {
+		if a.Layers[k].Lambda != b.Layers[k].Lambda || a.Layers[k].Theta != b.Layers[k].Theta {
+			t.Fatalf("layer %d: RunContext diverged from Run", k)
+		}
+	}
+}
+
+func TestConfigNormalizedIdempotent(t *testing.T) {
+	n := Config{}.Normalized()
+	if n.Images == 0 || n.Points == 0 || n.TargetSamples == 0 {
+		t.Fatalf("defaults not filled: %+v", n)
+	}
+	if n != n.Normalized() {
+		t.Fatal("Normalized is not idempotent")
+	}
 }

@@ -12,6 +12,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -100,11 +101,12 @@ type Result struct {
 	Trace         []Probe // every probed σ with its measured accuracy
 }
 
-// Probe is one accuracy evaluation at a candidate σ.
+// Probe is one accuracy evaluation at a candidate σ (tagged for the
+// serving API's JSON trace).
 type Probe struct {
-	Sigma    float64
-	Accuracy float64
-	Pass     bool
+	Sigma    float64 `json:"sigma"`
+	Accuracy float64 `json:"accuracy"`
+	Pass     bool    `json:"pass"`
 }
 
 // Accuracy measures top-1 accuracy of net over the first n images of ds
@@ -228,9 +230,19 @@ func EvaluateSigma(net *nn.Network, prof *profile.Profile, ds *dataset.Dataset, 
 // InitUpper), then binary-search σ_YŁ to within Tol. The returned
 // σ satisfies the constraint; σ+Tol does not (up to evaluation noise).
 func Run(net *nn.Network, prof *profile.Profile, ds *dataset.Dataset, opts Options) (*Result, error) {
+	return RunContext(context.Background(), net, prof, ds, opts)
+}
+
+// RunContext is Run with cancellation: ctx is checked before every
+// accuracy evaluation, so a long binary search aborts promptly when the
+// caller cancels (the serving daemon relies on this).
+func RunContext(ctx context.Context, net *nn.Network, prof *profile.Profile, ds *dataset.Dataset, opts Options) (*Result, error) {
 	opts = opts.withDefaults(ds)
 	if opts.RelDrop <= 0 {
 		return nil, fmt.Errorf("search: RelDrop must be positive, got %g", opts.RelDrop)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("search: %w", err)
 	}
 	res := &Result{
 		ExactAccuracy: Accuracy(net, ds, opts.EvalImages, opts.BatchSize, nil),
@@ -238,17 +250,27 @@ func Run(net *nn.Network, prof *profile.Profile, ds *dataset.Dataset, opts Optio
 	}
 	res.TargetAcc = res.ExactAccuracy * (1 - opts.RelDrop)
 
-	probe := func(sigma float64) bool {
+	probe := func(sigma float64) (bool, error) {
+		if err := ctx.Err(); err != nil {
+			return false, fmt.Errorf("search: %w", err)
+		}
 		acc := EvaluateSigma(net, prof, ds, sigma, opts)
 		res.Evaluations++
 		pass := acc >= res.TargetAcc
 		res.Trace = append(res.Trace, Probe{Sigma: sigma, Accuracy: acc, Pass: pass})
-		return pass
+		return pass, nil
 	}
 
 	// Find a violated upper bound, doubling from the initial guess.
 	lo, hi := 0.0, opts.InitUpper
-	for i := 0; probe(hi); i++ {
+	for i := 0; ; i++ {
+		pass, err := probe(hi)
+		if err != nil {
+			return nil, err
+		}
+		if !pass {
+			break
+		}
 		lo = hi
 		hi *= 2
 		if i > 40 {
@@ -258,7 +280,11 @@ func Run(net *nn.Network, prof *profile.Profile, ds *dataset.Dataset, opts Optio
 	// Standard binary search on the real line.
 	for hi-lo > opts.Tol {
 		mid := (lo + hi) / 2
-		if probe(mid) {
+		pass, err := probe(mid)
+		if err != nil {
+			return nil, err
+		}
+		if pass {
 			lo = mid
 		} else {
 			hi = mid

@@ -1,6 +1,8 @@
 package search
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"testing"
 
@@ -157,5 +159,16 @@ func TestXiPlanValidatesLength(t *testing.T) {
 func TestSchemeString(t *testing.T) {
 	if Scheme1Uniform.String() != "equal_scheme" || Scheme2Gaussian.String() != "gaussian_approx" {
 		t.Fatal("scheme names drifted from the paper's")
+	}
+}
+
+func TestRunContextCancelled(t *testing.T) {
+	net, _, te := testnet.Trained()
+	prof := sharedProfile(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunContext(ctx, net, prof, te, Options{RelDrop: 0.05, EvalImages: 40, Seed: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

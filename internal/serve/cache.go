@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+
+	"mupod/internal/dataset"
+	"mupod/internal/netdesc"
+	"mupod/internal/nn"
+	"mupod/internal/profile"
+)
+
+// ProfileKey content-addresses a profiling run: it hashes the network
+// topology (its netdesc serialization), every trained parameter value,
+// the exact profiling images the run would consume, and the normalized
+// profile.Config. Two submissions with equal keys are guaranteed to
+// produce the identical (deterministic) λ_K/θ_K profile, so the daemon
+// computes it once and serves every later request from the cache.
+func ProfileKey(net *nn.Network, ds *dataset.Dataset, cfg profile.Config) string {
+	cfg = cfg.Normalized()
+	h := sha256.New()
+
+	// Topology. The DSL covers every layer the repository builds; if a
+	// caller constructed something it cannot express, fall back to the
+	// human-readable summary (still topology-complete).
+	if err := netdesc.Write(h, net); err != nil {
+		io.WriteString(h, net.Summary())
+	}
+
+	// Trained parameters — the "weights seed" in content form.
+	for _, p := range net.Params() {
+		io.WriteString(h, p.Name)
+		hashFloats(h, p.Value.Data)
+	}
+
+	// The profiling inputs: profile.Run consumes exactly the first
+	// cfg.Images images.
+	n := cfg.Images
+	if n > ds.Len() {
+		n = ds.Len()
+	}
+	if n > 0 {
+		hashFloats(h, ds.Batch(0, n).Data)
+	}
+
+	fmt.Fprintf(h, "%#v", cfg)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func hashFloats(w io.Writer, data []float64) {
+	var buf [8]byte
+	for _, v := range data {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		w.Write(buf[:])
+	}
+}
+
+// cacheEntry is one (possibly still computing) cached profile. ready is
+// closed when prof/err are final; failed entries are removed from the
+// map before ready closes, so waiters retry as new leaders.
+type cacheEntry struct {
+	ready chan struct{}
+	prof  *profile.Profile
+	err   error
+	elem  *list.Element // LRU position; nil while computing
+}
+
+// ProfileCache is the in-memory content-addressed profile store with
+// single-flight semantics: concurrent submissions of the same network
+// share one profiling run instead of racing to compute it twice.
+type ProfileCache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	lru     *list.List // of string keys, front = most recent
+	cap     int
+}
+
+// NewProfileCache creates a cache holding up to capacity completed
+// profiles (default 64 when capacity <= 0).
+func NewProfileCache(capacity int) *ProfileCache {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &ProfileCache{
+		entries: make(map[string]*cacheEntry),
+		lru:     list.New(),
+		cap:     capacity,
+	}
+}
+
+// Len returns the number of completed cached profiles.
+func (c *ProfileCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// GetOrCompute returns the cached profile for key, or runs compute to
+// fill it. hit reports whether the result came from the cache (either
+// already stored, or by waiting on another request's in-flight
+// computation). A failed computation is not cached; one waiter takes
+// over as the new leader and recomputes.
+func (c *ProfileCache) GetOrCompute(ctx context.Context, key string, compute func(context.Context) (*profile.Profile, error)) (prof *profile.Profile, hit bool, err error) {
+	for {
+		c.mu.Lock()
+		if e, ok := c.entries[key]; ok {
+			if e.elem != nil {
+				c.lru.MoveToFront(e.elem)
+			}
+			c.mu.Unlock()
+			select {
+			case <-e.ready:
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+			if e.err != nil {
+				// The leader failed and removed the entry; loop to
+				// either find a newer entry or become the leader.
+				continue
+			}
+			return e.prof, true, nil
+		}
+		e := &cacheEntry{ready: make(chan struct{})}
+		c.entries[key] = e
+		c.mu.Unlock()
+
+		e.prof, e.err = compute(ctx)
+		c.mu.Lock()
+		if e.err != nil {
+			delete(c.entries, key)
+		} else {
+			e.elem = c.lru.PushFront(key)
+			for c.lru.Len() > c.cap {
+				oldest := c.lru.Back()
+				c.lru.Remove(oldest)
+				delete(c.entries, oldest.Value.(string))
+			}
+		}
+		c.mu.Unlock()
+		close(e.ready)
+		return e.prof, false, e.err
+	}
+}

@@ -1,0 +1,231 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"mupod/internal/core"
+	"mupod/internal/profile"
+	"mupod/internal/search"
+)
+
+// State is a job's position in its lifecycle. Transitions:
+//
+//	queued → running → done | failed | cancelled
+//	queued → cancelled              (cancelled before a worker picked it up)
+type State string
+
+// The job states reported by the API.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether a job in this state will never change again.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// JobRequest is the body of POST /v1/jobs: a network (a model-zoo name
+// or an inline netdesc description) plus the pipeline tunables. JSON
+// field matching is case-insensitive, so the nested configs accept
+// lowercase keys ({"profile":{"images":30}}).
+type JobRequest struct {
+	// Model names a model-zoo architecture (alexnet, nin, ...).
+	// Exactly one of Model and Network must be set.
+	Model string `json:"model,omitempty"`
+	// Network is an inline netdesc-format description. The daemon
+	// trains it for TrainSteps steps on a synthetic split generated
+	// from Seed before optimizing.
+	Network    string `json:"network,omitempty"`
+	TrainSteps int    `json:"train_steps,omitempty"`
+	Seed       uint64 `json:"seed,omitempty"`
+
+	// Objective is "input" (bandwidth, default), "mac" (energy), or
+	// "custom" (per-layer ρ weights in Rho).
+	Objective string    `json:"objective,omitempty"`
+	Rho       []float64 `json:"rho,omitempty"`
+
+	Profile profile.Config `json:"profile,omitempty"`
+	Search  search.Options `json:"search,omitempty"`
+
+	DeltaFloor      float64 `json:"delta_floor,omitempty"`
+	Guard           bool    `json:"guard,omitempty"`
+	GuardShrink     float64 `json:"guard_shrink,omitempty"`
+	GuardMaxRetries int     `json:"guard_max_retries,omitempty"`
+}
+
+// Validate checks the request without resolving the network.
+func (r *JobRequest) Validate() error {
+	if (r.Model == "") == (r.Network == "") {
+		return fmt.Errorf("exactly one of model and network must be set")
+	}
+	if _, err := r.objective(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (r *JobRequest) objective() (core.Objective, error) {
+	switch r.Objective {
+	case "", "input":
+		return core.MinimizeInputBits, nil
+	case "mac":
+		return core.MinimizeMACBits, nil
+	case "custom":
+		if len(r.Rho) == 0 {
+			return 0, fmt.Errorf("objective %q needs rho weights", r.Objective)
+		}
+		return core.CustomRho, nil
+	default:
+		return 0, fmt.Errorf("unknown objective %q (want input, mac or custom)", r.Objective)
+	}
+}
+
+// coreConfig maps the request onto the pipeline's configuration.
+func (r *JobRequest) coreConfig() (core.Config, error) {
+	obj, err := r.objective()
+	if err != nil {
+		return core.Config{}, err
+	}
+	return core.Config{
+		Profile:         r.Profile.Normalized(),
+		Search:          r.Search,
+		Objective:       obj,
+		Rho:             r.Rho,
+		DeltaFloor:      r.DeltaFloor,
+		Guard:           r.Guard,
+		GuardShrink:     r.GuardShrink,
+		GuardMaxRetries: r.GuardMaxRetries,
+	}, nil
+}
+
+// LayerResult is one layer of a finished allocation.
+type LayerResult struct {
+	Name     string  `json:"name"`
+	Xi       float64 `json:"xi"`
+	Delta    float64 `json:"delta"`
+	Format   string  `json:"format"`
+	IntBits  int     `json:"int_bits"`
+	FracBits int     `json:"frac_bits"`
+	Bits     int     `json:"bits"`
+	Inputs   int     `json:"inputs"`
+	MACs     int     `json:"macs"`
+}
+
+// JobResult is the payload of a job that reached StateDone.
+type JobResult struct {
+	NetName            string         `json:"net_name"`
+	Objective          string         `json:"objective"`
+	SigmaYL            float64        `json:"sigma_yl"`
+	GuardedSigma       float64        `json:"guarded_sigma"`
+	GuardRetries       int            `json:"guard_retries"`
+	ExactAccuracy      float64        `json:"exact_accuracy"`
+	TargetAccuracy     float64        `json:"target_accuracy"`
+	Evaluations        int            `json:"evaluations"`
+	Trace              []search.Probe `json:"trace"`
+	Layers             []LayerResult  `json:"layers"`
+	Bits               []int          `json:"bits"`
+	EffectiveInputBits float64        `json:"effective_input_bits"`
+	EffectiveMACBits   float64        `json:"effective_mac_bits"`
+	ProfileCacheHit    bool           `json:"profile_cache_hit"`
+	ResolveMS          float64        `json:"resolve_ms"`
+	ProfileMS          float64        `json:"profile_ms"`
+	SearchMS           float64        `json:"search_ms"`
+	SolveMS            float64        `json:"solve_ms"`
+}
+
+// Job is one submitted optimization request moving through the queue.
+// All mutable fields are guarded by mu; ctx/cancel/done are set once at
+// construction.
+type Job struct {
+	id  string
+	req JobRequest
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu        sync.Mutex
+	state     State
+	err       string
+	cacheHit  bool
+	result    *JobResult
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// State returns the job's current state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Result returns the job's result, or nil unless the state is done.
+func (j *Job) Result() *JobResult {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result
+}
+
+// Err returns the failure message, or "" unless the state is failed.
+func (j *Job) Err() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Wait blocks until the job reaches a terminal state or ctx is done.
+func (j *Job) Wait(ctx context.Context) error {
+	select {
+	case <-j.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// JobView is the JSON snapshot of a job returned by the API.
+type JobView struct {
+	ID        string     `json:"id"`
+	State     State      `json:"state"`
+	Error     string     `json:"error,omitempty"`
+	CacheHit  bool       `json:"cache_hit"`
+	Submitted time.Time  `json:"submitted"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+	Result    *JobResult `json:"result,omitempty"`
+}
+
+// View snapshots the job for serialization.
+func (j *Job) View() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:        j.id,
+		State:     j.state,
+		Error:     j.err,
+		CacheHit:  j.cacheHit,
+		Submitted: j.submitted,
+		Result:    j.result,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+	}
+	return v
+}

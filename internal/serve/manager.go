@@ -1,0 +1,401 @@
+// Package serve turns the one-shot optimization pipeline into a
+// long-running service: submitted jobs enter a bounded queue, a worker
+// pool drains them through profile → σ search → ξ solve → allocation,
+// and a content-addressed profile cache (see ProfileKey) lets repeated
+// submissions of the same network skip the expensive error-injection
+// profiling entirely. cmd/mupodd exposes the manager over HTTP.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"sync"
+
+	"mupod/internal/core"
+	"mupod/internal/dataset"
+	"mupod/internal/nn"
+	"mupod/internal/profile"
+	"mupod/internal/search"
+)
+
+// Sentinel errors returned by Submit/Get/Cancel; the HTTP layer maps
+// them to status codes.
+var (
+	ErrQueueFull  = errors.New("serve: job queue is full")
+	ErrDraining   = errors.New("serve: manager is draining, not accepting jobs")
+	ErrUnknownJob = errors.New("serve: unknown job")
+)
+
+// Resolver turns a validated JobRequest into the network and dataset
+// the pipeline runs on. The default resolver loads model-zoo
+// architectures and trains inline netdesc descriptions; tests inject
+// their own.
+type Resolver func(ctx context.Context, req *JobRequest) (*nn.Network, *dataset.Dataset, error)
+
+// Config tunes a Manager.
+type Config struct {
+	// Workers is the number of concurrent pipeline workers (default 2).
+	Workers int
+	// QueueDepth bounds the number of queued-but-not-running jobs;
+	// submissions beyond it are rejected with ErrQueueFull (default 64).
+	QueueDepth int
+	// StageTimeout bounds each pipeline stage (resolve, profile,
+	// search, solve) individually; 0 disables the per-stage deadline.
+	StageTimeout time.Duration
+	// CacheEntries caps the profile cache (default 64).
+	CacheEntries int
+	// Resolver overrides the request→network resolution (default
+	// DefaultResolver).
+	Resolver Resolver
+	// Logf receives job lifecycle events (default: discarded).
+	Logf func(format string, args ...any)
+}
+
+// Manager owns the job table, the queue and the worker pool.
+type Manager struct {
+	cfg     Config
+	metrics *Metrics
+	cache   *ProfileCache
+
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // submission order, for listing
+	nextID   int
+	draining bool
+}
+
+// New creates a Manager and starts its worker pool.
+func New(cfg Config) *Manager {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.Resolver == nil {
+		cfg.Resolver = DefaultResolver
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	m := &Manager{
+		cfg:     cfg,
+		metrics: NewMetrics(),
+		cache:   NewProfileCache(cfg.CacheEntries),
+		queue:   make(chan *Job, cfg.QueueDepth),
+		jobs:    make(map[string]*Job),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Metrics exposes the counter registry (shared with the HTTP layer).
+func (m *Manager) Metrics() *Metrics { return m.metrics }
+
+// CacheLen returns the number of cached profiles.
+func (m *Manager) CacheLen() int { return m.cache.Len() }
+
+// QueueDepth returns the number of jobs waiting for a worker.
+func (m *Manager) QueueDepth() int { return len(m.queue) }
+
+// Workers returns the configured worker count.
+func (m *Manager) Workers() int { return m.cfg.Workers }
+
+// Draining reports whether Shutdown has begun.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}
+
+// Submit validates the request and enqueues a new job. It never blocks:
+// a full queue rejects with ErrQueueFull, a draining manager with
+// ErrDraining.
+func (m *Manager) Submit(req JobRequest) (*Job, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &Job{
+		req:       req,
+		ctx:       ctx,
+		cancel:    cancel,
+		done:      make(chan struct{}),
+		state:     StateQueued,
+		submitted: time.Now(),
+	}
+
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		cancel()
+		m.metrics.rejected.Add(1)
+		return nil, ErrDraining
+	}
+	m.nextID++
+	j.id = fmt.Sprintf("j-%06d", m.nextID)
+	select {
+	case m.queue <- j:
+	default:
+		m.mu.Unlock()
+		cancel()
+		m.metrics.rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	m.mu.Unlock()
+
+	m.metrics.submitted.Add(1)
+	m.cfg.Logf("serve: job %s queued (model=%q netdesc=%dB objective=%q)",
+		j.id, req.Model, len(req.Network), req.Objective)
+	return j, nil
+}
+
+// Get returns the job with the given ID.
+func (m *Manager) Get(id string) (*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, ErrUnknownJob
+	}
+	return j, nil
+}
+
+// Jobs returns every known job in submission order.
+func (m *Manager) Jobs() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Job, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.jobs[id])
+	}
+	return out
+}
+
+// CountStates tallies jobs by state (the /metrics gauge source).
+func (m *Manager) CountStates() map[State]int {
+	counts := make(map[State]int, 5)
+	for _, j := range m.Jobs() {
+		counts[j.State()]++
+	}
+	return counts
+}
+
+// Cancel requests cancellation of a job. A queued job flips to
+// cancelled immediately; a running job has its context cancelled and
+// reaches StateCancelled as soon as the pipeline observes it (every
+// stage checks its context). Cancelling a terminal job is a no-op.
+func (m *Manager) Cancel(id string) (*Job, error) {
+	j, err := m.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	j.mu.Lock()
+	switch j.state {
+	case StateQueued:
+		j.state = StateCancelled
+		j.finished = time.Now()
+		j.mu.Unlock()
+		j.cancel()
+		close(j.done)
+		m.metrics.jobCompleted(StateCancelled)
+		m.cfg.Logf("serve: job %s cancelled while queued", id)
+	case StateRunning:
+		j.mu.Unlock()
+		j.cancel() // the worker finishes the transition
+		m.cfg.Logf("serve: job %s cancellation requested", id)
+	default: // terminal: idempotent no-op
+		j.mu.Unlock()
+	}
+	return j, nil
+}
+
+// Shutdown drains the manager: new submissions are rejected, workers
+// finish the queued and running jobs, and the call returns when the
+// pool has exited. If ctx expires first, every outstanding job is
+// cancelled and Shutdown waits for the (now fast) pool exit before
+// returning ctx's error.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return errors.New("serve: already shut down")
+	}
+	m.draining = true
+	m.mu.Unlock()
+	close(m.queue)
+
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		for _, j := range m.Jobs() {
+			if !j.State().Terminal() {
+				j.cancel()
+			}
+		}
+		<-done
+		return ctx.Err()
+	}
+}
+
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		m.runJob(j)
+	}
+}
+
+// stageCtx derives the per-stage context.
+func (m *Manager) stageCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if m.cfg.StageTimeout > 0 {
+		return context.WithTimeout(ctx, m.cfg.StageTimeout)
+	}
+	return context.WithCancel(ctx)
+}
+
+func (m *Manager) runJob(j *Job) {
+	j.mu.Lock()
+	if j.state != StateQueued { // cancelled while queued
+		j.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+	m.cfg.Logf("serve: job %s running", j.id)
+
+	res, cacheHit, err := m.execute(j.ctx, &j.req)
+
+	final := StateDone
+	j.mu.Lock()
+	j.finished = time.Now()
+	j.cacheHit = cacheHit
+	switch {
+	case err == nil:
+		j.result = res
+	case j.ctx.Err() != nil && errors.Is(err, context.Canceled):
+		final = StateCancelled
+	default:
+		final = StateFailed
+		j.err = err.Error()
+	}
+	j.state = final
+	elapsed := j.finished.Sub(j.started)
+	j.mu.Unlock()
+	j.cancel()
+	close(j.done)
+	m.metrics.jobCompleted(final)
+	if err != nil {
+		m.cfg.Logf("serve: job %s %s after %v: %v", j.id, final, elapsed.Round(time.Millisecond), err)
+	} else {
+		m.cfg.Logf("serve: job %s done in %v (cache hit=%v)", j.id, elapsed.Round(time.Millisecond), cacheHit)
+	}
+}
+
+// execute runs the four pipeline stages under per-stage deadlines,
+// sharing profiles through the content-addressed cache.
+func (m *Manager) execute(ctx context.Context, req *JobRequest) (*JobResult, bool, error) {
+	cfg, err := req.coreConfig()
+	if err != nil {
+		return nil, false, err
+	}
+
+	t0 := time.Now()
+	sctx, cancel := m.stageCtx(ctx)
+	net, ds, err := m.cfg.Resolver(sctx, req)
+	cancel()
+	resolveTime := time.Since(t0)
+	m.metrics.ObserveStage(StageResolve, resolveTime)
+	if err != nil {
+		return nil, false, fmt.Errorf("resolve: %w", err)
+	}
+
+	t0 = time.Now()
+	key := ProfileKey(net, ds, cfg.Profile)
+	sctx, cancel = m.stageCtx(ctx)
+	prof, cacheHit, err := m.cache.GetOrCompute(sctx, key, func(cctx context.Context) (*profile.Profile, error) {
+		return profile.RunContext(cctx, net, ds, cfg.Profile)
+	})
+	cancel()
+	profileTime := time.Since(t0)
+	m.metrics.ObserveStage(StageProfile, profileTime)
+	if err != nil {
+		return nil, false, fmt.Errorf("profile: %w", err)
+	}
+	if cacheHit {
+		m.metrics.cacheHits.Add(1)
+	} else {
+		m.metrics.cacheMisses.Add(1)
+	}
+
+	t0 = time.Now()
+	sctx, cancel = m.stageCtx(ctx)
+	sr, err := search.RunContext(sctx, net, prof, ds, cfg.Search)
+	cancel()
+	searchTime := time.Since(t0)
+	m.metrics.ObserveStage(StageSearch, searchTime)
+	if err != nil {
+		return nil, false, err
+	}
+
+	t0 = time.Now()
+	sctx, cancel = m.stageCtx(ctx)
+	alloc, sigma, retries, err := core.AllocateContext(sctx, net, ds, prof, sr, cfg)
+	cancel()
+	solveTime := time.Since(t0)
+	m.metrics.ObserveStage(StageSolve, solveTime)
+	if err != nil {
+		return nil, false, err
+	}
+
+	res := &JobResult{
+		NetName:            net.Name,
+		Objective:          cfg.Objective.String(),
+		SigmaYL:            sr.SigmaYL,
+		GuardedSigma:       sigma,
+		GuardRetries:       retries,
+		ExactAccuracy:      sr.ExactAccuracy,
+		TargetAccuracy:     sr.TargetAcc,
+		Evaluations:        sr.Evaluations,
+		Trace:              sr.Trace,
+		Bits:               alloc.Bits(),
+		EffectiveInputBits: alloc.EffectiveInputBits(),
+		EffectiveMACBits:   alloc.EffectiveMACBits(),
+		ProfileCacheHit:    cacheHit,
+		ResolveMS:          1000 * resolveTime.Seconds(),
+		ProfileMS:          1000 * profileTime.Seconds(),
+		SearchMS:           1000 * searchTime.Seconds(),
+		SolveMS:            1000 * solveTime.Seconds(),
+	}
+	for _, l := range alloc.Layers {
+		res.Layers = append(res.Layers, LayerResult{
+			Name:     l.Name,
+			Xi:       l.Xi,
+			Delta:    l.Delta,
+			Format:   l.Format.String(),
+			IntBits:  l.Format.IntBits,
+			FracBits: l.Format.FracBits,
+			Bits:     l.Bits,
+			Inputs:   l.Inputs,
+			MACs:     l.MACs,
+		})
+	}
+	return res, cacheHit, nil
+}

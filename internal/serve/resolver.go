@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"mupod/internal/dataset"
+	"mupod/internal/netdesc"
+	"mupod/internal/nn"
+	"mupod/internal/train"
+	"mupod/internal/zoo"
+)
+
+// DefaultResolver resolves requests against the model zoo (Model) or by
+// parsing and training an inline netdesc description (Network). Zoo
+// loads are cached process-wide by internal/zoo, so only the first
+// request per architecture pays the training cost.
+func DefaultResolver(ctx context.Context, req *JobRequest) (*nn.Network, *dataset.Dataset, error) {
+	if req.Model != "" {
+		arch := zoo.Arch(strings.ToLower(req.Model))
+		if _, ok := zoo.AnalyzableLayers[arch]; !ok {
+			return nil, nil, fmt.Errorf("unknown model %q", req.Model)
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		net, err := zoo.Load(arch)
+		if err != nil {
+			return nil, nil, fmt.Errorf("loading %s: %w", arch, err)
+		}
+		_, test := zoo.Data(arch)
+		return net, test, nil
+	}
+
+	net, err := netdesc.Parse(strings.NewReader(req.Network))
+	if err != nil {
+		return nil, nil, err
+	}
+	if net.InputShape[0] != 3 {
+		return nil, nil, fmt.Errorf("netdesc networks must take 3-channel input (got %v)", net.InputShape)
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	steps := req.TrainSteps
+	if steps <= 0 {
+		steps = 400
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	tr, test := dataset.Generate(dataset.Config{
+		H: net.InputShape[1], W: net.InputShape[2],
+		Train: 600, Test: 400, Seed: seed + 97,
+	})
+	train.Run(net, tr, train.Config{
+		Optimizer: train.Adam, LR: 0.003, Steps: steps, BatchSize: 8, Seed: seed,
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	return net, test, nil
+}

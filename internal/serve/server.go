@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// maxRequestBody bounds POST /v1/jobs bodies (inline netdesc
+// descriptions are small; 4 MiB is generous).
+const maxRequestBody = 4 << 20
+
+// NewHandler exposes a Manager over HTTP:
+//
+//	POST   /v1/jobs       submit a job            → 202 + JobView
+//	GET    /v1/jobs       list jobs               → 200 + []JobView
+//	GET    /v1/jobs/{id}  poll one job            → 200 + JobView
+//	DELETE /v1/jobs/{id}  cancel a job            → 202 + JobView
+//	GET    /healthz       liveness/readiness      → 200 (503 while draining)
+//	GET    /metrics       Prometheus text format  → 200
+func NewHandler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var req JobRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+			return
+		}
+		j, err := m.Submit(req)
+		if err != nil {
+			switch {
+			case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
+				writeError(w, http.StatusServiceUnavailable, err)
+			default:
+				writeError(w, http.StatusBadRequest, err)
+			}
+			return
+		}
+		w.Header().Set("Location", "/v1/jobs/"+j.ID())
+		writeJSON(w, http.StatusAccepted, j.View())
+	})
+
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		jobs := m.Jobs()
+		views := make([]JobView, len(jobs))
+		for i, j := range jobs {
+			views[i] = j.View()
+		}
+		writeJSON(w, http.StatusOK, views)
+	})
+
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		j, err := m.Get(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, j.View())
+	})
+
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		j, err := m.Cancel(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, j.View())
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		status := http.StatusOK
+		body := map[string]any{
+			"status":  "ok",
+			"workers": m.Workers(),
+			"queue":   m.QueueDepth(),
+		}
+		if m.Draining() {
+			status = http.StatusServiceUnavailable
+			body["status"] = "draining"
+		}
+		writeJSON(w, status, body)
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		m.WriteMetrics(w)
+	})
+
+	return mux
+}
+
+// WriteMetrics renders the full metrics page: the counter registry plus
+// the manager-owned gauges.
+func (m *Manager) WriteMetrics(w interface{ Write([]byte) (int, error) }) {
+	m.metrics.write(w)
+	fmt.Fprintf(w, "# HELP mupod_jobs Jobs currently known, by state.\n")
+	fmt.Fprintf(w, "# TYPE mupod_jobs gauge\n")
+	counts := m.CountStates()
+	for _, s := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled} {
+		fmt.Fprintf(w, "mupod_jobs{state=%q} %d\n", s, counts[s])
+	}
+	fmt.Fprintf(w, "# HELP mupod_queue_depth Jobs waiting for a worker.\n")
+	fmt.Fprintf(w, "# TYPE mupod_queue_depth gauge\n")
+	fmt.Fprintf(w, "mupod_queue_depth %d\n", m.QueueDepth())
+	fmt.Fprintf(w, "# HELP mupod_workers Configured worker pool size.\n")
+	fmt.Fprintf(w, "# TYPE mupod_workers gauge\n")
+	fmt.Fprintf(w, "mupod_workers %d\n", m.Workers())
+	fmt.Fprintf(w, "# HELP mupod_profile_cache_entries Profiles currently cached.\n")
+	fmt.Fprintf(w, "# TYPE mupod_profile_cache_entries gauge\n")
+	fmt.Fprintf(w, "mupod_profile_cache_entries %d\n", m.CacheLen())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -32,7 +32,9 @@
 package mupod
 
 import (
+	"context"
 	"io"
+	"net/http"
 
 	"mupod/internal/accel"
 	"mupod/internal/baseline"
@@ -46,6 +48,7 @@ import (
 	"mupod/internal/pareto"
 	"mupod/internal/profile"
 	"mupod/internal/search"
+	"mupod/internal/serve"
 	"mupod/internal/tensor"
 	"mupod/internal/weights"
 	"mupod/internal/zoo"
@@ -113,6 +116,23 @@ type (
 	FixedPointConfig = fxnet.Config
 	// FixedPointReport audits integer execution (accumulator widths).
 	FixedPointReport = fxnet.Report
+
+	// ServeConfig tunes the asynchronous job manager (worker pool,
+	// queue depth, per-stage timeouts, profile-cache capacity).
+	ServeConfig = serve.Config
+	// ServeRequest is one precision-optimization job submission.
+	ServeRequest = serve.JobRequest
+	// ServeJob is a job moving through the queue.
+	ServeJob = serve.Job
+	// ServeJobView is the JSON snapshot of a job.
+	ServeJobView = serve.JobView
+	// ServeJobResult is the payload of a finished job.
+	ServeJobResult = serve.JobResult
+	// ServeState is a job lifecycle state (queued → running → done /
+	// failed / cancelled).
+	ServeState = serve.State
+	// JobManager owns the job table, queue and worker pool.
+	JobManager = serve.Manager
 )
 
 // Accelerator execution styles.
@@ -165,16 +185,33 @@ func Run(net *Network, ds *Dataset, cfg Config) (*Result, error) {
 	return core.Run(net, ds, cfg)
 }
 
+// RunContext is Run with cancellation threaded through every stage.
+func RunContext(ctx context.Context, net *Network, ds *Dataset, cfg Config) (*Result, error) {
+	return core.RunContext(ctx, net, ds, cfg)
+}
+
 // ProfileNetwork measures λ_K and θ_K for every analyzable layer
 // (Sec. V-A).
 func ProfileNetwork(net *Network, ds *Dataset, cfg ProfileConfig) (*Profile, error) {
 	return profile.Run(net, ds, cfg)
 }
 
+// ProfileNetworkContext is ProfileNetwork with cancellation (ctx is
+// checked between injection replays).
+func ProfileNetworkContext(ctx context.Context, net *Network, ds *Dataset, cfg ProfileConfig) (*Profile, error) {
+	return profile.RunContext(ctx, net, ds, cfg)
+}
+
 // SearchSigma binary-searches the output error budget σ_YŁ that meets
 // the accuracy constraint (Sec. V-C).
 func SearchSigma(net *Network, prof *Profile, ds *Dataset, opts SearchOptions) (*SearchResult, error) {
 	return search.Run(net, prof, ds, opts)
+}
+
+// SearchSigmaContext is SearchSigma with cancellation (ctx is checked
+// before every accuracy evaluation).
+func SearchSigmaContext(ctx context.Context, net *Network, prof *Profile, ds *Dataset, opts SearchOptions) (*SearchResult, error) {
+	return search.RunContext(ctx, net, prof, ds, opts)
 }
 
 // OptimizeXi solves Eq. 8 and returns the optimal error decomposition.
@@ -195,6 +232,22 @@ func AllocateGuarded(net *Network, ds *Dataset, prof *Profile, sr *SearchResult,
 	alloc, _, _, err := core.Allocate(net, ds, prof, sr, cfg)
 	return alloc, err
 }
+
+// AllocateGuardedContext is AllocateGuarded with cancellation (the
+// guard loop checks ctx before every validation pass).
+func AllocateGuardedContext(ctx context.Context, net *Network, ds *Dataset, prof *Profile, sr *SearchResult, cfg Config) (*Allocation, error) {
+	alloc, _, _, err := core.AllocateContext(ctx, net, ds, prof, sr, cfg)
+	return alloc, err
+}
+
+// NewJobManager starts the asynchronous job manager of the serving
+// subsystem: a bounded queue drained by a worker pool, sharing
+// profiling work through a content-addressed cache (internal/serve).
+func NewJobManager(cfg ServeConfig) *JobManager { return serve.New(cfg) }
+
+// NewServeHandler exposes a job manager over HTTP — the API cmd/mupodd
+// serves (POST/GET/DELETE /v1/jobs, /healthz, /metrics).
+func NewServeHandler(m *JobManager) http.Handler { return serve.NewHandler(m) }
 
 // UniformAllocation builds the smallest-uniform-bitwidth style baseline
 // assignment at the given total width.
