@@ -21,6 +21,7 @@ import (
 
 	"mupod/internal/bound"
 	"mupod/internal/dataset"
+	"mupod/internal/exec"
 	"mupod/internal/experiments"
 	"mupod/internal/fixedpoint"
 	"mupod/internal/fxnet"
@@ -311,6 +312,73 @@ func BenchmarkReplaySuffix(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		net.ReplayFrom(acts, mid, inj)
+	}
+}
+
+// BenchmarkReplayPlan is the plan-based counterpart of
+// BenchmarkReplaySuffix: the same mid-network replay, but through an
+// exec.Session — the precomputed downstream set replaces the per-call
+// dirty scan and pooled arenas replace per-node output allocation.
+// Compare the two (time and allocs/op) to see what the execution
+// engine buys on the profiling hot path.
+func BenchmarkReplayPlan(b *testing.B) {
+	net := zoo.Build(zoo.AlexNet, zoo.Seed)
+	_, te := zoo.Data(zoo.AlexNet)
+	x := te.Batch(0, 8)
+	acts := net.ForwardAll(x)
+	nodes := net.AnalyzableNodes()
+	mid := nodes[len(nodes)/2]
+	r := rng.New(1)
+	inj := profile.UniformInjector(r, 0.01, false)
+	sess := exec.NewSession(exec.NewPlan(net))
+	sess.Replay(acts, mid, inj) // warm the arenas
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess.Replay(acts, mid, inj)
+	}
+}
+
+// BenchmarkSessionAlloc contrasts the steady-state allocation profile
+// of the arena-backed forward pass against the allocating Network
+// path; allocs/op is the headline metric (the session side stays at
+// zero once its buffers are warm).
+func BenchmarkSessionAlloc(b *testing.B) {
+	net := zoo.Build(zoo.AlexNet, zoo.Seed)
+	_, te := zoo.Data(zoo.AlexNet)
+	x := te.Batch(0, 8)
+	b.Run("network", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			net.Forward(x)
+		}
+	})
+	b.Run("session", func(b *testing.B) {
+		sess := exec.NewSession(exec.NewPlan(net))
+		sess.Forward(x) // warm the arenas
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sess.Forward(x)
+		}
+	})
+}
+
+// BenchmarkProfileAlexNet runs the end-to-end AlexNet Δ-sweep at
+// several worker counts; the README's performance table and
+// BENCH_exec.json record its output. Results are bit-identical across
+// the sub-benchmarks (see TestProfileBitIdenticalAcrossWorkers).
+func BenchmarkProfileAlexNet(b *testing.B) {
+	net := zoo.MustLoad(zoo.AlexNet)
+	_, te := zoo.Data(zoo.AlexNet)
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := profile.Run(net, te, profile.Config{Images: 16, Points: 8, Seed: 1, Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -20,6 +20,7 @@ func main() {
 	points := flag.Int("points", 16, "Δ points per layer regression")
 	seed := flag.Uint64("seed", 1, "noise seed")
 	scatter := flag.Int("scatter", 2, "number of layers to render as ASCII scatter plots")
+	workers := flag.Int("workers", 0, "evaluation worker count (0 = all CPUs; results are identical at any count)")
 	flag.Parse()
 
 	for _, m := range strings.Split(*models, ",") {
@@ -32,6 +33,7 @@ func main() {
 			ProfileImages: *images,
 			ProfilePoints: *points,
 			Seed:          *seed,
+			Workers:       *workers,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mupod-fig2:", err)

@@ -22,6 +22,7 @@ func main() {
 	images := flag.Int("images", 24, "profiling images")
 	eval := flag.Int("eval", 200, "images per accuracy evaluation")
 	seed := flag.Uint64("seed", 1, "noise seed")
+	workers := flag.Int("workers", 0, "evaluation worker count (0 = all CPUs; results are identical at any count)")
 	flag.Parse()
 
 	a := zoo.Arch(*model)
@@ -43,6 +44,7 @@ func main() {
 		ProfileImages: *images,
 		EvalImages:    *eval,
 		Seed:          *seed,
+		Workers:       *workers,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mupod-fig3:", err)

@@ -26,6 +26,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "noise seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	all := flag.Bool("all", false, "print every sweep point, not only the frontier")
+	workers := flag.Int("workers", 0, "evaluation worker count (0 = all CPUs; results are identical at any count)")
 	flag.Parse()
 
 	arch := zoo.Arch(*model)
@@ -39,12 +40,12 @@ func main() {
 	}
 	_, test := zoo.Data(arch)
 
-	prof, err := profile.Run(net, test, profile.Config{Images: *images, Points: *points, Seed: *seed})
+	prof, err := profile.Run(net, test, profile.Config{Images: *images, Points: *points, Seed: *seed, Workers: *workers})
 	if err != nil {
 		fatal(err)
 	}
 	sr, err := search.Run(net, prof, test, search.Options{
-		Scheme: search.Scheme2Gaussian, RelDrop: *drop, EvalImages: *eval, Seed: *seed ^ 0x5eed,
+		Scheme: search.Scheme2Gaussian, RelDrop: *drop, EvalImages: *eval, Seed: *seed ^ 0x5eed, Workers: *workers,
 	})
 	if err != nil {
 		fatal(err)

@@ -24,6 +24,7 @@ func main() {
 	points := flag.Int("points", 8, "Δ points per layer regression")
 	eval := flag.Int("eval", 200, "images per accuracy evaluation")
 	seed := flag.Uint64("seed", 1, "noise seed")
+	workers := flag.Int("workers", 0, "evaluation worker count (0 = all CPUs; results are identical at any count)")
 	flag.Parse()
 
 	archs := zoo.All
@@ -53,6 +54,7 @@ func main() {
 		ProfilePoints: *points,
 		EvalImages:    *eval,
 		Seed:          *seed,
+		Workers:       *workers,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mupod-table3:", err)

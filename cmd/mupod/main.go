@@ -42,6 +42,7 @@ func main() {
 	eval := flag.Int("eval", 200, "images per accuracy evaluation")
 	seed := flag.Uint64("seed", 1, "noise seed")
 	summary := flag.Bool("summary", false, "print the network topology and exit")
+	workers := flag.Int("workers", 0, "evaluation worker count (0 = all CPUs; results are identical at any count)")
 	flag.Parse()
 
 	var net *nn.Network
@@ -108,6 +109,7 @@ func main() {
 		Search:    search.Options{Scheme: sch, RelDrop: *drop, EvalImages: *eval, Seed: *seed ^ 0x5eed},
 		Objective: obj,
 		Guard:     true,
+		Workers:   *workers,
 	})
 	if err != nil {
 		fatal("%v", err)
@@ -137,7 +139,7 @@ func main() {
 	fmt.Printf("\nREAL quantized inference: accuracy %.3f (constraint ≥ %.3f)\n",
 		acc, res.Search.ExactAccuracy*(1-*drop))
 
-	if w, err := baseline.UniformWeightSearch(net, al, test, baseline.Options{RelDrop: *drop, EvalImages: *eval}); err == nil {
+	if w, err := baseline.UniformWeightSearch(net, al, test, baseline.Options{RelDrop: *drop, EvalImages: *eval, Workers: *workers}); err == nil {
 		fmt.Printf("uniform weight bitwidth (Sec. V-E): W = %d\n", w)
 		fmt.Printf("MAC energy at W=%d: %.3g pJ/image\n", w, al.MACEnergy(energy.Default40nm, w))
 		// True integer execution: cross-check accuracy and report the
@@ -146,7 +148,7 @@ func main() {
 		if n > test.Len() {
 			n = test.Len()
 		}
-		fxAcc, fxRep, err := fxnet.Accuracy(net, al, fxnet.Config{WeightBits: w}, test.Batch(0, n), test.Labels[:n], 32)
+		fxAcc, fxRep, err := fxnet.Accuracy(net, al, fxnet.Config{WeightBits: w, Workers: *workers}, test.Batch(0, n), test.Labels[:n], 32)
 		if err == nil {
 			fmt.Printf("integer-datapath inference (W=%d): accuracy %.3f, max accumulator %d bits\n",
 				w, fxAcc, fxRep.MaxAccumulatorBits())

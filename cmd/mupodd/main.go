@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	mupodd [-addr :8080] [-workers 2] [-queue 64]
+//	mupodd [-addr :8080] [-workers 2] [-queue 64] [-job-workers 0]
 //	       [-stage-timeout 10m] [-drain-timeout 30s] [-cache 64]
 //
 // API:
@@ -41,10 +41,12 @@ func main() {
 	stageTimeout := flag.Duration("stage-timeout", 10*time.Minute, "per-stage timeout (0 disables)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget before in-flight jobs are cancelled")
 	cacheEntries := flag.Int("cache", 64, "profile cache capacity (entries)")
+	jobWorkers := flag.Int("job-workers", 0, "default per-job evaluation parallelism (0 = GOMAXPROCS divided across the worker pool)")
 	flag.Parse()
 
 	m := serve.New(serve.Config{
 		Workers:      *workers,
+		JobWorkers:   *jobWorkers,
 		QueueDepth:   *queue,
 		StageTimeout: *stageTimeout,
 		CacheEntries: *cacheEntries,

@@ -1,0 +1,102 @@
+package mupod
+
+// The unified execution engine's headline guarantee: every pipeline
+// stage is BIT-IDENTICAL at every worker count. Parallelism must be a
+// pure latency/CPU trade — noise streams are pre-split in sequential
+// consumption order and reductions run in fixed index order, so a
+// profile, a σ search, or a full guarded allocation computed on eight
+// workers equals the sequential one float64-for-float64. These tests
+// pin that contract on the shared trained fixture.
+
+import (
+	"reflect"
+	"testing"
+
+	"mupod/internal/core"
+	"mupod/internal/profile"
+	"mupod/internal/search"
+	"mupod/internal/testnet"
+)
+
+func TestProfileBitIdenticalAcrossWorkers(t *testing.T) {
+	net, _, te := testnet.Trained()
+	cfgFor := func(w int) profile.Config {
+		return profile.Config{Images: 16, Points: 6, Seed: 7, Workers: w}
+	}
+	ref, err := profile.Run(net, te, cfgFor(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 4, 8} {
+		got, err := profile.Run(net, te, cfgFor(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ref.Layers, got.Layers) {
+			for k := range ref.Layers {
+				if !reflect.DeepEqual(ref.Layers[k], got.Layers[k]) {
+					t.Fatalf("workers=%d: layer %s diverges:\nseq: %+v\npar: %+v",
+						w, ref.Layers[k].Name, ref.Layers[k], got.Layers[k])
+				}
+			}
+			t.Fatalf("workers=%d: profile diverges", w)
+		}
+	}
+}
+
+func TestSearchBitIdenticalAcrossWorkers(t *testing.T) {
+	net, _, te := testnet.Trained()
+	prof, err := profile.Run(net, te, profile.Config{Images: 16, Points: 6, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range []search.Scheme{search.Scheme1Uniform, search.Scheme2Gaussian} {
+		optsFor := func(w int) search.Options {
+			return search.Options{Scheme: scheme, RelDrop: 0.05, EvalImages: 120, Seed: 3, Workers: w}
+		}
+		ref, err := search.Run(net, prof, te, optsFor(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{3, 8} {
+			got, err := search.Run(net, prof, te, optsFor(w))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(ref, got) {
+				t.Fatalf("scheme %v workers=%d: search result diverges:\nseq: %+v\npar: %+v", scheme, w, ref, got)
+			}
+		}
+	}
+}
+
+func TestAllocationBitIdenticalAcrossWorkers(t *testing.T) {
+	net, _, te := testnet.Trained()
+	run := func(w int) *core.Result {
+		res, err := core.Run(net, te, core.Config{
+			Profile:   profile.Config{Images: 16, Points: 6, Seed: 7},
+			Search:    search.Options{Scheme: search.Scheme1Uniform, RelDrop: 0.05, EvalImages: 120, Seed: 3},
+			Objective: core.MinimizeInputBits,
+			Guard:     true,
+			Workers:   w,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ref := run(1)
+	for _, w := range []int{4} {
+		got := run(w)
+		if !reflect.DeepEqual(ref.Allocation, got.Allocation) {
+			t.Fatalf("workers=%d: allocation diverges:\nseq: %+v\npar: %+v", w, ref.Allocation, got.Allocation)
+		}
+		if !reflect.DeepEqual(ref.Search, got.Search) {
+			t.Fatalf("workers=%d: embedded search result diverges", w)
+		}
+		if ref.GuardedSigma != got.GuardedSigma || ref.GuardRetries != got.GuardRetries {
+			t.Fatalf("workers=%d: guard outcome diverges: σ %v vs %v, retries %d vs %d",
+				w, ref.GuardedSigma, got.GuardedSigma, ref.GuardRetries, got.GuardRetries)
+		}
+	}
+}

@@ -14,6 +14,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 
 	"mupod/internal/core"
@@ -32,6 +33,12 @@ type Options struct {
 	BatchSize  int     // default 32
 	MaxBits    int     // widest total bitwidth considered (default 16)
 	MinBits    int     // narrowest (default 1)
+	// Workers sets the accuracy-evaluation parallelism (0 = GOMAXPROCS,
+	// 1 = sequential). Every injector used here is a stateless
+	// quantizer, so results are bit-identical at any worker count; the
+	// dynamic searches (Stripes above all) are dominated by these
+	// evaluations and speed up near-linearly.
+	Workers int
 }
 
 func (o Options) withDefaults(ds *dataset.Dataset) Options {
@@ -59,8 +66,15 @@ type SearchResult struct {
 	Evaluations int // accuracy evaluations performed (the search cost)
 }
 
+// accuracy is the shared (parallel, stateless-plan) evaluation of the
+// baseline searches.
+func accuracy(net *nn.Network, ds *dataset.Dataset, o Options, plan map[int]nn.Injector) float64 {
+	acc, _ := search.AccuracyStateless(context.Background(), o.Workers, net, ds, o.EvalImages, o.BatchSize, plan)
+	return acc
+}
+
 func quantAccuracy(net *nn.Network, ds *dataset.Dataset, alloc *core.Allocation, o Options) float64 {
-	return search.Accuracy(net, ds, o.EvalImages, o.BatchSize, alloc.InjectionPlan())
+	return accuracy(net, ds, o, alloc.InjectionPlan())
 }
 
 // SmallestUniform finds the smallest uniform total bitwidth whose real
@@ -72,7 +86,7 @@ func SmallestUniform(net *nn.Network, prof *profile.Profile, ds *dataset.Dataset
 		return nil, fmt.Errorf("baseline: RelDrop must be positive, got %g", o.RelDrop)
 	}
 	res := &SearchResult{}
-	exact := search.Accuracy(net, ds, o.EvalImages, o.BatchSize, nil)
+	exact := accuracy(net, ds, o, nil)
 	target := exact * (1 - o.RelDrop)
 
 	ok := func(bits int) bool {
@@ -110,7 +124,7 @@ func StripesSearch(net *nn.Network, prof *profile.Profile, ds *dataset.Dataset, 
 		return nil, err
 	}
 	res := &SearchResult{Evaluations: start.Evaluations}
-	exact := search.Accuracy(net, ds, o.EvalImages, o.BatchSize, nil)
+	exact := accuracy(net, ds, o, nil)
 	target := exact * (1 - o.RelDrop)
 
 	bits := start.Allocation.Bits()
@@ -196,13 +210,13 @@ func UniformWeightSearch(net *nn.Network, alloc *core.Allocation, ds *dataset.Da
 		return 0, fmt.Errorf("baseline: RelDrop must be positive, got %g", o.RelDrop)
 	}
 	plan := alloc.InjectionPlan()
-	base := search.Accuracy(net, ds, o.EvalImages, o.BatchSize, plan)
+	base := accuracy(net, ds, o, plan)
 	target := base * (1 - o.RelDrop)
 
 	ok := func(w int) bool {
 		restore := QuantizeWeights(net, w)
 		defer restore()
-		return search.Accuracy(net, ds, o.EvalImages, o.BatchSize, plan) >= target
+		return accuracy(net, ds, o, plan) >= target
 	}
 	if !ok(o.MaxBits) {
 		return 0, fmt.Errorf("baseline: even %d weight bits violate the constraint", o.MaxBits)

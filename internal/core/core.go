@@ -73,6 +73,25 @@ type Config struct {
 	Guard           bool
 	GuardShrink     float64 // σ multiplier per retry (default 0.85)
 	GuardMaxRetries int     // default 8
+
+	// Workers bounds the execution worker pool of every stage
+	// (profiling replays, σ-search eval batches, guard validation);
+	// 0 = GOMAXPROCS, 1 = sequential. Results are bit-identical at
+	// every worker count. Stage-specific values in Profile.Workers /
+	// Search.Workers take precedence when non-zero.
+	Workers int
+}
+
+// withWorkers fans the pipeline-level Workers knob into the stage
+// configs that did not set their own.
+func (c Config) withWorkers() Config {
+	if c.Profile.Workers == 0 {
+		c.Profile.Workers = c.Workers
+	}
+	if c.Search.Workers == 0 {
+		c.Search.Workers = c.Workers
+	}
+	return c
 }
 
 // LayerAlloc is the per-layer outcome.
@@ -177,8 +196,11 @@ func (a *Allocation) InjectionPlan() map[int]nn.Injector {
 
 // Validate measures top-1 accuracy of net over the first n images of ds
 // with the allocation's formats actually applied (not modelled).
+// Quantizing injectors are stateless, so validation batches run across
+// all cores with bit-identical results.
 func (a *Allocation) Validate(net *nn.Network, ds *dataset.Dataset, n int) float64 {
-	return search.Accuracy(net, ds, n, 32, a.InjectionPlan())
+	acc, _ := search.AccuracyStateless(context.Background(), 0, net, ds, n, 32, a.InjectionPlan())
+	return acc
 }
 
 // FromXi converts an optimized ξ decomposition into a concrete
@@ -338,6 +360,7 @@ func Run(net *nn.Network, ds *dataset.Dataset, cfg Config) (*Result, error) {
 // profiling, the σ search and the guard loop all check ctx and return
 // promptly once the caller cancels.
 func RunContext(ctx context.Context, net *nn.Network, ds *dataset.Dataset, cfg Config) (*Result, error) {
+	cfg = cfg.withWorkers()
 	res := &Result{}
 
 	t0 := time.Now()
@@ -379,6 +402,7 @@ func Allocate(net *nn.Network, ds *dataset.Dataset, prof *profile.Profile, sr *s
 // ctx before every (potentially expensive) real-quantization validation
 // pass.
 func AllocateContext(ctx context.Context, net *nn.Network, ds *dataset.Dataset, prof *profile.Profile, sr *search.Result, cfg Config) (*Allocation, float64, int, error) {
+	cfg = cfg.withWorkers()
 	sigma := sr.SigmaYL
 	shrink := cfg.GuardShrink
 	if shrink <= 0 || shrink >= 1 {
@@ -411,7 +435,12 @@ func AllocateContext(ctx context.Context, net *nn.Network, ds *dataset.Dataset, 
 		if err := ctx.Err(); err != nil {
 			return nil, 0, 0, fmt.Errorf("core: guard: %w", err)
 		}
-		acc := search.Accuracy(net, ds, evalImages, 32, alloc.InjectionPlan())
+		// Quantizing injectors are stateless, so the guard's real-
+		// quantization validation parallelizes across eval batches.
+		acc, err := search.AccuracyStateless(ctx, cfg.Search.Workers, net, ds, evalImages, 32, alloc.InjectionPlan())
+		if err != nil {
+			return nil, 0, 0, fmt.Errorf("core: guard: %w", err)
+		}
 		if acc >= sr.TargetAcc {
 			return alloc, sigma * scale, attempt, nil
 		}

@@ -1,0 +1,101 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Evaluator maps a deterministic work list across a bounded worker
+// pool. Determinism is the caller's half of the contract: pre-split
+// any RNG streams per work item (in the order sequential code would
+// consume them), write each item's result into a per-index slot, and
+// reduce slots in index order. The Evaluator's half: every item runs
+// exactly once, workers observe context cancellation promptly, and
+// when items fail the error reported is the one with the LOWEST item
+// index — independent of scheduling.
+type Evaluator struct {
+	workers int
+}
+
+// NewEvaluator creates an evaluator with the given concurrency;
+// workers <= 0 selects GOMAXPROCS.
+func NewEvaluator(workers int) *Evaluator {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Evaluator{workers: workers}
+}
+
+// Workers returns the configured concurrency.
+func (e *Evaluator) Workers() int { return e.workers }
+
+// Map runs fn(ctx, worker, i) for every i in [0, n). worker is a
+// stable index in [0, Workers()) identifying the executing goroutine,
+// so callers can keep one Session (or other single-goroutine state)
+// per worker. With one worker (or one item) everything runs inline on
+// the calling goroutine.
+//
+// On failure Map cancels the remaining work and returns the error of
+// the lowest-indexed failing item; if the parent context is cancelled
+// before any item fails, the context error is returned.
+func (e *Evaluator) Map(ctx context.Context, n int, fn func(ctx context.Context, worker, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, 0, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if wctx.Err() != nil {
+					return
+				}
+				if err := fn(wctx, worker, i); err != nil {
+					// Cancellations our own cancel() induced are
+					// secondary — don't let them shadow the real
+					// failure in the index-order scan below.
+					if !errors.Is(err, context.Canceled) || ctx.Err() != nil {
+						errs[i] = err
+					}
+					cancel() // stop handing out new work
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return ctx.Err()
+}

@@ -1,0 +1,156 @@
+package exec
+
+import (
+	"fmt"
+
+	"mupod/internal/nn"
+	"mupod/internal/tensor"
+)
+
+// Session executes one network through pooled activation arenas. It
+// owns one output buffer per node plus one injection buffer per node
+// and a shared float64 scratch (the GEMM conv im2col columns), all
+// reused across calls, so the steady-state replay/forward hot path
+// allocates nothing.
+//
+// A Session is NOT safe for concurrent use; create one per worker
+// goroutine. Any number of Sessions may share one Plan — the Plan and
+// the underlying Network (weights included) are only read.
+//
+// Tensors returned by Replay/Forward/ForwardInject are owned by the
+// Session and overwritten by its next call: consume (or copy) them
+// before reusing the Session.
+type Session struct {
+	plan *Plan
+
+	cur     []*tensor.Tensor   // per-call activation view, indexed by node ID
+	bufs    []*tensor.Tensor   // pooled output buffer per node
+	inbufs  []*tensor.Tensor   // pooled injected-input copy per node
+	ins     [][]*tensor.Tensor // pooled input-gather slice per node
+	scratch []float64          // layer working memory (im2col columns)
+}
+
+// NewSession creates an execution session over the given plan.
+func NewSession(p *Plan) *Session {
+	n := len(p.net.Nodes)
+	s := &Session{
+		plan:   p,
+		cur:    make([]*tensor.Tensor, n),
+		bufs:   make([]*tensor.Tensor, n),
+		inbufs: make([]*tensor.Tensor, n),
+		ins:    make([][]*tensor.Tensor, n),
+	}
+	for id, nd := range p.net.Nodes {
+		s.ins[id] = make([]*tensor.Tensor, len(nd.Inputs))
+	}
+	return s
+}
+
+// Plan returns the plan this session executes.
+func (s *Session) Plan() *Plan { return s.plan }
+
+// buf returns the pooled output tensor of node id sized for the given
+// batch, reallocating only when the batch size changes.
+func (s *Session) buf(id, batch int) *tensor.Tensor {
+	want := batch * s.plan.outSize[id]
+	if t := s.bufs[id]; t != nil && t.Len() == want {
+		return t
+	}
+	shape := append([]int{batch}, s.plan.net.Nodes[id].Shape...)
+	t := tensor.New(shape...)
+	s.bufs[id] = t
+	return t
+}
+
+// injectCopy copies src into node id's pooled injection buffer.
+func (s *Session) injectCopy(id int, src *tensor.Tensor) *tensor.Tensor {
+	t := s.inbufs[id]
+	if t == nil || t.Len() != src.Len() || len(t.Shape) != len(src.Shape) {
+		t = tensor.New(src.Shape...)
+		s.inbufs[id] = t
+	}
+	copy(t.Data, src.Data)
+	copy(t.Shape, src.Shape)
+	return t
+}
+
+// gather fills node id's pooled input slice from the current
+// activations.
+func (s *Session) gather(nd *nn.Node) []*tensor.Tensor {
+	ins := s.ins[nd.ID]
+	for i, in := range nd.Inputs {
+		ins[i] = s.cur[in]
+	}
+	return ins
+}
+
+// step executes one node into its pooled buffer (falling back to the
+// layer's allocating Forward if it does not implement IntoForwarder)
+// and records the result in cur.
+func (s *Session) step(nd *nn.Node, ins []*tensor.Tensor, batch int) {
+	if f, ok := nd.Layer.(nn.IntoForwarder); ok {
+		out := s.buf(nd.ID, batch)
+		s.scratch = f.ForwardInto(ins, out, s.scratch)
+		s.cur[nd.ID] = out
+		return
+	}
+	s.cur[nd.ID] = nd.Layer.Forward(ins)
+}
+
+// Replay is the plan-based equivalent of nn.ReplayFrom: re-execute the
+// sub-graph downstream of nodeID from cached exact activations with
+// the input of nodeID perturbed by inject, touching exactly the
+// precomputed dirty-set instead of scanning every successor. The
+// returned logits are owned by the Session.
+func (s *Session) Replay(acts []*tensor.Tensor, nodeID int, inject nn.Injector) *tensor.Tensor {
+	net := s.plan.net
+	if nodeID <= 0 || nodeID >= len(net.Nodes) {
+		panic(fmt.Sprintf("exec: Replay node %d out of range", nodeID))
+	}
+	copy(s.cur, acts)
+	batch := acts[0].Shape[0]
+
+	nd := net.Nodes[nodeID]
+	ins := s.gather(nd)
+	cp := s.injectCopy(nodeID, ins[0])
+	inject(cp)
+	ins[0] = cp
+	s.step(nd, ins, batch)
+
+	for _, id := range s.plan.downstream[nodeID] {
+		node := net.Nodes[id]
+		s.step(node, s.gather(node), batch)
+	}
+	return s.cur[len(net.Nodes)-1]
+}
+
+// ForwardInject runs a full forward pass with the per-node injection
+// plan applied (each injected node sees a privately perturbed copy of
+// its first input, exactly like nn.ForwardInject). The returned logits
+// are owned by the Session.
+func (s *Session) ForwardInject(x *tensor.Tensor, inject map[int]nn.Injector) *tensor.Tensor {
+	net := s.plan.net
+	batch := x.Shape[0]
+	s.cur[0] = x
+	for _, nd := range net.Nodes[1:] {
+		ins := s.gather(nd)
+		if fn, ok := inject[nd.ID]; ok {
+			cp := s.injectCopy(nd.ID, ins[0])
+			fn(cp)
+			ins[0] = cp
+		}
+		s.step(nd, ins, batch)
+	}
+	return s.cur[len(net.Nodes)-1]
+}
+
+// Forward runs a plain full forward pass through the arenas and
+// returns the logits (owned by the Session).
+//
+// Note: cached-activation slices fed to Replay must come from an
+// allocating pass (nn.Network.ForwardAll), never from this Session's
+// own buffers — Replay writes into those buffers and would corrupt
+// the cache.
+func (s *Session) Forward(x *tensor.Tensor) *tensor.Tensor {
+	return s.ForwardInject(x, nil)
+}

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"mupod/internal/core"
@@ -25,6 +26,10 @@ type Opts struct {
 	EvalImages    int    // images per accuracy evaluation (default 200)
 	Seed          uint64 // noise seed (default 1)
 	Scheme        search.Scheme
+	// Workers is the evaluation parallelism threaded into every
+	// profiling and search stage (0 = GOMAXPROCS, 1 = sequential).
+	// Results are bit-identical at any worker count.
+	Workers int
 }
 
 func (o Opts) withDefaults() Opts {
@@ -47,7 +52,7 @@ func (o Opts) withDefaults() Opts {
 }
 
 func (o Opts) profileConfig() profile.Config {
-	return profile.Config{Images: o.ProfileImages, Points: o.ProfilePoints, Seed: o.Seed}
+	return profile.Config{Images: o.ProfileImages, Points: o.ProfilePoints, Seed: o.Seed, Workers: o.Workers}
 }
 
 func (o Opts) searchOptions(relDrop float64) search.Options {
@@ -56,7 +61,15 @@ func (o Opts) searchOptions(relDrop float64) search.Options {
 		RelDrop:    relDrop,
 		EvalImages: o.EvalImages,
 		Seed:       o.Seed ^ 0x5eed,
+		Workers:    o.Workers,
 	}
+}
+
+// exactAccuracy is the exact (no-injection, hence stateless) top-1
+// evaluation, parallel across batches on o.Workers.
+func exactAccuracy(l loaded, n int, o Opts) float64 {
+	acc, _ := search.AccuracyStateless(context.Background(), o.Workers, l.net, l.test, n, 32, nil)
+	return acc
 }
 
 // loaded bundles what every experiment needs for one architecture.
@@ -93,6 +106,7 @@ func pipeline(l loaded, relDrop float64, o Opts) (prof *profile.Profile, sigma f
 			Objective: obj,
 			Search:    o.searchOptions(relDrop),
 			Guard:     true,
+			Workers:   o.Workers,
 		}
 		alloc, _, _, err := core.Allocate(l.net, l.test, prof, sr, cfg)
 		if err != nil {

@@ -66,14 +66,14 @@ func Fig3(a zoo.Arch, sigmas []float64, repeats int, o Opts) (*Fig3Result, error
 	}
 	res := &Fig3Result{
 		Arch:     a,
-		ExactAcc: search.Accuracy(l.net, l.test, o.EvalImages, 32, nil),
+		ExactAcc: exactAccuracy(l, o.EvalImages, o),
 	}
 	L := prof.NumLayers()
 
 	for _, sigma := range sigmas {
 		pt := Fig3Point{Sigma: sigma, CornerMin: 1, CornerMax: 0}
-		s1 := search.Options{Scheme: search.Scheme1Uniform, EvalImages: o.EvalImages, Repeats: repeats, Seed: o.Seed}
-		s2 := search.Options{Scheme: search.Scheme2Gaussian, EvalImages: o.EvalImages, Repeats: repeats, Seed: o.Seed}
+		s1 := search.Options{Scheme: search.Scheme1Uniform, EvalImages: o.EvalImages, Repeats: repeats, Seed: o.Seed, Workers: o.Workers}
+		s2 := search.Options{Scheme: search.Scheme2Gaussian, EvalImages: o.EvalImages, Repeats: repeats, Seed: o.Seed, Workers: o.Workers}
 		pt.EqualScheme = search.EvaluateSigma(l.net, prof, l.test, sigma, s1)
 		pt.GaussianApprox = search.EvaluateSigma(l.net, prof, l.test, sigma, s2)
 		_, _, sdRatio, _ := outputErrorHistogram(l, prof, sigma, o)

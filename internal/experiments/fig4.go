@@ -44,13 +44,13 @@ func Fig4(o Opts) (*Fig4Result, error) {
 		return nil, err
 	}
 	base, err := baseline.SmallestUniform(l.net, prof, l.test, baseline.Options{
-		RelDrop: relDrop, EvalImages: o.EvalImages,
+		RelDrop: relDrop, EvalImages: o.EvalImages, Workers: o.Workers,
 	})
 	if err != nil {
 		return nil, err
 	}
 	w, err := baseline.UniformWeightSearch(l.net, optMAC, l.test, baseline.Options{
-		RelDrop: relDrop, EvalImages: o.EvalImages,
+		RelDrop: relDrop, EvalImages: o.EvalImages, Workers: o.Workers,
 	})
 	if err != nil {
 		return nil, err

@@ -47,7 +47,7 @@ func MethodVsSearch(a zoo.Arch, relDrop float64, o Opts) (*MethodVsSearchResult,
 	res := &MethodVsSearchResult{
 		Arch:     a,
 		RelDrop:  relDrop,
-		ExactAcc: search.Accuracy(l.net, l.test, 0, 32, nil),
+		ExactAcc: exactAccuracy(l, 0, o),
 	}
 
 	// Our pipeline.
@@ -78,7 +78,7 @@ func MethodVsSearch(a zoo.Arch, relDrop float64, o Opts) (*MethodVsSearchResult,
 	// the paper's competitors measure those the same way).
 	t0 = time.Now()
 	srch, err := baseline.StripesSearch(l.net, prof, l.test, baseline.Options{
-		RelDrop: relDrop, EvalImages: o.EvalImages,
+		RelDrop: relDrop, EvalImages: o.EvalImages, Workers: o.Workers,
 	})
 	if err != nil {
 		return nil, err

@@ -8,7 +8,6 @@ import (
 	"mupod/internal/core"
 	"mupod/internal/energy"
 	"mupod/internal/report"
-	"mupod/internal/search"
 	"mupod/internal/zoo"
 )
 
@@ -65,7 +64,7 @@ func Table2(o Opts) (*Table2Result, error) {
 	}
 
 	base, err := baseline.SmallestUniform(l.net, prof, l.test, baseline.Options{
-		RelDrop: relDrop, EvalImages: o.EvalImages,
+		RelDrop: relDrop, EvalImages: o.EvalImages, Workers: o.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -107,7 +106,7 @@ func Table2(o Opts) (*Table2Result, error) {
 	res.InputSavingVsEqual = energy.Saving(float64(res.EqualInputBits), float64(res.OptInputInputBits))
 	res.MACSavingVsEqual = energy.Saving(float64(res.EqualMACBits), float64(res.OptMACMACBits))
 
-	res.ExactAcc = search.Accuracy(l.net, l.test, 0, 32, nil)
+	res.ExactAcc = exactAccuracy(l, 0, o)
 	res.OptInputAcc = optIn.Validate(l.net, l.test, 0)
 	res.OptMACAcc = optMAC.Validate(l.net, l.test, 0)
 	return res, nil

@@ -8,7 +8,6 @@ import (
 	"mupod/internal/baseline"
 	"mupod/internal/energy"
 	"mupod/internal/report"
-	"mupod/internal/search"
 	"mupod/internal/zoo"
 )
 
@@ -72,13 +71,13 @@ func table3Row(l loaded, relDrop float64, o Opts) (*Table3Row, error) {
 		return nil, err
 	}
 	base, err := baseline.SmallestUniform(l.net, prof, l.test, baseline.Options{
-		RelDrop: relDrop, EvalImages: o.EvalImages,
+		RelDrop: relDrop, EvalImages: o.EvalImages, Workers: o.Workers,
 	})
 	if err != nil {
 		return nil, err
 	}
 	w, err := baseline.UniformWeightSearch(l.net, optIn, l.test, baseline.Options{
-		RelDrop: relDrop, EvalImages: o.EvalImages,
+		RelDrop: relDrop, EvalImages: o.EvalImages, Workers: o.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -106,7 +105,7 @@ func table3Row(l loaded, relDrop float64, o Opts) (*Table3Row, error) {
 		optMAC.MACEnergy(energy.Default40nm, w),
 	)
 
-	row.ExactAcc = search.Accuracy(l.net, l.test, 0, 32, nil)
+	row.ExactAcc = exactAccuracy(l, 0, o)
 	row.OptInAcc = optIn.Validate(l.net, l.test, 0)
 	row.OptMACAcc = optMAC.Validate(l.net, l.test, 0)
 	return row, nil

@@ -19,10 +19,12 @@
 package fxnet
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"mupod/internal/core"
+	"mupod/internal/exec"
 	"mupod/internal/fixedpoint"
 	"mupod/internal/nn"
 	"mupod/internal/tensor"
@@ -36,6 +38,11 @@ type Config struct {
 	// WeightFormats overrides the weight format per analyzable layer
 	// (indexed like the activation allocation's Layers).
 	WeightFormats []fixedpoint.Format
+	// Workers parallelizes Accuracy across batches (0 = GOMAXPROCS,
+	// 1 = sequential). The integer path is deterministic, and batch
+	// reports are merged in batch order, so the result is identical at
+	// any worker count.
+	Workers int
 }
 
 // LayerReport is the integer-execution audit of one layer.
@@ -291,9 +298,14 @@ func Accuracy(net *nn.Network, alloc *core.Allocation, cfg Config, images *tenso
 	for _, d := range images.Shape[1:] {
 		stride *= d
 	}
-	correct := 0
-	total := &Report{}
-	for start := 0; start < n; start += batchSize {
+	batches := (n + batchSize - 1) / batchSize
+	counts := make([]int, batches)
+	reports := make([]*Report, batches)
+	// Run is pure (it never mutates the network), so batches evaluate
+	// independently on the worker pool; per-batch results land in
+	// deterministic slots and merge in batch order below.
+	err := exec.NewEvaluator(cfg.Workers).Map(context.Background(), batches, func(_ context.Context, _, bi int) error {
+		start := bi * batchSize
 		b := batchSize
 		if start+b > n {
 			b = n - start
@@ -301,14 +313,24 @@ func Accuracy(net *nn.Network, alloc *core.Allocation, cfg Config, images *tenso
 		batch := tensor.FromSlice(images.Data[start*stride:(start+b)*stride], append([]int{b}, images.Shape[1:]...)...)
 		logits, rep, err := Run(net, alloc, cfg, batch)
 		if err != nil {
-			return 0, nil, err
+			return err
 		}
-		mergeReports(total, rep)
+		reports[bi] = rep
 		for i, p := range nn.Argmax(logits) {
 			if p == labels[start+i] {
-				correct++
+				counts[bi]++
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	correct := 0
+	total := &Report{}
+	for bi := 0; bi < batches; bi++ {
+		correct += counts[bi]
+		mergeReports(total, reports[bi])
 	}
 	return float64(correct) / float64(n), total, nil
 }

@@ -14,10 +14,12 @@
 package groups
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"mupod/internal/dataset"
+	"mupod/internal/exec"
 	"mupod/internal/fixedpoint"
 	"mupod/internal/nn"
 	"mupod/internal/optimize"
@@ -183,18 +185,42 @@ func groupMaxAbs(t *tensor.Tensor, lo, hi int) float64 {
 	return max
 }
 
+// groupRepeats pools a few realizations per point; groups are small.
+const groupRepeats = 4
+
+// groupSweep is the precomputed measurement schedule of one group.
+type groupSweep struct {
+	gp     GroupProfile
+	deltas []float64
+	rngs   []*rng.RNG // one pre-split stream per (point, repeat), point-major
+}
+
 // Run profiles every channel group of every analyzable layer.
 func Run(net *nn.Network, ds *dataset.Dataset, cfg Config) (*Profile, error) {
+	return RunContext(context.Background(), net, ds, cfg)
+}
+
+// RunContext is Run with cancellation. Like the activation profiler,
+// the sweep is embarrassingly parallel across (group, point, repeat)
+// replays and runs on cfg.Profile.Workers goroutines; noise streams
+// are pre-split per replay in sequential consumption order and diffs
+// are pooled in that same fixed order, so the profile is bit-identical
+// at every worker count.
+func RunContext(ctx context.Context, net *nn.Network, ds *dataset.Dataset, cfg Config) (*Profile, error) {
 	cfg = cfg.withDefaults()
 	pc := cfg.Profile
 	if ds.Len() < pc.Images {
 		return nil, fmt.Errorf("groups: dataset has %d images, config needs %d", ds.Len(), pc.Images)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("groups: %w", err)
+	}
 	batch := ds.Batch(0, pc.Images)
 	acts := net.ForwardAll(batch)
 	exact := acts[len(acts)-1]
 
-	p := &Profile{NetName: net.Name}
+	// Sequential prep: group bounds, metadata, Δ grid, pre-split RNGs.
+	var sweeps []groupSweep
 	for _, nodeID := range net.AnalyzableNodes() {
 		nd := net.Nodes[nodeID]
 		input := acts[nd.Inputs[0]]
@@ -207,22 +233,85 @@ func Run(net *nn.Network, ds *dataset.Dataset, cfg Config) (*Profile, error) {
 		for gi := 0; gi < g; gi++ {
 			lo := gi * channels / g
 			hi := (gi + 1) * channels / g
-			gp, err := profileGroup(net, acts, exact, nodeID, gi, lo, hi, pc)
-			if err != nil {
+			var sw groupSweep
+			if err := prepGroup(&sw, net, acts, nodeID, gi, lo, hi, pc); err != nil {
 				return nil, fmt.Errorf("groups: %s#%d: %w", nd.Name, gi, err)
 			}
-			gp.Inputs = perImage * (hi - lo) / channels
-			p.Groups = append(p.Groups, gp)
+			sw.gp.Inputs = perImage * (hi - lo) / channels
+			sweeps = append(sweeps, sw)
 		}
+	}
+
+	// Fan the replays out; item i's diff vector lands in slot i of one
+	// shared block, indexed deterministically.
+	type workItem struct{ group, pt, rep int }
+	var items []workItem
+	for k := range sweeps {
+		for pt := 0; pt < pc.Points; pt++ {
+			for rep := 0; rep < groupRepeats; rep++ {
+				items = append(items, workItem{k, pt, rep})
+			}
+		}
+	}
+	stride := exact.Len()
+	diffs := make([]float64, len(items)*stride)
+	ev := exec.NewEvaluator(pc.Workers)
+	plan := exec.NewPlan(net)
+	sessions := make([]*exec.Session, ev.Workers())
+	err := ev.Map(ctx, len(items), func(ctx context.Context, worker, i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		sess := sessions[worker]
+		if sess == nil {
+			sess = exec.NewSession(plan)
+			sessions[worker] = sess
+		}
+		it := items[i]
+		sw := &sweeps[it.group]
+		r := sw.rngs[it.pt*groupRepeats+it.rep]
+		out := sess.Replay(acts, sw.gp.NodeID, groupInjector(r, sw.deltas[it.pt], sw.gp.LoChan, sw.gp.HiChan))
+		dst := diffs[i*stride : (i+1)*stride]
+		for j := range dst {
+			dst[j] = out.Data[j] - exact.Data[j]
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("groups: %w", err)
+	}
+
+	// Reduce in (group, point, repeat) order — the sequential pooling
+	// order — then fit Eq. 5 per group.
+	p := &Profile{NetName: net.Name}
+	idx := 0
+	for k := range sweeps {
+		sw := &sweeps[k]
+		var deltas, sigmas []float64
+		pooled := make([]float64, 0, groupRepeats*stride)
+		for pt := 0; pt < pc.Points; pt++ {
+			pooled = pooled[:0]
+			for rep := 0; rep < groupRepeats; rep++ {
+				pooled = append(pooled, diffs[idx*stride:(idx+1)*stride]...)
+				idx++
+			}
+			_, sd := stats.MeanStd(pooled)
+			deltas = append(deltas, sw.deltas[pt])
+			sigmas = append(sigmas, sd)
+		}
+		if err := fitGroup(&sw.gp, deltas, sigmas); err != nil {
+			return nil, fmt.Errorf("groups: %s: %w", sw.gp.Name, err)
+		}
+		p.Groups = append(p.Groups, sw.gp)
 	}
 	return p, nil
 }
 
-func profileGroup(net *nn.Network, acts []*tensor.Tensor, exact *tensor.Tensor, nodeID, gi, lo, hi int, pc profile.Config) (GroupProfile, error) {
+func prepGroup(sw *groupSweep, net *nn.Network, acts []*tensor.Tensor, nodeID, gi, lo, hi int, pc profile.Config) error {
 	nd := net.Nodes[nodeID]
 	input := acts[nd.Inputs[0]]
 	maxAbs := groupMaxAbs(input, lo, hi)
-	gp := GroupProfile{
+	sw.gp = GroupProfile{
 		NodeID: nodeID,
 		Name:   fmt.Sprintf("%s#%d", nd.Name, gi),
 		Group:  gi,
@@ -231,44 +320,37 @@ func profileGroup(net *nn.Network, acts []*tensor.Tensor, exact *tensor.Tensor, 
 		IntBits: fixedpoint.IntBitsForRange(maxAbs),
 	}
 	if maxAbs == 0 {
-		return gp, fmt.Errorf("group input is all zeros")
+		return fmt.Errorf("group input is all zeros")
 	}
 	base := rng.New(pc.Seed ^ uint64(nodeID)*0x9e3779b97f4a7c15 ^ uint64(gi)<<48)
-	repeats := 4 // groups are small; pool a few realizations per point
-	var deltas, sigmas []float64
-	diff := make([]float64, 0, exact.Len()*repeats)
 	loD, hiD := pc.DeltaLoFrac*maxAbs, pc.DeltaHiFrac*maxAbs
 	for pt := 0; pt < pc.Points; pt++ {
 		frac := 0.0
 		if pc.Points > 1 {
 			frac = float64(pt) / float64(pc.Points-1)
 		}
-		delta := loD * math.Pow(hiD/loD, frac)
-		diff = diff[:0]
-		for rep := 0; rep < repeats; rep++ {
-			r := base.Split()
-			out := net.ReplayFrom(acts, nodeID, groupInjector(r, delta, lo, hi))
-			for i := range out.Data {
-				diff = append(diff, out.Data[i]-exact.Data[i])
-			}
+		sw.deltas = append(sw.deltas, loD*math.Pow(hiD/loD, frac))
+		for rep := 0; rep < groupRepeats; rep++ {
+			sw.rngs = append(sw.rngs, base.Split())
 		}
-		_, sd := stats.MeanStd(diff)
-		deltas = append(deltas, delta)
-		sigmas = append(sigmas, sd)
 	}
+	return nil
+}
+
+func fitGroup(gp *GroupProfile, deltas, sigmas []float64) error {
 	w := make([]float64, len(deltas))
 	for i, d := range deltas {
 		w[i] = 1 / (d * d)
 	}
 	fit, err := stats.FitLineWeighted(sigmas, deltas, w)
 	if err != nil {
-		return gp, err
+		return err
 	}
 	gp.Lambda, gp.Theta, gp.R2 = fit.Slope, fit.Intercept, fit.R2
 	if gp.Lambda <= 0 {
-		return gp, fmt.Errorf("non-positive λ=%.4g (R²=%.3f)", gp.Lambda, gp.R2)
+		return fmt.Errorf("non-positive λ=%.4g (R²=%.3f)", gp.Lambda, gp.R2)
 	}
-	return gp, nil
+	return nil
 }
 
 // GroupAlloc is one group's format assignment.
@@ -378,6 +460,9 @@ func Allocate(prof *Profile, sigmaYL float64, deltaFloor float64) (*Allocation, 
 }
 
 // Validate measures real accuracy with the group formats applied.
+// Group quantizers are stateless, so the evaluation runs on GOMAXPROCS
+// workers with a bit-identical result at any worker count.
 func Validate(net *nn.Network, ds *dataset.Dataset, n int, a *Allocation) float64 {
-	return search.Accuracy(net, ds, n, 32, a.InjectionPlan())
+	acc, _ := search.AccuracyStateless(context.Background(), 0, net, ds, n, 32, a.InjectionPlan())
+	return acc
 }

@@ -21,13 +21,8 @@ func (ReLU) OutShape(in [][]int) []int { return append([]int(nil), in[0]...) }
 // Forward implements Layer.
 func (ReLU) Forward(ins []*tensor.Tensor) *tensor.Tensor {
 	checkInputs("relu", ins, 1)
-	x := ins[0]
-	out := tensor.New(x.Shape...)
-	for i, v := range x.Data {
-		if v > 0 {
-			out.Data[i] = v
-		}
-	}
+	out := tensor.New(ins[0].Shape...)
+	ReLU{}.ForwardInto(ins, out, nil)
 	return out
 }
 

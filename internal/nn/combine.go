@@ -29,8 +29,8 @@ func (Add) OutShape(in [][]int) []int {
 // Forward implements Layer.
 func (Add) Forward(ins []*tensor.Tensor) *tensor.Tensor {
 	checkInputs("add", ins, 2)
-	out := ins[0].Clone()
-	out.Add(ins[1])
+	out := tensor.New(ins[0].Shape...)
+	Add{}.ForwardInto(ins, out, nil)
 	return out
 }
 
@@ -67,20 +67,8 @@ func (Concat) Forward(ins []*tensor.Tensor) *tensor.Tensor {
 	for i, t := range ins {
 		shapes[i] = t.Shape
 	}
-	os := Concat{}.OutShape(shapes)
-	out := tensor.New(os...)
-	N, H, W := os[0], os[2], os[3]
-	plane := H * W
-	for n := 0; n < N; n++ {
-		cOff := 0
-		for _, t := range ins {
-			c := t.Shape[1]
-			src := t.Data[n*c*plane : (n+1)*c*plane]
-			dst := out.Data[(n*os[1]+cOff)*plane : (n*os[1]+cOff+c)*plane]
-			copy(dst, src)
-			cOff += c
-		}
-	}
+	out := tensor.New(Concat{}.OutShape(shapes)...)
+	Concat{}.ForwardInto(ins, out, nil)
 	return out
 }
 

@@ -80,49 +80,13 @@ func (c *Conv2D) Params() []Param {
 }
 
 // Forward implements Layer with a direct convolution by default; see
-// UseGEMMConv for the im2col+GEMM alternative.
+// UseGEMMConv for the im2col+GEMM alternative. Both paths share their
+// loops with ForwardInto, which pooled execution (internal/exec) calls
+// directly to skip the per-call output allocation.
 func (c *Conv2D) Forward(ins []*tensor.Tensor) *tensor.Tensor {
 	checkInputs("conv", ins, 1)
-	if UseGEMMConv {
-		return c.forwardGEMM(ins[0])
-	}
-	x := ins[0]
-	N, H, W := x.Shape[0], x.Shape[2], x.Shape[3]
-	os := c.OutShape([][]int{x.Shape})
-	out := tensor.New(os...)
-	OH, OW := os[2], os[3]
-	for n := 0; n < N; n++ {
-		for oc := 0; oc < c.OutC; oc++ {
-			bias := c.B.Data[oc]
-			for oh := 0; oh < OH; oh++ {
-				ihBase := oh*c.Stride - c.Pad
-				for ow := 0; ow < OW; ow++ {
-					iwBase := ow*c.Stride - c.Pad
-					acc := bias
-					for ic := 0; ic < c.InC; ic++ {
-						xBase := ((n*c.InC + ic) * H) * W
-						wBase := ((oc*c.InC + ic) * c.K) * c.K
-						for kh := 0; kh < c.K; kh++ {
-							ih := ihBase + kh
-							if ih < 0 || ih >= H {
-								continue
-							}
-							xRow := xBase + ih*W
-							wRow := wBase + kh*c.K
-							for kw := 0; kw < c.K; kw++ {
-								iw := iwBase + kw
-								if iw < 0 || iw >= W {
-									continue
-								}
-								acc += x.Data[xRow+iw] * c.W.Data[wRow+kw]
-							}
-						}
-					}
-					out.Data[((n*c.OutC+oc)*OH+oh)*OW+ow] = acc
-				}
-			}
-		}
-	}
+	out := tensor.New(c.OutShape([][]int{ins[0].Shape})...)
+	c.ForwardInto(ins, out, nil)
 	return out
 }
 
@@ -238,41 +202,8 @@ func (d *DepthwiseConv2D) Params() []Param {
 // Forward implements Layer.
 func (d *DepthwiseConv2D) Forward(ins []*tensor.Tensor) *tensor.Tensor {
 	checkInputs("dwconv", ins, 1)
-	x := ins[0]
-	N, H, W := x.Shape[0], x.Shape[2], x.Shape[3]
-	os := d.OutShape([][]int{x.Shape})
-	out := tensor.New(os...)
-	OH, OW := os[2], os[3]
-	for n := 0; n < N; n++ {
-		for c := 0; c < d.C; c++ {
-			xBase := ((n*d.C + c) * H) * W
-			wBase := c * d.K * d.K
-			bias := d.B.Data[c]
-			for oh := 0; oh < OH; oh++ {
-				ihBase := oh*d.Stride - d.Pad
-				for ow := 0; ow < OW; ow++ {
-					iwBase := ow*d.Stride - d.Pad
-					acc := bias
-					for kh := 0; kh < d.K; kh++ {
-						ih := ihBase + kh
-						if ih < 0 || ih >= H {
-							continue
-						}
-						xRow := xBase + ih*W
-						wRow := wBase + kh*d.K
-						for kw := 0; kw < d.K; kw++ {
-							iw := iwBase + kw
-							if iw < 0 || iw >= W {
-								continue
-							}
-							acc += x.Data[xRow+iw] * d.W.Data[wRow+kw]
-						}
-					}
-					out.Data[((n*d.C+c)*OH+oh)*OW+ow] = acc
-				}
-			}
-		}
-	}
+	out := tensor.New(d.OutShape([][]int{ins[0].Shape})...)
+	d.ForwardInto(ins, out, nil)
 	return out
 }
 

@@ -67,20 +67,8 @@ func (d *Dense) Params() []Param {
 // [N, features].
 func (d *Dense) Forward(ins []*tensor.Tensor) *tensor.Tensor {
 	checkInputs("fc", ins, 1)
-	x := ins[0]
-	N := x.Shape[0]
-	out := tensor.New(N, d.Out)
-	for n := 0; n < N; n++ {
-		xRow := x.Data[n*d.In : (n+1)*d.In]
-		for o := 0; o < d.Out; o++ {
-			wRow := d.W.Data[o*d.In : (o+1)*d.In]
-			acc := d.B.Data[o]
-			for i, xv := range xRow {
-				acc += wRow[i] * xv
-			}
-			out.Data[n*d.Out+o] = acc
-		}
-	}
+	out := tensor.New(ins[0].Shape[0], d.Out)
+	d.ForwardInto(ins, out, nil)
 	return out
 }
 
@@ -126,8 +114,9 @@ func (Flatten) OutShape(in [][]int) []int {
 func (Flatten) Forward(ins []*tensor.Tensor) *tensor.Tensor {
 	checkInputs("flatten", ins, 1)
 	x := ins[0]
-	out := x.Clone()
-	return out.Reshape(x.Shape[0], shapeSize(x.Shape[1:]))
+	out := tensor.New(x.Shape[0], shapeSize(x.Shape[1:]))
+	Flatten{}.ForwardInto(ins, out, nil)
+	return out
 }
 
 // Backward implements Layer.

@@ -53,33 +53,10 @@ func (c *Conv2D) im2col(x *tensor.Tensor, n int, cols []float64) (oh, ow int) {
 }
 
 // forwardGEMM computes the convolution as OutC×(InC·K·K) times
-// (InC·K·K)×(OH·OW) per image.
+// (InC·K·K)×(OH·OW) per image; the loops live in gemmInto so pooled
+// execution shares the exact same code path.
 func (c *Conv2D) forwardGEMM(x *tensor.Tensor) *tensor.Tensor {
-	N := x.Shape[0]
-	os := c.OutShape([][]int{x.Shape})
-	out := tensor.New(os...)
-	OH, OW := os[2], os[3]
-	plane := OH * OW
-	ckk := c.InC * c.K * c.K
-	cols := make([]float64, ckk*plane)
-	for n := 0; n < N; n++ {
-		c.im2col(x, n, cols)
-		for oc := 0; oc < c.OutC; oc++ {
-			wRow := c.W.Data[oc*ckk : (oc+1)*ckk]
-			dst := out.Data[(n*c.OutC+oc)*plane : (n*c.OutC+oc+1)*plane]
-			for i := range dst {
-				dst[i] = c.B.Data[oc]
-			}
-			for r, wv := range wRow {
-				if wv == 0 {
-					continue
-				}
-				src := cols[r*plane : (r+1)*plane]
-				for i, sv := range src {
-					dst[i] += wv * sv
-				}
-			}
-		}
-	}
+	out := tensor.New(c.OutShape([][]int{x.Shape})...)
+	c.gemmInto(x, out, nil)
 	return out
 }

@@ -27,6 +27,13 @@ type Node struct {
 // Injector perturbs (in place) a copy of the input tensor of an
 // analyzable node during a forward pass — the paper's error-injection
 // primitive (Sec. V-A step 3).
+//
+// Contract: injection applies to Inputs[0] of the target node ONLY.
+// Every analyzable (dot-product) layer in this repository consumes a
+// single input, so this covers the full operand stream the paper
+// quantizes; AddNode rejects any future multi-input dot-product layer
+// at construction time rather than letting its extra operands escape
+// injection silently.
 type Injector func(t *tensor.Tensor)
 
 // Network is a feed-forward DAG of layers. Nodes are stored in
@@ -37,6 +44,12 @@ type Network struct {
 	InputShape []int // per-image [C, H, W]
 	NumClasses int
 	Nodes      []*Node
+
+	// byName indexes nodes by their (first-registered) name; maintained
+	// by NewNetwork/AddNode so NodeByName is O(1). Nil for networks
+	// assembled outside those constructors — lookups then fall back to
+	// a linear scan.
+	byName map[string]*Node
 }
 
 // NewNetwork creates a network with the given per-image input shape.
@@ -47,6 +60,7 @@ func NewNetwork(name string, inputShape []int, numClasses int) *Network {
 		InputShape: append([]int(nil), inputShape...),
 		NumClasses: numClasses,
 		Nodes:      []*Node{in},
+		byName:     map[string]*Node{"input": in},
 	}
 }
 
@@ -68,14 +82,27 @@ func (n *Network) AddNode(name string, l Layer, inputs ...int) int {
 	}
 	outShape := l.OutShape(inShapes)
 	_, isDot := l.(DotProduct)
-	n.Nodes = append(n.Nodes, &Node{
+	if isDot && len(inputs) > 1 {
+		// Injection (and therefore profiling) perturbs Inputs[0] only —
+		// see the Injector contract. A multi-input dot-product layer
+		// would have operands the analysis silently never covers.
+		panic(fmt.Sprintf("nn: AddNode(%s): dot-product layer %q has %d inputs; analyzable layers must be single-input (injection covers Inputs[0] only)",
+			name, l.Kind(), len(inputs)))
+	}
+	nd := &Node{
 		ID:         id,
 		Name:       name,
 		Layer:      l,
 		Inputs:     append([]int(nil), inputs...),
 		Analyzable: isDot,
 		Shape:      append([]int(nil), outShape[1:]...),
-	})
+	}
+	n.Nodes = append(n.Nodes, nd)
+	if n.byName != nil {
+		if _, dup := n.byName[name]; !dup {
+			n.byName[name] = nd
+		}
+	}
 	return id
 }
 
@@ -94,8 +121,13 @@ func (n *Network) AnalyzableNodes() []int {
 	return out
 }
 
-// NodeByName returns the first node with the given name, or nil.
+// NodeByName returns the first node with the given name, or nil. With
+// a constructor-built network this is a map lookup; hand-assembled
+// Network literals fall back to a linear scan.
 func (n *Network) NodeByName(name string) *Node {
+	if n.byName != nil {
+		return n.byName[name]
+	}
 	for _, nd := range n.Nodes {
 		if nd.Name == name {
 			return nd

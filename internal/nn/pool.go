@@ -40,30 +40,8 @@ func (p *MaxPool2D) OutShape(in [][]int) []int {
 // Forward implements Layer.
 func (p *MaxPool2D) Forward(ins []*tensor.Tensor) *tensor.Tensor {
 	checkInputs("maxpool", ins, 1)
-	x := ins[0]
-	N, C, H, W := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
-	os := p.OutShape([][]int{x.Shape})
-	OH, OW := os[2], os[3]
-	out := tensor.New(os...)
-	for n := 0; n < N; n++ {
-		for c := 0; c < C; c++ {
-			base := ((n*C + c) * H) * W
-			for oh := 0; oh < OH; oh++ {
-				for ow := 0; ow < OW; ow++ {
-					best := math.Inf(-1)
-					for kh := 0; kh < p.K; kh++ {
-						row := base + (oh*p.Stride+kh)*W + ow*p.Stride
-						for kw := 0; kw < p.K; kw++ {
-							if v := x.Data[row+kw]; v > best {
-								best = v
-							}
-						}
-					}
-					out.Data[((n*C+c)*OH+oh)*OW+ow] = best
-				}
-			}
-		}
-	}
+	out := tensor.New(p.OutShape([][]int{ins[0].Shape})...)
+	p.ForwardInto(ins, out, nil)
 	return out
 }
 
@@ -130,29 +108,8 @@ func (p *AvgPool2D) OutShape(in [][]int) []int {
 // Forward implements Layer.
 func (p *AvgPool2D) Forward(ins []*tensor.Tensor) *tensor.Tensor {
 	checkInputs("avgpool", ins, 1)
-	x := ins[0]
-	N, C, H, W := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
-	os := p.OutShape([][]int{x.Shape})
-	OH, OW := os[2], os[3]
-	out := tensor.New(os...)
-	inv := 1 / float64(p.K*p.K)
-	for n := 0; n < N; n++ {
-		for c := 0; c < C; c++ {
-			base := ((n*C + c) * H) * W
-			for oh := 0; oh < OH; oh++ {
-				for ow := 0; ow < OW; ow++ {
-					acc := 0.0
-					for kh := 0; kh < p.K; kh++ {
-						row := base + (oh*p.Stride+kh)*W + ow*p.Stride
-						for kw := 0; kw < p.K; kw++ {
-							acc += x.Data[row+kw]
-						}
-					}
-					out.Data[((n*C+c)*OH+oh)*OW+ow] = acc * inv
-				}
-			}
-		}
-	}
+	out := tensor.New(p.OutShape([][]int{ins[0].Shape})...)
+	p.ForwardInto(ins, out, nil)
 	return out
 }
 
@@ -198,20 +155,8 @@ func (GlobalAvgPool) OutShape(in [][]int) []int {
 // Forward implements Layer.
 func (GlobalAvgPool) Forward(ins []*tensor.Tensor) *tensor.Tensor {
 	checkInputs("gap", ins, 1)
-	x := ins[0]
-	N, C, H, W := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
-	out := tensor.New(N, C)
-	inv := 1 / float64(H*W)
-	for n := 0; n < N; n++ {
-		for c := 0; c < C; c++ {
-			base := ((n*C + c) * H) * W
-			acc := 0.0
-			for i := 0; i < H*W; i++ {
-				acc += x.Data[base+i]
-			}
-			out.Data[n*C+c] = acc * inv
-		}
-	}
+	out := tensor.New(ins[0].Shape[0], ins[0].Shape[1])
+	GlobalAvgPool{}.ForwardInto(ins, out, nil)
 	return out
 }
 

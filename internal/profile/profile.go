@@ -17,6 +17,7 @@ import (
 	"math"
 
 	"mupod/internal/dataset"
+	"mupod/internal/exec"
 	"mupod/internal/fixedpoint"
 	"mupod/internal/nn"
 	"mupod/internal/rng"
@@ -50,6 +51,13 @@ type Config struct {
 	// represented exactly (Fig. 1: "Zero values at X_K are always
 	// accurately represented ... and hence not included").
 	IncludeZeros bool
+
+	// Workers bounds the replay worker pool (0 = GOMAXPROCS, 1 =
+	// sequential). Noise streams are pre-split per (layer, Δ-point,
+	// repeat) work item and reduced in a fixed order, so the profile is
+	// bit-identical at every worker count — Workers changes wall-clock
+	// time only, never results (content-addressed caches hash it out).
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -127,16 +135,39 @@ type Profile struct {
 	NetName string
 	Layers  []LayerProfile // analyzable layers in topological order
 	Config  Config
+
+	// index maps NodeID → position in Layers. Run builds it eagerly;
+	// hand-assembled or deserialized profiles leave it nil and Layer
+	// falls back to a linear scan (optimizer objective loops call
+	// Layer per evaluation, so the O(1) path matters at depth).
+	index map[int]int
 }
 
 // Layer returns the profile of the given node ID, or nil.
 func (p *Profile) Layer(nodeID int) *LayerProfile {
+	if p.index != nil {
+		if i, ok := p.index[nodeID]; ok {
+			return &p.Layers[i]
+		}
+		return nil
+	}
 	for i := range p.Layers {
 		if p.Layers[i].NodeID == nodeID {
 			return &p.Layers[i]
 		}
 	}
 	return nil
+}
+
+// Reindex (re)builds the NodeID→index lookup after Layers is mutated
+// or assembled by hand.
+func (p *Profile) Reindex() {
+	p.index = make(map[int]int, len(p.Layers))
+	for i := range p.Layers {
+		if _, dup := p.index[p.Layers[i].NodeID]; !dup {
+			p.index[p.Layers[i].NodeID] = i
+		}
+	}
 }
 
 // NumLayers returns Ł, the number of analyzable layers.
@@ -174,9 +205,15 @@ func Run(net *nn.Network, ds *dataset.Dataset, cfg Config) (*Profile, error) {
 	return RunContext(context.Background(), net, ds, cfg)
 }
 
-// RunContext is Run with cancellation: the measurement sweep checks ctx
-// between replays, so a long profiling run aborts promptly when the
-// caller cancels (the serving daemon relies on this).
+// RunContext is Run with cancellation: workers check ctx between
+// replays, so a long profiling run aborts promptly when the caller
+// cancels (the serving daemon relies on this).
+//
+// The Δ-sweep is embarrassingly parallel across (layer, point, repeat)
+// work items and runs on cfg.Workers goroutines; noise streams are
+// pre-split per item in the order a sequential sweep would consume
+// them and diffs are pooled in that same fixed order, so the profile
+// is bit-identical at every worker count.
 func RunContext(ctx context.Context, net *nn.Network, ds *dataset.Dataset, cfg Config) (*Profile, error) {
 	cfg = cfg.withDefaults()
 	if ds.Len() < cfg.Images {
@@ -192,22 +229,95 @@ func RunContext(ctx context.Context, net *nn.Network, ds *dataset.Dataset, cfg C
 	acts := net.ForwardAll(batch)
 	exact := acts[len(acts)-1]
 
-	p := &Profile{NetName: net.Name, Config: cfg}
-	for _, nodeID := range net.AnalyzableNodes() {
-		lp, err := profileLayer(ctx, net, acts, exact, nodeID, cfg)
-		if err != nil {
+	// Per-layer preparation is cheap and sequential: metadata, the
+	// adaptive repeat count, the Δ grid, and one pre-split RNG per
+	// (point, repeat) replay.
+	nodes := net.AnalyzableNodes()
+	preps := make([]layerSweep, len(nodes))
+	for k, nodeID := range nodes {
+		if err := prepLayer(&preps[k], net, acts, nodeID, cfg); err != nil {
 			return nil, fmt.Errorf("profile: layer %s: %w", net.Nodes[nodeID].Name, err)
 		}
-		p.Layers = append(p.Layers, lp)
 	}
+
+	// Flatten the sweep into one deterministic work list and fan it
+	// out; item i's diff vector lands in slot i of one shared block.
+	type workItem struct{ layer, pt, rep int }
+	var items []workItem
+	for k := range preps {
+		for pt := 0; pt < cfg.Points; pt++ {
+			for rep := 0; rep < preps[k].repeats; rep++ {
+				items = append(items, workItem{k, pt, rep})
+			}
+		}
+	}
+	stride := exact.Len()
+	diffs := make([]float64, len(items)*stride)
+	ev := exec.NewEvaluator(cfg.Workers)
+	plan := exec.NewPlan(net)
+	sessions := make([]*exec.Session, ev.Workers())
+	err := ev.Map(ctx, len(items), func(ctx context.Context, worker, i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		sess := sessions[worker]
+		if sess == nil {
+			sess = exec.NewSession(plan)
+			sessions[worker] = sess
+		}
+		it := items[i]
+		sw := &preps[it.layer]
+		r := sw.rngs[it.pt*sw.repeats+it.rep]
+		out := sess.Replay(acts, sw.lp.NodeID, UniformInjector(r, sw.deltas[it.pt], cfg.IncludeZeros))
+		dst := diffs[i*stride : (i+1)*stride]
+		for j := range dst {
+			dst[j] = out.Data[j] - exact.Data[j]
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("profile: %w", err)
+	}
+
+	// Reduce in (layer, point, repeat) order — the exact pooling order
+	// of a sequential sweep — then fit Eq. 5 per layer.
+	p := &Profile{NetName: net.Name, Config: cfg}
+	idx := 0
+	for k := range preps {
+		sw := &preps[k]
+		pooled := make([]float64, 0, sw.repeats*stride)
+		for pt := 0; pt < cfg.Points; pt++ {
+			pooled = pooled[:0]
+			for rep := 0; rep < sw.repeats; rep++ {
+				pooled = append(pooled, diffs[idx*stride:(idx+1)*stride]...)
+				idx++
+			}
+			_, sd := stats.MeanStd(pooled)
+			sw.lp.Deltas = append(sw.lp.Deltas, sw.deltas[pt])
+			sw.lp.Sigmas = append(sw.lp.Sigmas, sd)
+		}
+		if err := fitLayer(&sw.lp); err != nil {
+			return nil, fmt.Errorf("profile: layer %s: %w", sw.lp.Name, err)
+		}
+		p.Layers = append(p.Layers, sw.lp)
+	}
+	p.Reindex()
 	return p, nil
 }
 
-func profileLayer(ctx context.Context, net *nn.Network, acts []*tensor.Tensor, exact *tensor.Tensor, nodeID int, cfg Config) (LayerProfile, error) {
+// layerSweep is the precomputed measurement schedule of one layer.
+type layerSweep struct {
+	lp      LayerProfile
+	repeats int
+	deltas  []float64  // one Δ per measurement point
+	rngs    []*rng.RNG // one pre-split stream per (point, repeat), point-major
+}
+
+func prepLayer(sw *layerSweep, net *nn.Network, acts []*tensor.Tensor, nodeID int, cfg Config) error {
 	nd := net.Nodes[nodeID]
 	input := acts[nd.Inputs[0]]
 	maxAbs := input.MaxAbs()
-	lp := LayerProfile{
+	sw.lp = LayerProfile{
 		NodeID:  nodeID,
 		Name:    nd.Name,
 		Kind:    nd.Layer.Kind(),
@@ -217,7 +327,7 @@ func profileLayer(ctx context.Context, net *nn.Network, acts []*tensor.Tensor, e
 		MACs:    net.MACCount(nodeID),
 	}
 	if maxAbs == 0 {
-		return lp, fmt.Errorf("input is all zeros; network is degenerate here")
+		return fmt.Errorf("input is all zeros; network is degenerate here")
 	}
 
 	// Adaptive repeat count: pool replays until enough independent
@@ -229,60 +339,52 @@ func profileLayer(ctx context.Context, net *nn.Network, acts []*tensor.Tensor, e
 		}
 	}
 	if nonzero == 0 {
-		return lp, fmt.Errorf("input has no non-zero elements")
+		return fmt.Errorf("input has no non-zero elements")
 	}
-	repeats := (cfg.TargetSamples + nonzero - 1) / nonzero
-	if repeats < 1 {
-		repeats = 1
+	sw.repeats = (cfg.TargetSamples + nonzero - 1) / nonzero
+	if sw.repeats < 1 {
+		sw.repeats = 1
 	}
-	if repeats > 12 {
-		repeats = 12
+	if sw.repeats > 12 {
+		sw.repeats = 12
 	}
 
-	// Steps 2-5: sweep Δ over a log-spaced grid and measure the induced
-	// output error s.d. per point (pooled over the repeats). Noise
-	// streams derive sequentially from one per-layer generator so every
-	// (point, repeat) replay draws independent deviates.
+	// Log-spaced Δ grid, and one noise stream per replay. Streams
+	// derive sequentially from one per-layer generator in (point,
+	// repeat) order so every replay draws independent deviates and the
+	// assignment matches what a sequential sweep would consume.
 	base := rng.New(cfg.Seed ^ uint64(nodeID)*0x9e3779b97f4a7c15)
-	diff := make([]float64, 0, exact.Len()*repeats)
 	lo, hi := cfg.DeltaLoFrac*maxAbs, cfg.DeltaHiFrac*maxAbs
 	for pt := 0; pt < cfg.Points; pt++ {
 		frac := 0.0
 		if cfg.Points > 1 {
 			frac = float64(pt) / float64(cfg.Points-1)
 		}
-		delta := lo * math.Pow(hi/lo, frac)
-		diff = diff[:0]
-		for rep := 0; rep < repeats; rep++ {
-			if err := ctx.Err(); err != nil {
-				return lp, err
-			}
-			r := base.Split()
-			out := net.ReplayFrom(acts, nodeID, UniformInjector(r, delta, cfg.IncludeZeros))
-			for i := range out.Data {
-				diff = append(diff, out.Data[i]-exact.Data[i])
-			}
+		sw.deltas = append(sw.deltas, lo*math.Pow(hi/lo, frac))
+		for rep := 0; rep < sw.repeats; rep++ {
+			sw.rngs = append(sw.rngs, base.Split())
 		}
-		_, sd := stats.MeanStd(diff)
-		lp.Deltas = append(lp.Deltas, delta)
-		lp.Sigmas = append(lp.Sigmas, sd)
 	}
+	return nil
+}
 
-	// Relative-error weighting (w = 1/Δ²) balances the log-spaced sweep
-	// so the fit is accurate across the whole operating range, not just
-	// at the largest Δ.
+// fitLayer fits Eq. 5 to a layer's measured (σ, Δ) points with
+// relative-error weighting (w = 1/Δ²), which balances the log-spaced
+// sweep so the fit is accurate across the whole operating range, not
+// just at the largest Δ.
+func fitLayer(lp *LayerProfile) error {
 	w := make([]float64, len(lp.Deltas))
 	for i, d := range lp.Deltas {
 		w[i] = 1 / (d * d)
 	}
 	fit, err := stats.FitLineWeighted(lp.Sigmas, lp.Deltas, w)
 	if err != nil {
-		return lp, err
+		return err
 	}
 	lp.Lambda, lp.Theta, lp.R2 = fit.Slope, fit.Intercept, fit.R2
 	lp.MaxRelErr = stats.Max(fit.RelativeErrors(lp.Sigmas, lp.Deltas))
 	if lp.Lambda <= 0 {
-		return lp, fmt.Errorf("non-positive λ=%.4g (R²=%.3f): injection did not reach the output", lp.Lambda, lp.R2)
+		return fmt.Errorf("non-positive λ=%.4g (R²=%.3f): injection did not reach the output", lp.Lambda, lp.R2)
 	}
-	return lp, nil
+	return nil
 }

@@ -17,6 +17,7 @@ import (
 	"math"
 
 	"mupod/internal/dataset"
+	"mupod/internal/exec"
 	"mupod/internal/nn"
 	"mupod/internal/profile"
 	"mupod/internal/rng"
@@ -64,6 +65,11 @@ type Options struct {
 	BatchSize int
 	// Seed drives the injected noise.
 	Seed uint64
+	// Workers bounds the evaluation worker pool (0 = GOMAXPROCS, 1 =
+	// sequential). Injection plans and noise streams are derived per
+	// eval batch in batch order and correct counts are reduced in batch
+	// order, so results are bit-identical at every worker count.
+	Workers int
 }
 
 func (o Options) withDefaults(ds *dataset.Dataset) Options {
@@ -109,34 +115,112 @@ type Probe struct {
 	Pass     bool    `json:"pass"`
 }
 
-// Accuracy measures top-1 accuracy of net over the first n images of ds
-// with an optional per-node injection plan applied to every batch.
-func Accuracy(net *nn.Network, ds *dataset.Dataset, n, batchSize int, inject map[int]nn.Injector) float64 {
+// runner bundles the execution machinery one search (or one guard
+// loop) reuses across its many accuracy evaluations: a replay plan, a
+// worker pool, and one arena session per worker.
+type runner struct {
+	ev       *exec.Evaluator
+	plan     *exec.Plan
+	sessions []*exec.Session
+}
+
+func newRunner(net *nn.Network, workers int) *runner {
+	ev := exec.NewEvaluator(workers)
+	return &runner{
+		ev:       ev,
+		plan:     exec.NewPlan(net),
+		sessions: make([]*exec.Session, ev.Workers()),
+	}
+}
+
+func (r *runner) session(worker int) *exec.Session {
+	if r.sessions[worker] == nil {
+		r.sessions[worker] = exec.NewSession(r.plan)
+	}
+	return r.sessions[worker]
+}
+
+// accuracy measures top-1 accuracy over the first n images, mapping
+// eval batches across the worker pool. planFor (optional) supplies a
+// per-batch injection plan — each plan must only be touched by its own
+// batch, which keeps stateful (RNG-carrying) injectors race-free.
+// noise (optional) perturbs a batch's logits in place before argmax
+// (Scheme 2). Per-batch correct counts are summed in batch order, so
+// the result is bit-identical at every worker count.
+func (r *runner) accuracy(ctx context.Context, ds *dataset.Dataset, n, batchSize int, planFor func(batch int) map[int]nn.Injector, noise func(batch int, logits *tensor.Tensor)) (float64, error) {
 	if n <= 0 || n > ds.Len() {
 		n = ds.Len()
 	}
 	if batchSize <= 0 {
 		batchSize = 32
 	}
-	correct := 0
-	for start := 0; start < n; start += batchSize {
-		b := batchSize
-		if start+b > n {
-			b = n - start
+	nBatches := (n + batchSize - 1) / batchSize
+	correct := make([]int, nBatches)
+	err := r.ev.Map(ctx, nBatches, func(ctx context.Context, worker, b int) error {
+		if err := ctx.Err(); err != nil {
+			return err
 		}
-		var logits *tensor.Tensor
-		if len(inject) == 0 {
-			logits = net.Forward(ds.Batch(start, b))
-		} else {
-			logits = net.ForwardInject(ds.Batch(start, b), inject)
+		start := b * batchSize
+		size := batchSize
+		if start+size > n {
+			size = n - start
 		}
+		var plan map[int]nn.Injector
+		if planFor != nil {
+			plan = planFor(b)
+		}
+		logits := r.session(worker).ForwardInject(ds.Batch(start, size), plan)
+		if noise != nil {
+			noise(b, logits)
+		}
+		c := 0
 		for i, p := range nn.Argmax(logits) {
 			if p == ds.Labels[start+i] {
-				correct++
+				c++
 			}
 		}
+		correct[b] = c
+		return nil
+	})
+	if err != nil {
+		return 0, err
 	}
-	return float64(correct) / float64(n)
+	total := 0
+	for _, c := range correct {
+		total += c
+	}
+	return float64(total) / float64(n), nil
+}
+
+// Accuracy measures top-1 accuracy of net over the first n images of ds
+// with an optional per-node injection plan applied to every batch.
+//
+// The shared plan's injectors are invoked batch after batch on ONE
+// goroutine (stateful RNG injectors stay sound), so this path is
+// sequential; use AccuracyStateless for parallel evaluation with
+// stateless (e.g. quantizing) injectors.
+func Accuracy(net *nn.Network, ds *dataset.Dataset, n, batchSize int, inject map[int]nn.Injector) float64 {
+	r := newRunner(net, 1)
+	planFor := func(int) map[int]nn.Injector { return inject }
+	if len(inject) == 0 {
+		planFor = nil
+	}
+	acc, _ := r.accuracy(context.Background(), ds, n, batchSize, planFor, nil)
+	return acc
+}
+
+// AccuracyStateless is the parallel variant of Accuracy for injection
+// plans whose injectors are pure functions of their input (quantizers,
+// or nil for exact accuracy): batches are mapped across workers and
+// may invoke the same injector concurrently. The result is
+// bit-identical at every worker count.
+func AccuracyStateless(ctx context.Context, workers int, net *nn.Network, ds *dataset.Dataset, n, batchSize int, inject map[int]nn.Injector) (float64, error) {
+	r := newRunner(net, workers)
+	planFor := func(int) map[int]nn.Injector { return inject }
+	if len(inject) == 0 {
+		planFor = nil
+	}
+	return r.accuracy(ctx, ds, n, batchSize, planFor, nil)
 }
 
 // Scheme1Plan builds the equal-scheme injection plan for a given σ_YŁ:
@@ -175,54 +259,65 @@ func XiPlan(prof *profile.Profile, sigmaYL float64, xi []float64, r *rng.RNG) ma
 	return plan
 }
 
-// GaussianLogitInjector perturbs the OUTPUT node input... — Scheme 2
-// does not inject at a layer input; it adds N(0, σ²) directly to the
-// logits, so it is implemented inside EvaluateSigma rather than as an
-// nn.Injector.
-func gaussianAccuracy(net *nn.Network, ds *dataset.Dataset, n, batchSize int, sigma float64, r *rng.RNG) float64 {
+// EvaluateSigma measures the accuracy at a candidate σ_YŁ under the
+// chosen scheme, averaged over opts.Repeats noise realizations.
+//
+// Scheme 1 derives an independent injection plan per eval batch and
+// Scheme 2 an independent Gaussian stream per eval batch — pre-split
+// in batch order — so batches evaluate concurrently (opts.Workers)
+// with results bit-identical at every worker count.
+func EvaluateSigma(net *nn.Network, prof *profile.Profile, ds *dataset.Dataset, sigma float64, opts Options) float64 {
+	opts = opts.withDefaults(ds)
+	acc, err := evaluateSigma(context.Background(), newRunner(net, opts.Workers), net, prof, ds, sigma, opts)
+	if err != nil {
+		panic(fmt.Sprintf("search: %v", err)) // unreachable without ctx cancellation
+	}
+	return acc
+}
+
+// evaluateSigma is EvaluateSigma against a caller-owned runner, so a
+// binary search reuses one plan and one set of arena sessions across
+// all its probes. opts must already be normalized.
+func evaluateSigma(ctx context.Context, rn *runner, net *nn.Network, prof *profile.Profile, ds *dataset.Dataset, sigma float64, opts Options) (float64, error) {
+	r := rng.New(opts.Seed ^ math.Float64bits(sigma))
+	n := opts.EvalImages
 	if n <= 0 || n > ds.Len() {
 		n = ds.Len()
 	}
-	if batchSize <= 0 {
-		batchSize = 32
-	}
-	correct := 0
-	for start := 0; start < n; start += batchSize {
-		b := batchSize
-		if start+b > n {
-			b = n - start
-		}
-		logits := net.Forward(ds.Batch(start, b)).Clone()
-		for i := range logits.Data {
-			logits.Data[i] += r.NormalScaled(0, sigma)
-		}
-		for i, p := range nn.Argmax(logits) {
-			if p == ds.Labels[start+i] {
-				correct++
-			}
-		}
-	}
-	return float64(correct) / float64(n)
-}
-
-// EvaluateSigma measures the accuracy at a candidate σ_YŁ under the
-// chosen scheme, averaged over opts.Repeats noise realizations.
-func EvaluateSigma(net *nn.Network, prof *profile.Profile, ds *dataset.Dataset, sigma float64, opts Options) float64 {
-	opts = opts.withDefaults(ds)
-	r := rng.New(opts.Seed ^ math.Float64bits(sigma))
+	nBatches := (n + opts.BatchSize - 1) / opts.BatchSize
 	total := 0.0
 	for rep := 0; rep < opts.Repeats; rep++ {
+		var acc float64
+		var err error
 		switch opts.Scheme {
 		case Scheme1Uniform:
-			plan := Scheme1Plan(prof, sigma, r)
-			total += Accuracy(net, ds, opts.EvalImages, opts.BatchSize, plan)
+			// One independent plan per batch, derived sequentially so
+			// the noise streams are the same regardless of scheduling.
+			plans := make([]map[int]nn.Injector, nBatches)
+			for b := range plans {
+				plans[b] = Scheme1Plan(prof, sigma, r)
+			}
+			acc, err = rn.accuracy(ctx, ds, n, opts.BatchSize, func(b int) map[int]nn.Injector { return plans[b] }, nil)
 		case Scheme2Gaussian:
-			total += gaussianAccuracy(net, ds, opts.EvalImages, opts.BatchSize, sigma, r.Split())
+			streams := make([]*rng.RNG, nBatches)
+			for b := range streams {
+				streams[b] = r.Split()
+			}
+			acc, err = rn.accuracy(ctx, ds, n, opts.BatchSize, nil, func(b int, logits *tensor.Tensor) {
+				rb := streams[b]
+				for i := range logits.Data {
+					logits.Data[i] += rb.NormalScaled(0, sigma)
+				}
+			})
 		default:
 			panic(fmt.Sprintf("search: unknown scheme %v", opts.Scheme))
 		}
+		if err != nil {
+			return 0, err
+		}
+		total += acc
 	}
-	return total / float64(opts.Repeats)
+	return total / float64(opts.Repeats), nil
 }
 
 // Run performs the Sec. V-C procedure: establish the exact accuracy,
@@ -244,8 +339,13 @@ func RunContext(ctx context.Context, net *nn.Network, prof *profile.Profile, ds 
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("search: %w", err)
 	}
+	rn := newRunner(net, opts.Workers)
+	exact, err := rn.accuracy(ctx, ds, opts.EvalImages, opts.BatchSize, nil, nil)
+	if err != nil {
+		return nil, fmt.Errorf("search: %w", err)
+	}
 	res := &Result{
-		ExactAccuracy: Accuracy(net, ds, opts.EvalImages, opts.BatchSize, nil),
+		ExactAccuracy: exact,
 		EvalImages:    opts.EvalImages,
 	}
 	res.TargetAcc = res.ExactAccuracy * (1 - opts.RelDrop)
@@ -254,7 +354,10 @@ func RunContext(ctx context.Context, net *nn.Network, prof *profile.Profile, ds 
 		if err := ctx.Err(); err != nil {
 			return false, fmt.Errorf("search: %w", err)
 		}
-		acc := EvaluateSigma(net, prof, ds, sigma, opts)
+		acc, err := evaluateSigma(ctx, rn, net, prof, ds, sigma, opts)
+		if err != nil {
+			return false, fmt.Errorf("search: %w", err)
+		}
 		res.Evaluations++
 		pass := acc >= res.TargetAcc
 		res.Trace = append(res.Trace, Probe{Sigma: sigma, Accuracy: acc, Pass: pass})

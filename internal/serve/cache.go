@@ -25,6 +25,10 @@ import (
 // computes it once and serves every later request from the cache.
 func ProfileKey(net *nn.Network, ds *dataset.Dataset, cfg profile.Config) string {
 	cfg = cfg.Normalized()
+	// Worker count never changes the (bit-identical) profile, so it must
+	// not split the cache: requests differing only in parallelism share
+	// one entry.
+	cfg.Workers = 0
 	h := sha256.New()
 
 	// Topology. The DSL covers every layer the repository builds; if a

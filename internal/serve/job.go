@@ -54,6 +54,12 @@ type JobRequest struct {
 	Profile profile.Config `json:"profile,omitempty"`
 	Search  search.Options `json:"search,omitempty"`
 
+	// Workers is the evaluation parallelism of this job's profiling and
+	// search stages (0 = the manager's per-job default, which divides
+	// GOMAXPROCS across the queue workers). Results are bit-identical at
+	// any worker count, so this only trades latency for CPU.
+	Workers int `json:"workers,omitempty"`
+
 	DeltaFloor      float64 `json:"delta_floor,omitempty"`
 	Guard           bool    `json:"guard,omitempty"`
 	GuardShrink     float64 `json:"guard_shrink,omitempty"`
@@ -102,6 +108,7 @@ func (r *JobRequest) coreConfig() (core.Config, error) {
 		Guard:           r.Guard,
 		GuardShrink:     r.GuardShrink,
 		GuardMaxRetries: r.GuardMaxRetries,
+		Workers:         r.Workers,
 	}, nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"time"
 
 	"sync"
@@ -39,6 +40,12 @@ type Resolver func(ctx context.Context, req *JobRequest) (*nn.Network, *dataset.
 type Config struct {
 	// Workers is the number of concurrent pipeline workers (default 2).
 	Workers int
+	// JobWorkers is the default evaluation parallelism handed to each
+	// job whose request leaves Workers unset. The default divides the
+	// machine across the queue workers: max(1, GOMAXPROCS/Workers), so
+	// a fully-loaded queue does not oversubscribe the CPU while a lone
+	// job still uses its full share.
+	JobWorkers int
 	// QueueDepth bounds the number of queued-but-not-running jobs;
 	// submissions beyond it are rejected with ErrQueueFull (default 64).
 	QueueDepth int
@@ -74,6 +81,12 @@ type Manager struct {
 func New(cfg Config) *Manager {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 2
+	}
+	if cfg.JobWorkers <= 0 {
+		cfg.JobWorkers = runtime.GOMAXPROCS(0) / cfg.Workers
+		if cfg.JobWorkers < 1 {
+			cfg.JobWorkers = 1
+		}
 	}
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 64
@@ -315,6 +328,17 @@ func (m *Manager) execute(ctx context.Context, req *JobRequest) (*JobResult, boo
 	cfg, err := req.coreConfig()
 	if err != nil {
 		return nil, false, err
+	}
+	// Fan the per-job worker budget into the stages run directly below
+	// (execute calls profile/search itself, bypassing core's fan-out).
+	if cfg.Workers == 0 {
+		cfg.Workers = m.cfg.JobWorkers
+	}
+	if cfg.Profile.Workers == 0 {
+		cfg.Profile.Workers = cfg.Workers
+	}
+	if cfg.Search.Workers == 0 {
+		cfg.Search.Workers = cfg.Workers
 	}
 
 	t0 := time.Now()

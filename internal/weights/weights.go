@@ -15,11 +15,13 @@
 package weights
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"mupod/internal/core"
 	"mupod/internal/dataset"
+	"mupod/internal/exec"
 	"mupod/internal/fixedpoint"
 	"mupod/internal/nn"
 	"mupod/internal/profile"
@@ -83,6 +85,16 @@ type Config = profile.Config
 // The network's weights are perturbed in place during measurement and
 // restored before returning.
 func Run(net *nn.Network, ds *dataset.Dataset, cfg Config) (*Profile, error) {
+	return RunContext(context.Background(), net, ds, cfg)
+}
+
+// RunContext is Run with cancellation. Unlike the activation profiler,
+// the replay sweep stays SEQUENTIAL regardless of cfg.Workers: each
+// measurement mutates the network's weight tensors in place, so
+// concurrent replays against the shared network would race. The sweep
+// still runs through one exec.Session, so the replay hot path reuses
+// pooled activation buffers instead of allocating per call.
+func RunContext(ctx context.Context, net *nn.Network, ds *dataset.Dataset, cfg Config) (*Profile, error) {
 	if cfg.Images == 0 {
 		cfg.Images = 30
 	}
@@ -104,10 +116,14 @@ func Run(net *nn.Network, ds *dataset.Dataset, cfg Config) (*Profile, error) {
 	batch := ds.Batch(0, cfg.Images)
 	acts := net.ForwardAll(batch)
 	exact := acts[len(acts)-1]
+	sess := exec.NewSession(exec.NewPlan(net))
 
 	p := &Profile{NetName: net.Name}
 	for _, nodeID := range net.AnalyzableNodes() {
-		lp, err := profileLayer(net, acts, exact, nodeID, cfg)
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("weights: %w", err)
+		}
+		lp, err := profileLayer(net, sess, acts, exact, nodeID, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("weights: layer %s: %w", net.Nodes[nodeID].Name, err)
 		}
@@ -116,7 +132,7 @@ func Run(net *nn.Network, ds *dataset.Dataset, cfg Config) (*Profile, error) {
 	return p, nil
 }
 
-func profileLayer(net *nn.Network, acts []*tensor.Tensor, exact *tensor.Tensor, nodeID int, cfg Config) (LayerWeightProfile, error) {
+func profileLayer(net *nn.Network, sess *exec.Session, acts []*tensor.Tensor, exact *tensor.Tensor, nodeID int, cfg Config) (LayerWeightProfile, error) {
 	nd := net.Nodes[nodeID]
 	w := weightTensor(nd.Layer)
 	if w == nil {
@@ -166,7 +182,7 @@ func profileLayer(net *nn.Network, acts []*tensor.Tensor, exact *tensor.Tensor, 
 			for i := range w.Data {
 				w.Data[i] = saved[i] + r.Uniform(-delta, delta)
 			}
-			out := net.ReplayFrom(acts, nodeID, noop)
+			out := sess.Replay(acts, nodeID, noop)
 			for i := range out.Data {
 				diff = append(diff, out.Data[i]-exact.Data[i])
 			}
@@ -361,9 +377,12 @@ func JointAllocate(aprof *profile.Profile, wprof *Profile, sigmaYL float64, cfg 
 }
 
 // Validate measures real top-1 accuracy with BOTH the activation
-// formats and the weight formats applied.
+// formats and the weight formats applied. Quantization injectors are
+// stateless, so the evaluation runs on GOMAXPROCS workers with a
+// bit-identical result at any worker count.
 func Validate(net *nn.Network, ds *dataset.Dataset, n int, act *core.Allocation, w *Allocation) float64 {
 	restore := w.Apply(net)
 	defer restore()
-	return search.Accuracy(net, ds, n, 32, act.InjectionPlan())
+	acc, _ := search.AccuracyStateless(context.Background(), 0, net, ds, n, 32, act.InjectionPlan())
+	return acc
 }

@@ -180,7 +180,10 @@ func MustLoad(a Arch) *Network { return zoo.MustLoad(a) }
 func Data(a Arch) (train, test *Dataset) { return zoo.Data(a) }
 
 // Run executes the complete pipeline: profile → σ search → ξ
-// optimization → allocation (Sec. V).
+// optimization → allocation (Sec. V). Set cfg.Workers to fan the
+// profiling replays and accuracy evaluations across a worker pool
+// (0 = GOMAXPROCS); every stage is engineered to be bit-identical at
+// any worker count, so parallelism only trades CPU for latency.
 func Run(net *Network, ds *Dataset, cfg Config) (*Result, error) {
 	return core.Run(net, ds, cfg)
 }
