@@ -57,7 +57,7 @@ func printFirst(key, s string) {
 // example at 1% relative accuracy drop).
 func BenchmarkTable2AlexNet(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Table2(benchOpts())
+		res, err := experiments.Table2(context.Background(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -74,7 +74,7 @@ func BenchmarkTable3(b *testing.B) {
 		arch := arch
 		b.Run(string(arch), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res, err := experiments.Table3([]zoo.Arch{arch}, []float64{0.01}, benchOpts())
+				res, err := experiments.Table3(context.Background(), []zoo.Arch{arch}, []float64{0.01}, benchOpts())
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -95,7 +95,7 @@ func BenchmarkFig2Linearity(b *testing.B) {
 		arch := arch
 		b.Run(string(arch), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res, err := experiments.Fig2(arch, benchOpts())
+				res, err := experiments.Fig2(context.Background(), arch, benchOpts())
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -113,7 +113,7 @@ func BenchmarkFig2Linearity(b *testing.B) {
 func BenchmarkFig3Schemes(b *testing.B) {
 	sigmas := []float64{0.1, 0.4, 1.6, 3.2, 6.4}
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig3(zoo.AlexNet, sigmas, 3, benchOpts())
+		res, err := experiments.Fig3(context.Background(), zoo.AlexNet, sigmas, 3, benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -126,7 +126,7 @@ func BenchmarkFig3Schemes(b *testing.B) {
 // BenchmarkFig4NiN regenerates Fig. 4 (NiN optimized for MAC energy).
 func BenchmarkFig4NiN(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig4(benchOpts())
+		res, err := experiments.Fig4(context.Background(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -140,7 +140,7 @@ func BenchmarkFig4NiN(b *testing.B) {
 // between the analytic pipeline and the Stripes-style dynamic search.
 func BenchmarkMethodVsSearch(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.MethodVsSearch(zoo.NiN, 0.05, benchOpts())
+		res, err := experiments.MethodVsSearch(context.Background(), zoo.NiN, 0.05, benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -5,12 +5,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"mupod/internal/experiments"
+	"mupod/internal/obs"
 	"mupod/internal/zoo"
 )
 
@@ -21,7 +23,15 @@ func main() {
 	seed := flag.Uint64("seed", 1, "noise seed")
 	scatter := flag.Int("scatter", 2, "number of layers to render as ASCII scatter plots")
 	workers := flag.Int("workers", 0, "evaluation worker count (0 = all CPUs; results are identical at any count)")
+	logSpec := flag.String("log", "", "log level[,format]: debug|info|warn|error, text|json (default $MUPOD_LOG or info,text)")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event file of the run to this path")
 	flag.Parse()
+
+	if _, err := obs.Setup(*logSpec); err != nil {
+		fmt.Fprintln(os.Stderr, "mupod-fig2:", err)
+		os.Exit(1)
+	}
+	ctx, flushTrace := obs.TraceToFile(context.Background(), *traceOut, 0)
 
 	for _, m := range strings.Split(*models, ",") {
 		a := zoo.Arch(strings.TrimSpace(m))
@@ -29,7 +39,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "mupod-fig2: unknown model %q\n", m)
 			os.Exit(1)
 		}
-		res, err := experiments.Fig2(a, experiments.Opts{
+		res, err := experiments.Fig2(ctx, a, experiments.Opts{
 			ProfileImages: *images,
 			ProfilePoints: *points,
 			Seed:          *seed,
@@ -47,6 +57,10 @@ func main() {
 			fmt.Print(res.ScatterASCII(idx, 48, 12))
 		}
 		fmt.Println()
+	}
+	if err := flushTrace(); err != nil {
+		fmt.Fprintln(os.Stderr, "mupod-fig2: writing trace:", err)
+		os.Exit(1)
 	}
 }
 

@@ -6,12 +6,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"mupod/internal/experiments"
+	"mupod/internal/obs"
 	"mupod/internal/zoo"
 )
 
@@ -23,7 +25,15 @@ func main() {
 	eval := flag.Int("eval", 200, "images per accuracy evaluation")
 	seed := flag.Uint64("seed", 1, "noise seed")
 	workers := flag.Int("workers", 0, "evaluation worker count (0 = all CPUs; results are identical at any count)")
+	logSpec := flag.String("log", "", "log level[,format]: debug|info|warn|error, text|json (default $MUPOD_LOG or info,text)")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event file of the run to this path")
 	flag.Parse()
+
+	if _, err := obs.Setup(*logSpec); err != nil {
+		fmt.Fprintln(os.Stderr, "mupod-fig3:", err)
+		os.Exit(1)
+	}
+	ctx, flushTrace := obs.TraceToFile(context.Background(), *traceOut, 0)
 
 	a := zoo.Arch(*model)
 	if _, ok := zoo.AnalyzableLayers[a]; !ok {
@@ -40,7 +50,7 @@ func main() {
 		sigmas = append(sigmas, v)
 	}
 
-	res, err := experiments.Fig3(a, sigmas, *repeats, experiments.Opts{
+	res, err := experiments.Fig3(ctx, a, sigmas, *repeats, experiments.Opts{
 		ProfileImages: *images,
 		EvalImages:    *eval,
 		Seed:          *seed,
@@ -48,6 +58,10 @@ func main() {
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mupod-fig3:", err)
+		os.Exit(1)
+	}
+	if err := flushTrace(); err != nil {
+		fmt.Fprintln(os.Stderr, "mupod-fig3: writing trace:", err)
 		os.Exit(1)
 	}
 	fmt.Print(res.String())

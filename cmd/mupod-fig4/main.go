@@ -4,11 +4,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"mupod/internal/experiments"
+	"mupod/internal/obs"
 )
 
 func main() {
@@ -17,9 +19,17 @@ func main() {
 	eval := flag.Int("eval", 200, "images per accuracy evaluation")
 	seed := flag.Uint64("seed", 1, "noise seed")
 	workers := flag.Int("workers", 0, "evaluation worker count (0 = all CPUs; results are identical at any count)")
+	logSpec := flag.String("log", "", "log level[,format]: debug|info|warn|error, text|json (default $MUPOD_LOG or info,text)")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event file of the run to this path")
 	flag.Parse()
 
-	res, err := experiments.Fig4(experiments.Opts{
+	if _, err := obs.Setup(*logSpec); err != nil {
+		fmt.Fprintln(os.Stderr, "mupod-fig4:", err)
+		os.Exit(1)
+	}
+	ctx, flushTrace := obs.TraceToFile(context.Background(), *traceOut, 0)
+
+	res, err := experiments.Fig4(ctx, experiments.Opts{
 		ProfileImages: *images,
 		ProfilePoints: *points,
 		EvalImages:    *eval,
@@ -28,6 +38,10 @@ func main() {
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mupod-fig4:", err)
+		os.Exit(1)
+	}
+	if err := flushTrace(); err != nil {
+		fmt.Fprintln(os.Stderr, "mupod-fig4: writing trace:", err)
 		os.Exit(1)
 	}
 	fmt.Print(res.String())

@@ -5,10 +5,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
+	"mupod/internal/obs"
 	"mupod/internal/pareto"
 	"mupod/internal/profile"
 	"mupod/internal/report"
@@ -27,7 +29,15 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	all := flag.Bool("all", false, "print every sweep point, not only the frontier")
 	workers := flag.Int("workers", 0, "evaluation worker count (0 = all CPUs; results are identical at any count)")
+	logSpec := flag.String("log", "", "log level[,format]: debug|info|warn|error, text|json (default $MUPOD_LOG or info,text)")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event file of the run to this path")
 	flag.Parse()
+
+	if _, err := obs.Setup(*logSpec); err != nil {
+		fmt.Fprintln(os.Stderr, "mupod-pareto:", err)
+		os.Exit(1)
+	}
+	ctx, flushTrace := obs.TraceToFile(context.Background(), *traceOut, 0)
 
 	arch := zoo.Arch(*model)
 	if _, ok := zoo.AnalyzableLayers[arch]; !ok {
@@ -40,15 +50,19 @@ func main() {
 	}
 	_, test := zoo.Data(arch)
 
-	prof, err := profile.Run(net, test, profile.Config{Images: *images, Points: *points, Seed: *seed, Workers: *workers})
+	prof, err := profile.RunContext(ctx, net, test, profile.Config{Images: *images, Points: *points, Seed: *seed, Workers: *workers})
 	if err != nil {
 		fatal(err)
 	}
-	sr, err := search.Run(net, prof, test, search.Options{
+	sr, err := search.RunContext(ctx, net, prof, test, search.Options{
 		Scheme: search.Scheme2Gaussian, RelDrop: *drop, EvalImages: *eval, Seed: *seed ^ 0x5eed, Workers: *workers,
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if err := flushTrace(); err != nil {
+		fmt.Fprintln(os.Stderr, "mupod-pareto: writing trace:", err)
+		os.Exit(1)
 	}
 	points_, err := pareto.Sweep(prof, sr.SigmaYL, pareto.Config{WeightBits: *weightBits})
 	if err != nil {

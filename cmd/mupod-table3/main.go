@@ -8,12 +8,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"mupod/internal/experiments"
+	"mupod/internal/obs"
 	"mupod/internal/zoo"
 )
 
@@ -25,7 +27,15 @@ func main() {
 	eval := flag.Int("eval", 200, "images per accuracy evaluation")
 	seed := flag.Uint64("seed", 1, "noise seed")
 	workers := flag.Int("workers", 0, "evaluation worker count (0 = all CPUs; results are identical at any count)")
+	logSpec := flag.String("log", "", "log level[,format]: debug|info|warn|error, text|json (default $MUPOD_LOG or info,text)")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event file of the run to this path")
 	flag.Parse()
+
+	if _, err := obs.Setup(*logSpec); err != nil {
+		fmt.Fprintln(os.Stderr, "mupod-table3:", err)
+		os.Exit(1)
+	}
+	ctx, flushTrace := obs.TraceToFile(context.Background(), *traceOut, 0)
 
 	archs := zoo.All
 	if *models != "" {
@@ -49,7 +59,7 @@ func main() {
 		relDrops = append(relDrops, v)
 	}
 
-	res, err := experiments.Table3(archs, relDrops, experiments.Opts{
+	res, err := experiments.Table3(ctx, archs, relDrops, experiments.Opts{
 		ProfileImages: *images,
 		ProfilePoints: *points,
 		EvalImages:    *eval,
@@ -58,6 +68,10 @@ func main() {
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mupod-table3:", err)
+		os.Exit(1)
+	}
+	if err := flushTrace(); err != nil {
+		fmt.Fprintln(os.Stderr, "mupod-table3: writing trace:", err)
 		os.Exit(1)
 	}
 	fmt.Print(res.String())

@@ -5,11 +5,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"mupod/internal/experiments"
+	"mupod/internal/obs"
 	"mupod/internal/zoo"
 )
 
@@ -20,14 +22,22 @@ func main() {
 	eval := flag.Int("eval", 200, "images per accuracy evaluation")
 	seed := flag.Uint64("seed", 1, "noise seed")
 	workers := flag.Int("workers", 0, "evaluation worker count (0 = all CPUs; results are identical at any count)")
+	logSpec := flag.String("log", "", "log level[,format]: debug|info|warn|error, text|json (default $MUPOD_LOG or info,text)")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event file of the run to this path")
 	flag.Parse()
+
+	if _, err := obs.Setup(*logSpec); err != nil {
+		fmt.Fprintln(os.Stderr, "mupod-vs-search:", err)
+		os.Exit(1)
+	}
+	ctx, flushTrace := obs.TraceToFile(context.Background(), *traceOut, 0)
 
 	a := zoo.Arch(*model)
 	if _, ok := zoo.AnalyzableLayers[a]; !ok {
 		fmt.Fprintf(os.Stderr, "mupod-vs-search: unknown model %q\n", *model)
 		os.Exit(1)
 	}
-	res, err := experiments.MethodVsSearch(a, *drop, experiments.Opts{
+	res, err := experiments.MethodVsSearch(ctx, a, *drop, experiments.Opts{
 		ProfileImages: *images,
 		EvalImages:    *eval,
 		Seed:          *seed,
@@ -35,6 +45,10 @@ func main() {
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mupod-vs-search:", err)
+		os.Exit(1)
+	}
+	if err := flushTrace(); err != nil {
+		fmt.Fprintln(os.Stderr, "mupod-vs-search: writing trace:", err)
 		os.Exit(1)
 	}
 	fmt.Print(res.String())

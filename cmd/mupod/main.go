@@ -7,9 +7,16 @@
 //
 //	mupod -model alexnet -objective mac -drop 0.01 [-scheme 1]
 //	      [-images 30] [-points 12] [-eval 200] [-summary]
+//	      [-log level[,format]] [-trace out.json]
+//
+// With -trace, the run writes a Chrome trace-event file covering the
+// whole pipeline (profile/search/solve/guard spans with per-layer and
+// per-iteration children); load it in chrome://tracing or
+// https://ui.perfetto.dev.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +30,7 @@ import (
 	"mupod/internal/fxnet"
 	"mupod/internal/netdesc"
 	"mupod/internal/nn"
+	"mupod/internal/obs"
 	"mupod/internal/profile"
 	"mupod/internal/report"
 	"mupod/internal/search"
@@ -43,7 +51,14 @@ func main() {
 	seed := flag.Uint64("seed", 1, "noise seed")
 	summary := flag.Bool("summary", false, "print the network topology and exit")
 	workers := flag.Int("workers", 0, "evaluation worker count (0 = all CPUs; results are identical at any count)")
+	logSpec := flag.String("log", "", "log level[,format]: debug|info|warn|error, text|json (default $MUPOD_LOG or info,text)")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event file of the pipeline run to this path")
 	flag.Parse()
+
+	if _, err := obs.Setup(*logSpec); err != nil {
+		fatal("%v", err)
+	}
+	ctx, flushTrace := obs.TraceToFile(context.Background(), *traceOut, 0)
 
 	var net *nn.Network
 	var test *dataset.Dataset
@@ -104,7 +119,7 @@ func main() {
 	fmt.Printf("mupod: %s, objective %s, %.1f%% relative accuracy drop, scheme %v\n\n",
 		net.Name, obj, *drop*100, sch)
 
-	res, err := core.Run(net, test, core.Config{
+	res, err := core.RunContext(ctx, net, test, core.Config{
 		Profile:   profile.Config{Images: *images, Points: *points, Seed: *seed},
 		Search:    search.Options{Scheme: sch, RelDrop: *drop, EvalImages: *eval, Seed: *seed ^ 0x5eed},
 		Objective: obj,
@@ -113,6 +128,12 @@ func main() {
 	})
 	if err != nil {
 		fatal("%v", err)
+	}
+	if err := flushTrace(); err != nil {
+		fatal("writing trace: %v", err)
+	}
+	if *traceOut != "" {
+		fmt.Printf("trace written to %s (load in chrome://tracing or ui.perfetto.dev)\n\n", *traceOut)
 	}
 
 	al := res.Allocation

@@ -8,6 +8,7 @@
 //
 //	mupodd [-addr :8080] [-workers 2] [-queue 64] [-job-workers 0]
 //	       [-stage-timeout 10m] [-drain-timeout 30s] [-cache 64]
+//	       [-log level[,format]] [-trace-spans 8192]
 //
 // API:
 //
@@ -16,21 +17,25 @@
 //	DELETE /v1/jobs/{id}  cancel
 //	GET    /healthz       liveness (503 while draining)
 //	GET    /metrics       Prometheus text format
+//	GET    /debug/trace/{id}  Chrome trace of a finished job
+//	GET    /debug/pprof/  runtime profiles
 //
-// See the README's "Serving" section for a curl walkthrough.
+// See the README's "Serving" and "Observability" sections for curl
+// walkthroughs.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"mupod/internal/obs"
 	"mupod/internal/serve"
 )
 
@@ -42,7 +47,15 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget before in-flight jobs are cancelled")
 	cacheEntries := flag.Int("cache", 64, "profile cache capacity (entries)")
 	jobWorkers := flag.Int("job-workers", 0, "default per-job evaluation parallelism (0 = GOMAXPROCS divided across the worker pool)")
+	logSpec := flag.String("log", "", "log level[,format]: debug|info|warn|error, text|json (default $MUPOD_LOG or info,text)")
+	traceSpans := flag.Int("trace-spans", 0, "per-job trace buffer cap in spans (0 = default, negative disables /debug/trace)")
 	flag.Parse()
+
+	logger, err := obs.Setup(*logSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mupodd: %v\n", err)
+		os.Exit(2)
+	}
 
 	m := serve.New(serve.Config{
 		Workers:      *workers,
@@ -50,7 +63,10 @@ func main() {
 		QueueDepth:   *queue,
 		StageTimeout: *stageTimeout,
 		CacheEntries: *cacheEntries,
-		Logf:         log.Printf,
+		TraceSpans:   *traceSpans,
+		Logf: func(format string, args ...any) {
+			logger.Info(fmt.Sprintf(format, args...))
+		},
 	})
 	srv := &http.Server{Addr: *addr, Handler: serve.NewHandler(m)}
 
@@ -59,26 +75,27 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("mupodd: listening on %s (%d workers, queue %d)", *addr, *workers, *queue)
+	logger.Info("mupodd: listening", "addr", *addr, "workers", *workers, "queue", *queue)
 
 	select {
 	case err := <-errc:
-		log.Fatalf("mupodd: %v", err)
+		logger.Error("mupodd: serve failed", "err", err)
+		os.Exit(1)
 	case <-ctx.Done():
 	}
 
-	log.Printf("mupodd: signal received, draining (budget %v)", *drainTimeout)
+	logger.Info("mupodd: signal received, draining", "budget", *drainTimeout)
 	shCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	// Stop accepting: close the listener first, then drain the job
 	// queue so in-flight work finishes.
 	if err := srv.Shutdown(shCtx); err != nil {
-		log.Printf("mupodd: http shutdown: %v", err)
+		logger.Warn("mupodd: http shutdown", "err", err)
 	}
 	if err := m.Shutdown(shCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("mupodd: drain: %v", err)
+		logger.Warn("mupodd: drain", "err", err)
 	} else if err != nil {
-		log.Printf("mupodd: drain budget exceeded, in-flight jobs cancelled")
+		logger.Warn("mupodd: drain budget exceeded, in-flight jobs cancelled")
 	}
-	log.Printf("mupodd: bye")
+	logger.Info("mupodd: bye")
 }

@@ -13,6 +13,8 @@ import (
 	"testing"
 
 	"mupod/internal/core"
+	"mupod/internal/exec"
+	"mupod/internal/obs"
 	"mupod/internal/profile"
 	"mupod/internal/search"
 	"mupod/internal/testnet"
@@ -97,6 +99,44 @@ func TestAllocationBitIdenticalAcrossWorkers(t *testing.T) {
 		if ref.GuardedSigma != got.GuardedSigma || ref.GuardRetries != got.GuardRetries {
 			t.Fatalf("workers=%d: guard outcome diverges: σ %v vs %v, retries %d vs %d",
 				w, ref.GuardedSigma, got.GuardedSigma, ref.GuardRetries, got.GuardRetries)
+		}
+	}
+}
+
+// TestAllocationBitIdenticalWithTelemetry pins that the observability
+// layer only observes: a full guarded run with a live tracer AND engine
+// metrics enabled is float64-for-float64 equal to the bare run, at 1
+// and at 4 workers.
+func TestAllocationBitIdenticalWithTelemetry(t *testing.T) {
+	net, _, te := testnet.Trained()
+	run := func(w int, telemetry bool) *core.Result {
+		ctx := t.Context()
+		if telemetry {
+			reg := obs.NewRegistry()
+			exec.EnableMetrics(reg)
+			t.Cleanup(exec.DisableMetrics)
+			ctx = obs.WithTracer(ctx, obs.NewTracer(0))
+		}
+		res, err := core.RunContext(ctx, net, te, core.Config{
+			Profile:   profile.Config{Images: 16, Points: 6, Seed: 7},
+			Search:    search.Options{Scheme: search.Scheme1Uniform, RelDrop: 0.05, EvalImages: 120, Seed: 3},
+			Objective: core.MinimizeInputBits,
+			Guard:     true,
+			Workers:   w,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ref := run(1, false)
+	for _, w := range []int{1, 4} {
+		got := run(w, true)
+		if !reflect.DeepEqual(ref.Allocation, got.Allocation) {
+			t.Fatalf("telemetry on, workers=%d: allocation diverges", w)
+		}
+		if !reflect.DeepEqual(ref.Search, got.Search) {
+			t.Fatalf("telemetry on, workers=%d: search result diverges", w)
 		}
 	}
 }

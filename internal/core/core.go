@@ -20,6 +20,7 @@ import (
 	"mupod/internal/energy"
 	"mupod/internal/fixedpoint"
 	"mupod/internal/nn"
+	"mupod/internal/obs"
 	"mupod/internal/optimize"
 	"mupod/internal/profile"
 	"mupod/internal/search"
@@ -318,16 +319,22 @@ func rhoFor(prof *profile.Profile, obj Objective, custom []float64) ([]float64, 
 // OptimizeXi solves Eq. 8 for the given profile, σ_YŁ and objective and
 // returns the optimal decomposition.
 func OptimizeXi(prof *profile.Profile, sigmaYL float64, cfg Config) ([]float64, error) {
+	xi, _, err := OptimizeXiContext(context.Background(), prof, sigmaYL, cfg)
+	return xi, err
+}
+
+// OptimizeXiContext is OptimizeXi with telemetry (per-iteration solver
+// spans via ctx) and the solver's convergence Stats exposed.
+func OptimizeXiContext(ctx context.Context, prof *profile.Profile, sigmaYL float64, cfg Config) ([]float64, optimize.Stats, error) {
 	rho, err := rhoFor(prof, cfg.Objective, cfg.Rho)
 	if err != nil {
-		return nil, err
+		return nil, optimize.Stats{}, err
 	}
 	obj, err := optimize.NewBitObjective(prof, sigmaYL, rho, cfg.DeltaFloor)
 	if err != nil {
-		return nil, err
+		return nil, optimize.Stats{}, err
 	}
-	xi, _, err := optimize.SolveNewtonKKT(obj, cfg.Solver)
-	return xi, err
+	return optimize.SolveNewtonKKTContext(ctx, obj, cfg.Solver)
 }
 
 // Result is the output of a full pipeline run.
@@ -362,6 +369,11 @@ func Run(net *nn.Network, ds *dataset.Dataset, cfg Config) (*Result, error) {
 func RunContext(ctx context.Context, net *nn.Network, ds *dataset.Dataset, cfg Config) (*Result, error) {
 	cfg = cfg.withWorkers()
 	res := &Result{}
+
+	ctx, psp := obs.Start(ctx, "pipeline",
+		obs.KV("net", net.Name), obs.KV("objective", cfg.Objective.String()),
+		obs.KV("workers", cfg.Workers))
+	defer psp.End()
 
 	t0 := time.Now()
 	prof, err := profile.RunContext(ctx, net, ds, cfg.Profile)
@@ -412,7 +424,11 @@ func AllocateContext(ctx context.Context, net *nn.Network, ds *dataset.Dataset, 
 	if retries <= 0 {
 		retries = 10
 	}
-	xi, err := OptimizeXi(prof, sigma, cfg)
+	sctx, ssp := obs.Start(ctx, "solve", obs.KV("sigma", sigma))
+	xi, st, err := OptimizeXiContext(sctx, prof, sigma, cfg)
+	ssp.SetAttr("iterations", st.Iterations)
+	ssp.SetAttr("converged", st.Converged)
+	ssp.End()
 	if err != nil {
 		return nil, 0, 0, fmt.Errorf("core: ξ optimization: %w", err)
 	}
@@ -422,6 +438,13 @@ func AllocateContext(ctx context.Context, net *nn.Network, ds *dataset.Dataset, 
 	evalImages := cfg.Search.EvalImages
 	if evalImages == 0 {
 		evalImages = sr.EvalImages
+	}
+	gctx := ctx
+	var gsp *obs.Span
+	if cfg.Guard {
+		gctx, gsp = obs.Start(ctx, "guard",
+			obs.KV("shrink", shrink), obs.KV("max_retries", retries))
+		defer gsp.End()
 	}
 	scale := 1.0
 	for attempt := 0; ; attempt++ {
@@ -435,13 +458,20 @@ func AllocateContext(ctx context.Context, net *nn.Network, ds *dataset.Dataset, 
 		if err := ctx.Err(); err != nil {
 			return nil, 0, 0, fmt.Errorf("core: guard: %w", err)
 		}
+		rctx, rsp := obs.Start(gctx, "guard.round",
+			obs.KV("attempt", attempt), obs.KV("scale", scale))
 		// Quantizing injectors are stateless, so the guard's real-
 		// quantization validation parallelizes across eval batches.
-		acc, err := search.AccuracyStateless(ctx, cfg.Search.Workers, net, ds, evalImages, 32, alloc.InjectionPlan())
+		acc, err := search.AccuracyStateless(rctx, cfg.Search.Workers, net, ds, evalImages, 32, alloc.InjectionPlan())
 		if err != nil {
+			rsp.End()
 			return nil, 0, 0, fmt.Errorf("core: guard: %w", err)
 		}
+		rsp.SetAttr("accuracy", acc)
+		rsp.SetAttr("pass", acc >= sr.TargetAcc)
+		rsp.End()
 		if acc >= sr.TargetAcc {
+			gsp.SetAttr("retries", attempt)
 			return alloc, sigma * scale, attempt, nil
 		}
 		if attempt >= retries {

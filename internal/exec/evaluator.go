@@ -6,6 +6,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"mupod/internal/obs"
 )
 
 // Evaluator maps a deterministic work list across a bounded worker
@@ -45,6 +48,12 @@ func (e *Evaluator) Map(ctx context.Context, n int, fn func(ctx context.Context,
 	if n <= 0 {
 		return ctx.Err()
 	}
+	// Telemetry state is resolved once per Map, not per item; with
+	// metrics detached and no tracer on ctx the item loops call fn
+	// directly, so the disabled cost is one boolean test per item.
+	m := loadMetrics()
+	traced := obs.Enabled(ctx)
+	instrumented := m != nil || traced
 	workers := e.workers
 	if workers > n {
 		workers = n
@@ -54,7 +63,13 @@ func (e *Evaluator) Map(ctx context.Context, n int, fn func(ctx context.Context,
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := fn(ctx, 0, i); err != nil {
+			var err error
+			if instrumented {
+				err = runItem(ctx, m, traced, 0, i, fn)
+			} else {
+				err = fn(ctx, 0, i)
+			}
+			if err != nil {
 				return err
 			}
 		}
@@ -78,7 +93,13 @@ func (e *Evaluator) Map(ctx context.Context, n int, fn func(ctx context.Context,
 				if wctx.Err() != nil {
 					return
 				}
-				if err := fn(wctx, worker, i); err != nil {
+				var err error
+				if instrumented {
+					err = runItem(wctx, m, traced, worker, i, fn)
+				} else {
+					err = fn(wctx, worker, i)
+				}
+				if err != nil {
 					// Cancellations our own cancel() induced are
 					// secondary — don't let them shadow the real
 					// failure in the index-order scan below.
@@ -98,4 +119,27 @@ func (e *Evaluator) Map(ctx context.Context, n int, fn func(ctx context.Context,
 		}
 	}
 	return ctx.Err()
+}
+
+// runItem executes one work item with the telemetry wrapper: an
+// "exec.item" span on the worker's trace lane (worker+2, lane 1 is the
+// coordinating goroutine) and item/busy counters. Only called when
+// instrumentation is active. Telemetry only observes — results and
+// their reduction order are untouched, so parallel runs stay
+// bit-identical with tracing on or off.
+func runItem(ctx context.Context, m *Metrics, traced bool, worker, i int, fn func(ctx context.Context, worker, i int) error) error {
+	ictx := ctx
+	var sp *obs.Span
+	if traced {
+		ictx, sp = obs.Start(ctx, "exec.item", obs.KV("i", i), obs.KV("worker", worker))
+		sp.SetTID(worker + 2)
+	}
+	start := time.Now()
+	err := fn(ictx, worker, i)
+	if m != nil {
+		m.EvalItems.Add(1)
+		m.EvalBusy.Add(time.Since(start).Seconds())
+	}
+	sp.End()
+	return err
 }

@@ -28,6 +28,11 @@ type Session struct {
 	inbufs  []*tensor.Tensor   // pooled injected-input copy per node
 	ins     [][]*tensor.Tensor // pooled input-gather slice per node
 	scratch []float64          // layer working memory (im2col columns)
+
+	// Arena stats for the in-flight pass, batched in plain ints (the
+	// Session is single-goroutine) and published once per public call.
+	statReuses uint64
+	statAllocs uint64
 }
 
 // NewSession creates an execution session over the given plan.
@@ -54,11 +59,13 @@ func (s *Session) Plan() *Plan { return s.plan }
 func (s *Session) buf(id, batch int) *tensor.Tensor {
 	want := batch * s.plan.outSize[id]
 	if t := s.bufs[id]; t != nil && t.Len() == want {
+		s.statReuses++
 		return t
 	}
 	shape := append([]int{batch}, s.plan.net.Nodes[id].Shape...)
 	t := tensor.New(shape...)
 	s.bufs[id] = t
+	s.statAllocs++
 	return t
 }
 
@@ -68,6 +75,9 @@ func (s *Session) injectCopy(id int, src *tensor.Tensor) *tensor.Tensor {
 	if t == nil || t.Len() != src.Len() || len(t.Shape) != len(src.Shape) {
 		t = tensor.New(src.Shape...)
 		s.inbufs[id] = t
+		s.statAllocs++
+	} else {
+		s.statReuses++
 	}
 	copy(t.Data, src.Data)
 	copy(t.Shape, src.Shape)
@@ -121,7 +131,23 @@ func (s *Session) Replay(acts []*tensor.Tensor, nodeID int, inject nn.Injector) 
 		node := net.Nodes[id]
 		s.step(node, s.gather(node), batch)
 	}
+	s.flushStats()
 	return s.cur[len(net.Nodes)-1]
+}
+
+// flushStats publishes the pass's batched arena counters to the active
+// metrics set. With telemetry disabled this is one atomic load, a
+// branch, and two int stores — the cost BenchmarkObsDisabled pins.
+func (s *Session) flushStats() {
+	m := loadMetrics()
+	if m == nil {
+		s.statReuses, s.statAllocs = 0, 0
+		return
+	}
+	m.Forwards.Add(1)
+	m.ArenaReuses.Add(s.statReuses)
+	m.ArenaAllocs.Add(s.statAllocs)
+	s.statReuses, s.statAllocs = 0, 0
 }
 
 // ForwardInject runs a full forward pass with the per-node injection
@@ -141,6 +167,7 @@ func (s *Session) ForwardInject(x *tensor.Tensor, inject map[int]nn.Injector) *t
 		}
 		s.step(nd, ins, batch)
 	}
+	s.flushStats()
 	return s.cur[len(net.Nodes)-1]
 }
 

@@ -67,8 +67,8 @@ func (o Opts) searchOptions(relDrop float64) search.Options {
 
 // exactAccuracy is the exact (no-injection, hence stateless) top-1
 // evaluation, parallel across batches on o.Workers.
-func exactAccuracy(l loaded, n int, o Opts) float64 {
-	acc, _ := search.AccuracyStateless(context.Background(), o.Workers, l.net, l.test, n, 32, nil)
+func exactAccuracy(ctx context.Context, l loaded, n int, o Opts) float64 {
+	acc, _ := search.AccuracyStateless(ctx, o.Workers, l.net, l.test, n, 32, nil)
 	return acc
 }
 
@@ -91,12 +91,12 @@ func load(a zoo.Arch) (loaded, error) {
 // pipeline profiles once and returns guarded allocations optimized for
 // both objectives at the given accuracy constraint, plus the searched σ
 // (before any guard shrinking).
-func pipeline(l loaded, relDrop float64, o Opts) (prof *profile.Profile, sigma float64, optIn, optMAC *core.Allocation, err error) {
-	prof, err = profile.Run(l.net, l.test, o.profileConfig())
+func pipeline(ctx context.Context, l loaded, relDrop float64, o Opts) (prof *profile.Profile, sigma float64, optIn, optMAC *core.Allocation, err error) {
+	prof, err = profile.RunContext(ctx, l.net, l.test, o.profileConfig())
 	if err != nil {
 		return nil, 0, nil, nil, err
 	}
-	sr, err := search.Run(l.net, prof, l.test, o.searchOptions(relDrop))
+	sr, err := search.RunContext(ctx, l.net, prof, l.test, o.searchOptions(relDrop))
 	if err != nil {
 		return nil, 0, nil, nil, err
 	}
@@ -108,7 +108,7 @@ func pipeline(l loaded, relDrop float64, o Opts) (prof *profile.Profile, sigma f
 			Guard:     true,
 			Workers:   o.Workers,
 		}
-		alloc, _, _, err := core.Allocate(l.net, l.test, prof, sr, cfg)
+		alloc, _, _, err := core.AllocateContext(ctx, l.net, l.test, prof, sr, cfg)
 		if err != nil {
 			return nil, 0, nil, nil, err
 		}

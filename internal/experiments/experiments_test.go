@@ -14,7 +14,7 @@ func tinyOpts() Opts {
 }
 
 func TestTable2Structure(t *testing.T) {
-	res, err := Table2(tinyOpts())
+	res, err := Table2(t.Context(), tinyOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +44,7 @@ func TestTable2Structure(t *testing.T) {
 }
 
 func TestTable3SingleNet(t *testing.T) {
-	res, err := Table3([]zoo.Arch{zoo.AlexNet}, []float64{0.05}, tinyOpts())
+	res, err := Table3(t.Context(), []zoo.Arch{zoo.AlexNet}, []float64{0.05}, tinyOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +66,7 @@ func TestTable3SingleNet(t *testing.T) {
 }
 
 func TestFig2Structure(t *testing.T) {
-	res, err := Fig2(zoo.AlexNet, tinyOpts())
+	res, err := Fig2(t.Context(), zoo.AlexNet, tinyOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +99,7 @@ func TestFig2Structure(t *testing.T) {
 
 func TestFig3Structure(t *testing.T) {
 	sigmas := []float64{0.2, 1.6, 6.4}
-	res, err := Fig3(zoo.AlexNet, sigmas, 2, tinyOpts())
+	res, err := Fig3(t.Context(), zoo.AlexNet, sigmas, 2, tinyOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +134,7 @@ func TestFig3Structure(t *testing.T) {
 }
 
 func TestFig4Structure(t *testing.T) {
-	res, err := Fig4(tinyOpts())
+	res, err := Fig4(t.Context(), tinyOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +165,7 @@ func TestFig4Structure(t *testing.T) {
 }
 
 func TestMethodVsSearchStructure(t *testing.T) {
-	res, err := MethodVsSearch(zoo.AlexNet, 0.05, tinyOpts())
+	res, err := MethodVsSearch(t.Context(), zoo.AlexNet, 0.05, tinyOpts())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -35,13 +36,13 @@ type Fig2Result struct {
 
 // Fig2 measures every layer's Δ-vs-σ relationship on the given
 // architecture.
-func Fig2(a zoo.Arch, o Opts) (*Fig2Result, error) {
+func Fig2(ctx context.Context, a zoo.Arch, o Opts) (*Fig2Result, error) {
 	o = o.withDefaults()
 	l, err := load(a)
 	if err != nil {
 		return nil, err
 	}
-	prof, err := profile.Run(l.net, l.test, o.profileConfig())
+	prof, err := profile.RunContext(ctx, l.net, l.test, o.profileConfig())
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -51,7 +52,7 @@ type Fig3Result struct {
 // Fig3 sweeps σ_YŁ over the given values on the chosen architecture
 // (the paper uses AlexNet), evaluating both schemes `repeats` times and
 // the ξ corner cases.
-func Fig3(a zoo.Arch, sigmas []float64, repeats int, o Opts) (*Fig3Result, error) {
+func Fig3(ctx context.Context, a zoo.Arch, sigmas []float64, repeats int, o Opts) (*Fig3Result, error) {
 	o = o.withDefaults()
 	if repeats <= 0 {
 		repeats = 3 // "each point is the average of 3 measurements"
@@ -60,13 +61,13 @@ func Fig3(a zoo.Arch, sigmas []float64, repeats int, o Opts) (*Fig3Result, error
 	if err != nil {
 		return nil, err
 	}
-	prof, err := profile.Run(l.net, l.test, o.profileConfig())
+	prof, err := profile.RunContext(ctx, l.net, l.test, o.profileConfig())
 	if err != nil {
 		return nil, err
 	}
 	res := &Fig3Result{
 		Arch:     a,
-		ExactAcc: exactAccuracy(l, o.EvalImages, o),
+		ExactAcc: exactAccuracy(ctx, l, o.EvalImages, o),
 	}
 	L := prof.NumLayers()
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -32,14 +33,14 @@ type Fig4Result struct {
 
 // Fig4 runs the NiN energy-optimization example at a 5% relative drop
 // (the Table III cell the figure illustrates).
-func Fig4(o Opts) (*Fig4Result, error) {
+func Fig4(ctx context.Context, o Opts) (*Fig4Result, error) {
 	o = o.withDefaults()
 	l, err := load(zoo.NiN)
 	if err != nil {
 		return nil, err
 	}
 	const relDrop = 0.05
-	prof, _, _, optMAC, err := pipeline(l, relDrop, o)
+	prof, _, _, optMAC, err := pipeline(ctx, l, relDrop, o)
 	if err != nil {
 		return nil, err
 	}

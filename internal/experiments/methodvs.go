@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -38,7 +39,7 @@ type MethodVsSearchResult struct {
 }
 
 // MethodVsSearch runs both methods at the same constraint.
-func MethodVsSearch(a zoo.Arch, relDrop float64, o Opts) (*MethodVsSearchResult, error) {
+func MethodVsSearch(ctx context.Context, a zoo.Arch, relDrop float64, o Opts) (*MethodVsSearchResult, error) {
 	o = o.withDefaults()
 	l, err := load(a)
 	if err != nil {
@@ -47,20 +48,20 @@ func MethodVsSearch(a zoo.Arch, relDrop float64, o Opts) (*MethodVsSearchResult,
 	res := &MethodVsSearchResult{
 		Arch:     a,
 		RelDrop:  relDrop,
-		ExactAcc: exactAccuracy(l, 0, o),
+		ExactAcc: exactAccuracy(ctx, l, 0, o),
 	}
 
 	// Our pipeline.
 	t0 := time.Now()
-	prof, err := profile.Run(l.net, l.test, o.profileConfig())
+	prof, err := profile.RunContext(ctx, l.net, l.test, o.profileConfig())
 	if err != nil {
 		return nil, err
 	}
-	sr, err := search.Run(l.net, prof, l.test, o.searchOptions(relDrop))
+	sr, err := search.RunContext(ctx, l.net, prof, l.test, o.searchOptions(relDrop))
 	if err != nil {
 		return nil, err
 	}
-	xi, err := core.OptimizeXi(prof, sr.SigmaYL, core.Config{Objective: core.MinimizeInputBits})
+	xi, _, err := core.OptimizeXiContext(ctx, prof, sr.SigmaYL, core.Config{Objective: core.MinimizeInputBits})
 	if err != nil {
 		return nil, err
 	}

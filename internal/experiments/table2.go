@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -51,14 +52,14 @@ type Table2Result struct {
 // Table2 runs the Sec. V-D AlexNet example: find σ_YŁ at 1% relative
 // drop, optimize ξ for #Input and for #MAC, and compare bit totals
 // against the smallest-uniform baseline.
-func Table2(o Opts) (*Table2Result, error) {
+func Table2(ctx context.Context, o Opts) (*Table2Result, error) {
 	o = o.withDefaults()
 	l, err := load(zoo.AlexNet)
 	if err != nil {
 		return nil, err
 	}
 	const relDrop = 0.01
-	prof, sigma, optIn, optMAC, err := pipeline(l, relDrop, o)
+	prof, sigma, optIn, optMAC, err := pipeline(ctx, l, relDrop, o)
 	if err != nil {
 		return nil, err
 	}
@@ -106,7 +107,7 @@ func Table2(o Opts) (*Table2Result, error) {
 	res.InputSavingVsEqual = energy.Saving(float64(res.EqualInputBits), float64(res.OptInputInputBits))
 	res.MACSavingVsEqual = energy.Saving(float64(res.EqualMACBits), float64(res.OptMACMACBits))
 
-	res.ExactAcc = exactAccuracy(l, 0, o)
+	res.ExactAcc = exactAccuracy(ctx, l, 0, o)
 	res.OptInputAcc = optIn.Validate(l.net, l.test, 0)
 	res.OptMACAcc = optMAC.Validate(l.net, l.test, 0)
 	return res, nil

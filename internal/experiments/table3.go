@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -44,7 +45,7 @@ type Table3Result struct {
 // Table3 runs the full evaluation for the given architectures and
 // relative accuracy drops (the paper uses 1% and 5% across all eight
 // networks).
-func Table3(archs []zoo.Arch, relDrops []float64, o Opts) (*Table3Result, error) {
+func Table3(ctx context.Context, archs []zoo.Arch, relDrops []float64, o Opts) (*Table3Result, error) {
 	o = o.withDefaults()
 	res := &Table3Result{}
 	for _, a := range archs {
@@ -54,7 +55,7 @@ func Table3(archs []zoo.Arch, relDrops []float64, o Opts) (*Table3Result, error)
 		}
 		for _, rd := range relDrops {
 			t0 := time.Now()
-			row, err := table3Row(l, rd, o)
+			row, err := table3Row(ctx, l, rd, o)
 			if err != nil {
 				return nil, fmt.Errorf("table3 %s@%g: %w", a, rd, err)
 			}
@@ -65,8 +66,8 @@ func Table3(archs []zoo.Arch, relDrops []float64, o Opts) (*Table3Result, error)
 	return res, nil
 }
 
-func table3Row(l loaded, relDrop float64, o Opts) (*Table3Row, error) {
-	prof, _, optIn, optMAC, err := pipeline(l, relDrop, o)
+func table3Row(ctx context.Context, l loaded, relDrop float64, o Opts) (*Table3Row, error) {
+	prof, _, optIn, optMAC, err := pipeline(ctx, l, relDrop, o)
 	if err != nil {
 		return nil, err
 	}
@@ -105,7 +106,7 @@ func table3Row(l loaded, relDrop float64, o Opts) (*Table3Row, error) {
 		optMAC.MACEnergy(energy.Default40nm, w),
 	)
 
-	row.ExactAcc = exactAccuracy(l, 0, o)
+	row.ExactAcc = exactAccuracy(ctx, l, 0, o)
 	row.OptInAcc = optIn.Validate(l.net, l.test, 0)
 	row.OptMACAcc = optMAC.Validate(l.net, l.test, 0)
 	return row, nil

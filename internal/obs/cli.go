@@ -1,0 +1,30 @@
+package obs
+
+import (
+	"context"
+	"os"
+)
+
+// TraceToFile implements the cmd tools' -trace flag: with a non-empty
+// path it returns a context carrying a fresh tracer plus a flush
+// function that writes the collected spans to path in Chrome
+// trace_event format. With an empty path tracing stays disabled and
+// flush is a cheap no-op, so callers can defer it unconditionally.
+func TraceToFile(ctx context.Context, path string, maxSpans int) (context.Context, func() error) {
+	if path == "" {
+		return ctx, func() error { return nil }
+	}
+	tr := NewTracer(maxSpans)
+	flush := func() error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		err = tr.WriteChromeTrace(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		return err
+	}
+	return WithTracer(ctx, tr), flush
+}

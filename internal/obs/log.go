@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+)
+
+// LogEnv is the environment variable consulted by Setup when no -log
+// flag is given. Same syntax as the flag: "level[,format]".
+const LogEnv = "MUPOD_LOG"
+
+// NewLogger builds a slog.Logger writing to w from a spec of the form
+// "level[,format]" — level one of debug/info/warn/error, format text
+// (default) or json, in either order, e.g. "debug", "json",
+// "warn,json". An empty spec means info-level text.
+func NewLogger(w io.Writer, spec string) (*slog.Logger, error) {
+	level := slog.LevelInfo
+	format := "text"
+	for _, part := range strings.Split(spec, ",") {
+		switch strings.ToLower(strings.TrimSpace(part)) {
+		case "":
+		case "debug":
+			level = slog.LevelDebug
+		case "info":
+			level = slog.LevelInfo
+		case "warn", "warning":
+			level = slog.LevelWarn
+		case "error":
+			level = slog.LevelError
+		case "text":
+			format = "text"
+		case "json":
+			format = "json"
+		default:
+			return nil, fmt.Errorf("obs: bad log spec %q (want level[,format] with level debug|info|warn|error and format text|json)", spec)
+		}
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	if format == "json" {
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return slog.New(slog.NewTextHandler(w, opts)), nil
+}
+
+// Setup builds the process logger on stderr from spec, falling back to
+// $MUPOD_LOG when spec is empty. It is the shared -log flag handler for
+// cmd/mupodd and the cmd tools.
+func Setup(spec string) (*slog.Logger, error) {
+	if spec == "" {
+		spec = os.Getenv(LogEnv)
+	}
+	return NewLogger(os.Stderr, spec)
+}

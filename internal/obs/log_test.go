@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNewLoggerSpecs(t *testing.T) {
+	cases := []struct {
+		spec      string
+		wantDebug bool
+		wantJSON  bool
+	}{
+		{"", false, false},
+		{"debug", true, false},
+		{"json", false, true},
+		{"debug,json", true, true},
+		{"json,debug", true, true},
+		{"warn,text", false, false},
+		{" INFO , TEXT ", false, false},
+	}
+	for _, tc := range cases {
+		var sb strings.Builder
+		l, err := NewLogger(&sb, tc.spec)
+		if err != nil {
+			t.Fatalf("spec %q: %v", tc.spec, err)
+		}
+		l.Debug("dbg")
+		l.Info("hello", "k", "v")
+		out := sb.String()
+		if got := strings.Contains(out, "dbg"); got != tc.wantDebug {
+			t.Errorf("spec %q: debug emitted = %v, want %v", tc.spec, got, tc.wantDebug)
+		}
+		isJSON := json.Valid([]byte(strings.SplitN(out, "\n", 2)[0]))
+		if isJSON != tc.wantJSON {
+			t.Errorf("spec %q: json = %v, want %v (out %q)", tc.spec, isJSON, tc.wantJSON, out)
+		}
+		if tc.spec == "warn,text" && strings.Contains(out, "hello") {
+			t.Errorf("spec %q: info must be suppressed at warn level", tc.spec)
+		}
+	}
+}
+
+func TestNewLoggerBadSpec(t *testing.T) {
+	for _, spec := range []string{"verbose", "debug,xml", "info;json"} {
+		if _, err := NewLogger(&strings.Builder{}, spec); err == nil {
+			t.Errorf("spec %q: want error", spec)
+		}
+	}
+}
+
+func TestSetupUsesEnv(t *testing.T) {
+	t.Setenv(LogEnv, "debug,json")
+	l, err := Setup("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Enabled(nil, -4) { // slog.LevelDebug
+		t.Fatal("env spec must enable debug")
+	}
+	// Explicit spec wins over env.
+	t.Setenv(LogEnv, "badspec")
+	if _, err := Setup("info"); err != nil {
+		t.Fatalf("explicit spec must override env: %v", err)
+	}
+	if _, err := Setup(""); err == nil {
+		t.Fatal("bad env spec must surface an error")
+	}
+}

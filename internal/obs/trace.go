@@ -1,0 +1,284 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultMaxSpans bounds a tracer's buffer; spans started past the cap
+// are counted in Dropped instead of recorded, so a runaway inner loop
+// cannot grow memory without bound.
+const DefaultMaxSpans = 8192
+
+// Attr is one span attribute.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// KV builds an Attr.
+func KV(key string, value any) Attr { return Attr{Key: key, Value: value} }
+
+// Span is one timed region of the pipeline. Spans are owned by the
+// goroutine that started them until End; after End they are immutable.
+// A nil *Span is a valid disabled span: every method no-ops, which is
+// what Start returns when the context carries no tracer.
+type Span struct {
+	Name     string
+	ID       int64
+	ParentID int64 // 0 for roots
+	TID      int   // trace_event thread lane; 1 = main, workers get 2+n
+	Start    time.Time
+	Dur      time.Duration
+	Attrs    []Attr
+
+	tr *Tracer
+}
+
+// SetAttr attaches an attribute. No-op on a nil receiver.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.Attrs = append(s.Attrs, Attr{Key: key, Value: value})
+}
+
+// SetTID moves the span to a trace_event lane (use worker index + 2 so
+// lane 1 stays the coordinating goroutine). No-op on a nil receiver.
+func (s *Span) SetTID(tid int) {
+	if s == nil {
+		return
+	}
+	s.TID = tid
+}
+
+// End stamps the duration and records the span with its tracer.
+// No-op on a nil receiver; calling End twice records once.
+func (s *Span) End() {
+	if s == nil || s.tr == nil {
+		return
+	}
+	s.Dur = time.Since(s.Start)
+	tr := s.tr
+	s.tr = nil
+	tr.record(s)
+}
+
+// Tracer collects finished spans into a bounded buffer. It is safe for
+// concurrent use; span IDs are allocated atomically so parallel
+// evaluator items can trace without coordination.
+type Tracer struct {
+	epoch    time.Time
+	maxSpans int
+	nextID   atomic.Int64
+	dropped  atomic.Uint64
+
+	mu    sync.Mutex
+	spans []*Span
+}
+
+// NewTracer creates a tracer holding at most maxSpans spans
+// (DefaultMaxSpans when maxSpans <= 0).
+func NewTracer(maxSpans int) *Tracer {
+	if maxSpans <= 0 {
+		maxSpans = DefaultMaxSpans
+	}
+	return &Tracer{epoch: time.Now(), maxSpans: maxSpans}
+}
+
+func (t *Tracer) record(s *Span) {
+	t.mu.Lock()
+	if len(t.spans) >= t.maxSpans {
+		t.mu.Unlock()
+		t.dropped.Add(1)
+		return
+	}
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+}
+
+// Len reports the number of recorded spans.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Dropped reports how many spans were discarded once the buffer filled.
+func (t *Tracer) Dropped() uint64 { return t.dropped.Load() }
+
+// Spans returns the recorded spans sorted by start time (ties by ID).
+func (t *Tracer) Spans() []*Span {
+	t.mu.Lock()
+	out := append([]*Span(nil), t.spans...)
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start.Equal(out[j].Start) {
+			return out[i].ID < out[j].ID
+		}
+		return out[i].Start.Before(out[j].Start)
+	})
+	return out
+}
+
+// spanCtx carries the tracer plus the innermost open span so children
+// can link their ParentID without a global stack.
+type spanCtx struct {
+	tr     *Tracer
+	parent *Span
+}
+
+type spanCtxKey struct{}
+
+// WithTracer returns a context whose Start calls record into tr.
+// A nil tr returns ctx unchanged (tracing stays disabled).
+func WithTracer(ctx context.Context, tr *Tracer) context.Context {
+	if tr == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, spanCtx{tr: tr})
+}
+
+// TracerFrom returns the context's tracer, or nil when tracing is
+// disabled.
+func TracerFrom(ctx context.Context) *Tracer {
+	sc, _ := ctx.Value(spanCtxKey{}).(spanCtx)
+	return sc.tr
+}
+
+// Enabled reports whether ctx carries a tracer. Hot loops can check it
+// once instead of calling Start per iteration.
+func Enabled(ctx context.Context) bool { return TracerFrom(ctx) != nil }
+
+// Start opens a span named name under the context's current span. When
+// the context carries no tracer it returns (ctx, nil) — the nil span's
+// methods all no-op — so instrumentation points pay only a context
+// value lookup.
+func Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	sc, _ := ctx.Value(spanCtxKey{}).(spanCtx)
+	if sc.tr == nil {
+		return ctx, nil
+	}
+	s := &Span{
+		Name:  name,
+		ID:    sc.tr.nextID.Add(1),
+		TID:   1,
+		Start: time.Now(),
+		Attrs: attrs,
+		tr:    sc.tr,
+	}
+	if sc.parent != nil {
+		s.ParentID = sc.parent.ID
+		s.TID = sc.parent.TID
+	}
+	return context.WithValue(ctx, spanCtxKey{}, spanCtx{tr: sc.tr, parent: s}), s
+}
+
+func attrMap(attrs []Attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Value
+	}
+	return m
+}
+
+// spanJSON is the plain export schema: times are microseconds relative
+// to the tracer's epoch.
+type spanJSON struct {
+	Name    string         `json:"name"`
+	ID      int64          `json:"id"`
+	Parent  int64          `json:"parent,omitempty"`
+	TID     int            `json:"tid"`
+	StartUS float64        `json:"start_us"`
+	DurUS   float64        `json:"dur_us"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+}
+
+func (t *Tracer) us(at time.Time) float64 {
+	return float64(at.Sub(t.epoch)) / float64(time.Microsecond)
+}
+
+// WriteJSON writes {"spans":[...],"dropped":n} with spans sorted by
+// start time.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	spans := t.Spans()
+	out := struct {
+		Spans   []spanJSON `json:"spans"`
+		Dropped uint64     `json:"dropped"`
+	}{Spans: make([]spanJSON, 0, len(spans)), Dropped: t.Dropped()}
+	for _, s := range spans {
+		out.Spans = append(out.Spans, spanJSON{
+			Name:    s.Name,
+			ID:      s.ID,
+			Parent:  s.ParentID,
+			TID:     s.TID,
+			StartUS: t.us(s.Start),
+			DurUS:   float64(s.Dur) / float64(time.Microsecond),
+			Attrs:   attrMap(s.Attrs),
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// chromeEvent is one trace_event; ph "X" is a complete event with
+// microsecond ts/dur, which chrome://tracing and Perfetto nest by time
+// containment per (pid, tid) lane.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes the spans in Chrome trace_event JSON
+// ({"traceEvents":[...]}), loadable in chrome://tracing or
+// https://ui.perfetto.dev.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	spans := t.Spans()
+	events := make([]chromeEvent, 0, len(spans))
+	for _, s := range spans {
+		args := attrMap(s.Attrs)
+		if s.ParentID != 0 {
+			if args == nil {
+				args = make(map[string]any, 1)
+			}
+			args["parent"] = s.ParentID
+		}
+		events = append(events, chromeEvent{
+			Name: s.Name,
+			Cat:  "mupod",
+			Ph:   "X",
+			TS:   t.us(s.Start),
+			Dur:  float64(s.Dur) / float64(time.Microsecond),
+			PID:  1,
+			TID:  s.TID,
+			Args: args,
+		})
+	}
+	out := struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+		Dropped         uint64        `json:"mupodDroppedSpans"`
+	}{TraceEvents: events, DisplayTimeUnit: "ms", Dropped: t.Dropped()}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// String summarizes the tracer for logs.
+func (t *Tracer) String() string {
+	return fmt.Sprintf("obs.Tracer{spans: %d, dropped: %d}", t.Len(), t.Dropped())
+}

@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestStartDisabledReturnsNil(t *testing.T) {
+	ctx := context.Background()
+	ctx2, s := Start(ctx, "root")
+	if s != nil {
+		t.Fatal("Start without tracer must return a nil span")
+	}
+	if ctx2 != ctx {
+		t.Fatal("Start without tracer must return ctx unchanged")
+	}
+	// All nil-span methods must be safe.
+	s.SetAttr("k", 1)
+	s.SetTID(3)
+	s.End()
+	if Enabled(ctx) {
+		t.Fatal("Enabled must be false without a tracer")
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	tr := NewTracer(0)
+	ctx := WithTracer(context.Background(), tr)
+	if !Enabled(ctx) {
+		t.Fatal("Enabled must be true with a tracer")
+	}
+	ctx1, root := Start(ctx, "pipeline", KV("net", "testnet"))
+	ctx2, child := Start(ctx1, "profile")
+	_, grand := Start(ctx2, "profile.layer", KV("layer", "conv1"))
+	grand.End()
+	child.End()
+	// Sibling started from ctx1 must parent to root, not to child.
+	_, sib := Start(ctx1, "search")
+	sib.End()
+	root.End()
+
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(spans))
+	}
+	byName := map[string]*Span{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["pipeline"].ParentID != 0 {
+		t.Error("pipeline must be a root span")
+	}
+	if byName["profile"].ParentID != byName["pipeline"].ID {
+		t.Error("profile must parent to pipeline")
+	}
+	if byName["profile.layer"].ParentID != byName["profile"].ID {
+		t.Error("profile.layer must parent to profile")
+	}
+	if byName["search"].ParentID != byName["pipeline"].ID {
+		t.Error("search sibling must parent to pipeline")
+	}
+	if byName["pipeline"].Attrs[0].Key != "net" {
+		t.Error("start attrs must be preserved")
+	}
+}
+
+func TestDoubleEndRecordsOnce(t *testing.T) {
+	tr := NewTracer(0)
+	_, s := Start(WithTracer(context.Background(), tr), "x")
+	s.End()
+	s.End()
+	if tr.Len() != 1 {
+		t.Fatalf("double End recorded %d spans, want 1", tr.Len())
+	}
+}
+
+func TestSpanCapAndDropped(t *testing.T) {
+	tr := NewTracer(2)
+	ctx := WithTracer(context.Background(), tr)
+	for i := 0; i < 5; i++ {
+		_, s := Start(ctx, "s")
+		s.End()
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("len = %d, want 2 (cap)", tr.Len())
+	}
+	if tr.Dropped() != 3 {
+		t.Fatalf("dropped = %d, want 3", tr.Dropped())
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	tr := NewTracer(0)
+	ctx := WithTracer(context.Background(), tr)
+	ctx1, root := Start(ctx, "pipeline")
+	_, item := Start(ctx1, "exec.item", KV("i", 7))
+	item.SetTID(3)
+	item.End()
+	root.End()
+
+	var sb strings.Builder
+	if err := tr.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("got %d events, want 2", len(doc.TraceEvents))
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("event %s ph=%q, want X", ev.Name, ev.Ph)
+		}
+		if ev.TS < 0 || ev.Dur < 0 {
+			t.Errorf("event %s has negative ts/dur", ev.Name)
+		}
+	}
+	var tids []int
+	for _, ev := range doc.TraceEvents {
+		tids = append(tids, ev.TID)
+		if ev.Name == "exec.item" {
+			if ev.Args["i"] != float64(7) {
+				t.Errorf("exec.item args = %v, want i=7", ev.Args)
+			}
+		}
+	}
+	if tids[0] != 1 || tids[1] != 3 {
+		t.Errorf("tids = %v, want [1 3] (sorted by start)", tids)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	tr := NewTracer(0)
+	ctx := WithTracer(context.Background(), tr)
+	_, s := Start(ctx, "solve", KV("iters", 12))
+	s.End()
+	var sb strings.Builder
+	if err := tr.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Spans []struct {
+			Name  string         `json:"name"`
+			ID    int64          `json:"id"`
+			Attrs map[string]any `json:"attrs"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("span JSON invalid: %v", err)
+	}
+	if len(doc.Spans) != 1 || doc.Spans[0].Name != "solve" || doc.Spans[0].Attrs["iters"] != float64(12) {
+		t.Fatalf("unexpected span doc: %+v", doc)
+	}
+}
+
+func TestTraceToFileDisabled(t *testing.T) {
+	ctx, flush := TraceToFile(context.Background(), "", 0)
+	if Enabled(ctx) {
+		t.Fatal("empty path must not enable tracing")
+	}
+	if err := flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceToFileWrites(t *testing.T) {
+	path := t.TempDir() + "/trace.json"
+	ctx, flush := TraceToFile(context.Background(), path, 16)
+	_, s := Start(ctx, "root")
+	s.End()
+	if err := flush(); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("trace file invalid JSON: %v", err)
+	}
+	if _, ok := doc["traceEvents"]; !ok {
+		t.Fatal("trace file missing traceEvents")
+	}
+}

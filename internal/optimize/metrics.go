@@ -1,0 +1,49 @@
+package optimize
+
+import (
+	"sync/atomic"
+
+	"mupod/internal/obs"
+)
+
+const (
+	solverNewtonKKT         = "newton_kkt"
+	solverProjectedGradient = "projected_gradient"
+)
+
+// solverMetrics exports the iteration counts already tracked in Stats
+// as process counters, labelled by solver.
+type solverMetrics struct {
+	iters  map[string]*obs.Counter
+	solves map[string]*obs.Counter
+}
+
+var solverMetricsPtr atomic.Pointer[solverMetrics]
+
+// EnableMetrics registers the ξ-solver counters on r and makes them the
+// process-wide active set (last call wins). Like the exec hooks, the
+// disabled cost is one atomic load and a branch per solve.
+func EnableMetrics(r *obs.Registry) {
+	m := &solverMetrics{
+		iters:  make(map[string]*obs.Counter, 2),
+		solves: make(map[string]*obs.Counter, 2),
+	}
+	for _, solver := range []string{solverNewtonKKT, solverProjectedGradient} {
+		m.iters[solver] = r.Counter("mupod_solver_iterations_total", "ξ-solver iterations executed, by solver.", "solver", solver)
+		m.solves[solver] = r.Counter("mupod_solver_solves_total", "ξ-solve invocations, by solver.", "solver", solver)
+	}
+	solverMetricsPtr.Store(m)
+}
+
+// DisableMetrics detaches the active counter set.
+func DisableMetrics() { solverMetricsPtr.Store(nil) }
+
+// countSolve publishes one finished solve's stats.
+func countSolve(solver string, st *Stats) {
+	m := solverMetricsPtr.Load()
+	if m == nil {
+		return
+	}
+	m.iters[solver].Add(uint64(st.Iterations))
+	m.solves[solver].Inc()
+}

@@ -15,9 +15,12 @@
 package optimize
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+
+	"mupod/internal/obs"
 )
 
 // Problem is a separable objective over the simplex.
@@ -91,6 +94,13 @@ func feasibleStart(p Problem) ([]float64, error) {
 // inward-pointing multipliers are released naturally because the step
 // is recomputed every iteration over all coordinates.
 func SolveNewtonKKT(p Problem, opts Options) ([]float64, Stats, error) {
+	return SolveNewtonKKTContext(context.Background(), p, opts)
+}
+
+// SolveNewtonKKTContext is SolveNewtonKKT with telemetry: a
+// "solve.kkt_iter" span per Newton iteration when ctx carries an obs
+// tracer, and iteration/solve counters when solver metrics are enabled.
+func SolveNewtonKKTContext(ctx context.Context, p Problem, opts Options) ([]float64, Stats, error) {
 	opts = opts.withDefaults()
 	xi, err := feasibleStart(p)
 	if err != nil {
@@ -102,8 +112,14 @@ func SolveNewtonKKT(p Problem, opts Options) ([]float64, Stats, error) {
 	cand := make([]float64, n)
 	val := p.Value(xi)
 	var st Stats
+	defer func() { countSolve(solverNewtonKKT, &st) }()
+	traced := obs.Enabled(ctx)
 	for it := 0; it < opts.MaxIter; it++ {
 		st.Iterations = it + 1
+		var isp *obs.Span
+		if traced {
+			_, isp = obs.Start(ctx, "solve.kkt_iter", obs.KV("iter", it))
+		}
 		var sumInvH, sumGoverH float64
 		for k := 0; k < n; k++ {
 			g, h := p.Deriv(k, xi[k])
@@ -143,6 +159,8 @@ func SolveNewtonKKT(p Problem, opts Options) ([]float64, Stats, error) {
 			}
 			step /= 2
 		}
+		isp.SetAttr("value", val)
+		isp.End()
 		if !improved || math.Sqrt(norm) < opts.Tol {
 			st.Converged = true
 			break
@@ -180,6 +198,14 @@ func renormalize(p Problem, xi []float64) {
 // SolveProjectedGradient minimizes p over the simplex by projected
 // gradient descent with backtracking line search.
 func SolveProjectedGradient(p Problem, opts Options) ([]float64, Stats, error) {
+	return SolveProjectedGradientContext(context.Background(), p, opts)
+}
+
+// SolveProjectedGradientContext is SolveProjectedGradient with
+// telemetry: a "solve.pg_iter" span per iteration when ctx carries an
+// obs tracer, and iteration/solve counters when solver metrics are
+// enabled.
+func SolveProjectedGradientContext(ctx context.Context, p Problem, opts Options) ([]float64, Stats, error) {
 	opts = opts.withDefaults()
 	xi, err := feasibleStart(p)
 	if err != nil {
@@ -195,8 +221,14 @@ func SolveProjectedGradient(p Problem, opts Options) ([]float64, Stats, error) {
 	val := p.Value(xi)
 	step := 1.0
 	var st Stats
+	defer func() { countSolve(solverProjectedGradient, &st) }()
+	traced := obs.Enabled(ctx)
 	for it := 0; it < opts.MaxIter; it++ {
 		st.Iterations = it + 1
+		var isp *obs.Span
+		if traced {
+			_, isp = obs.Start(ctx, "solve.pg_iter", obs.KV("iter", it))
+		}
 		for k := 0; k < n; k++ {
 			grad[k], _ = p.Deriv(k, xi[k])
 		}
@@ -221,6 +253,8 @@ func SolveProjectedGradient(p Problem, opts Options) ([]float64, Stats, error) {
 			}
 			step /= 2
 		}
+		isp.SetAttr("value", val)
+		isp.End()
 		if !improved || math.Sqrt(norm) < opts.Tol {
 			st.Converged = true
 			break

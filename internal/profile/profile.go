@@ -20,6 +20,7 @@ import (
 	"mupod/internal/exec"
 	"mupod/internal/fixedpoint"
 	"mupod/internal/nn"
+	"mupod/internal/obs"
 	"mupod/internal/rng"
 	"mupod/internal/stats"
 	"mupod/internal/tensor"
@@ -222,11 +223,16 @@ func RunContext(ctx context.Context, net *nn.Network, ds *dataset.Dataset, cfg C
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("profile: %w", err)
 	}
+	ctx, psp := obs.Start(ctx, "profile",
+		obs.KV("net", net.Name), obs.KV("images", cfg.Images), obs.KV("workers", cfg.Workers))
+	defer psp.End()
 	batch := ds.Batch(0, cfg.Images)
 
 	// Step 1 of Sec. V-A: record the exact output Y_Ł (and every
 	// intermediate activation, enabling suffix-only replay).
+	_, fsp := obs.Start(ctx, "profile.forward", obs.KV("batch", cfg.Images))
 	acts := net.ForwardAll(batch)
+	fsp.End()
 	exact := acts[len(acts)-1]
 
 	// Per-layer preparation is cheap and sequential: metadata, the
@@ -256,7 +262,9 @@ func RunContext(ctx context.Context, net *nn.Network, ds *dataset.Dataset, cfg C
 	ev := exec.NewEvaluator(cfg.Workers)
 	plan := exec.NewPlan(net)
 	sessions := make([]*exec.Session, ev.Workers())
-	err := ev.Map(ctx, len(items), func(ctx context.Context, worker, i int) error {
+	sctx, ssp := obs.Start(ctx, "profile.sweep",
+		obs.KV("layers", len(nodes)), obs.KV("items", len(items)))
+	err := ev.Map(sctx, len(items), func(ctx context.Context, worker, i int) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
@@ -275,6 +283,7 @@ func RunContext(ctx context.Context, net *nn.Network, ds *dataset.Dataset, cfg C
 		}
 		return nil
 	})
+	ssp.End()
 	if err != nil {
 		return nil, fmt.Errorf("profile: %w", err)
 	}
@@ -285,6 +294,8 @@ func RunContext(ctx context.Context, net *nn.Network, ds *dataset.Dataset, cfg C
 	idx := 0
 	for k := range preps {
 		sw := &preps[k]
+		_, lsp := obs.Start(ctx, "profile.layer",
+			obs.KV("layer", sw.lp.Name), obs.KV("repeats", sw.repeats))
 		pooled := make([]float64, 0, sw.repeats*stride)
 		for pt := 0; pt < cfg.Points; pt++ {
 			pooled = pooled[:0]
@@ -297,8 +308,13 @@ func RunContext(ctx context.Context, net *nn.Network, ds *dataset.Dataset, cfg C
 			sw.lp.Sigmas = append(sw.lp.Sigmas, sd)
 		}
 		if err := fitLayer(&sw.lp); err != nil {
+			lsp.End()
 			return nil, fmt.Errorf("profile: layer %s: %w", sw.lp.Name, err)
 		}
+		lsp.SetAttr("lambda", sw.lp.Lambda)
+		lsp.SetAttr("theta", sw.lp.Theta)
+		lsp.SetAttr("r2", sw.lp.R2)
+		lsp.End()
 		p.Layers = append(p.Layers, sw.lp)
 	}
 	p.Reindex()

@@ -19,6 +19,7 @@ import (
 	"mupod/internal/dataset"
 	"mupod/internal/exec"
 	"mupod/internal/nn"
+	"mupod/internal/obs"
 	"mupod/internal/profile"
 	"mupod/internal/rng"
 	"mupod/internal/tensor"
@@ -339,8 +340,14 @@ func RunContext(ctx context.Context, net *nn.Network, prof *profile.Profile, ds 
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("search: %w", err)
 	}
+	ctx, ssp := obs.Start(ctx, "search",
+		obs.KV("scheme", int(opts.Scheme)), obs.KV("rel_drop", opts.RelDrop),
+		obs.KV("eval_images", opts.EvalImages), obs.KV("tol", opts.Tol))
+	defer ssp.End()
 	rn := newRunner(net, opts.Workers)
+	_, esp := obs.Start(ctx, "search.exact")
 	exact, err := rn.accuracy(ctx, ds, opts.EvalImages, opts.BatchSize, nil, nil)
+	esp.End()
 	if err != nil {
 		return nil, fmt.Errorf("search: %w", err)
 	}
@@ -354,12 +361,17 @@ func RunContext(ctx context.Context, net *nn.Network, prof *profile.Profile, ds 
 		if err := ctx.Err(); err != nil {
 			return false, fmt.Errorf("search: %w", err)
 		}
-		acc, err := evaluateSigma(ctx, rn, net, prof, ds, sigma, opts)
+		pctx, psp := obs.Start(ctx, "search.probe", obs.KV("sigma", sigma))
+		acc, err := evaluateSigma(pctx, rn, net, prof, ds, sigma, opts)
 		if err != nil {
+			psp.End()
 			return false, fmt.Errorf("search: %w", err)
 		}
 		res.Evaluations++
 		pass := acc >= res.TargetAcc
+		psp.SetAttr("accuracy", acc)
+		psp.SetAttr("pass", pass)
+		psp.End()
 		res.Trace = append(res.Trace, Probe{Sigma: sigma, Accuracy: acc, Pass: pass})
 		return pass, nil
 	}

@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestDebugTraceEndpoint(t *testing.T) {
+	m := newTestManager(t, Config{Workers: 1})
+	ts := httptest.NewServer(NewHandler(m))
+	defer ts.Close()
+
+	v := postJob(t, ts, `{"model":"testnet","profile":{"images":8,"points":5,"seed":1},"search":{"reldrop":0.05,"evalimages":64,"tol":0.2,"seed":2}}`)
+	done := pollDone(t, ts, v.ID)
+	if done.State != StateDone {
+		t.Fatalf("job finished %s, want done", done.State)
+	}
+
+	resp, err := http.Get(ts.URL + "/debug/trace/" + v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET /debug/trace: status %d body %s", resp.StatusCode, b)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		names[ev.Name] = true
+	}
+	// The first (cache-miss) job's trace must cover the whole pipeline,
+	// including the profile subtree computed under its singleflight
+	// leadership.
+	for _, want := range []string{"job", "resolve", "profile", "profile.sweep", "search", "search.probe", "solve"} {
+		if !names[want] {
+			t.Errorf("trace missing span %q (have %v)", want, names)
+		}
+	}
+
+	// Unknown job → 404.
+	if resp, err := http.Get(ts.URL + "/debug/trace/j-999999"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("unknown job trace: status %d, want 404", resp.StatusCode)
+		}
+	}
+
+	// Plain span export.
+	resp2, err := http.Get(ts.URL + "/debug/trace/" + v.ID + "?format=spans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var spansDoc struct {
+		Spans []struct {
+			Name string `json:"name"`
+		} `json:"spans"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&spansDoc); err != nil {
+		t.Fatalf("span JSON invalid: %v", err)
+	}
+	if len(spansDoc.Spans) == 0 {
+		t.Error("span export is empty")
+	}
+}
+
+func TestDebugTraceDisabled(t *testing.T) {
+	m := newTestManager(t, Config{Workers: 1, TraceSpans: -1})
+	ts := httptest.NewServer(NewHandler(m))
+	defer ts.Close()
+
+	v := postJob(t, ts, `{"model":"testnet","profile":{"images":8,"points":5,"seed":1},"search":{"reldrop":0.05,"evalimages":64,"tol":0.2,"seed":2}}`)
+	pollDone(t, ts, v.ID)
+	resp, err := http.Get(ts.URL + "/debug/trace/" + v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("disabled tracing: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestDebugPprofEndpoints(t *testing.T) {
+	m := newTestManager(t, Config{Workers: 1})
+	ts := httptest.NewServer(NewHandler(m))
+	defer ts.Close()
+
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/heap", "/debug/pprof/goroutine", "/debug/pprof/cmdline"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d, want 200", path, resp.StatusCode)
+		}
+	}
+}

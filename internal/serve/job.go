@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"mupod/internal/core"
+	"mupod/internal/obs"
 	"mupod/internal/profile"
 	"mupod/internal/search"
 )
@@ -163,9 +164,26 @@ type Job struct {
 	err       string
 	cacheHit  bool
 	result    *JobResult
+	tracer    *obs.Tracer
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
+}
+
+// Tracer returns the job's span buffer, or nil when per-job tracing is
+// disabled or the job has not started. The buffer is complete once the
+// job reaches a terminal state (the /debug/trace endpoint gates on
+// that).
+func (j *Job) Tracer() *obs.Tracer {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.tracer
+}
+
+func (j *Job) setTracer(tr *obs.Tracer) {
+	j.mu.Lock()
+	j.tracer = tr
+	j.mu.Unlock()
 }
 
 // ID returns the job's identifier.

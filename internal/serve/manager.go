@@ -11,13 +11,17 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"time"
 
 	"sync"
 
 	"mupod/internal/core"
 	"mupod/internal/dataset"
+	"mupod/internal/exec"
 	"mupod/internal/nn"
+	"mupod/internal/obs"
+	"mupod/internal/optimize"
 	"mupod/internal/profile"
 	"mupod/internal/search"
 )
@@ -59,6 +63,10 @@ type Config struct {
 	Resolver Resolver
 	// Logf receives job lifecycle events (default: discarded).
 	Logf func(format string, args ...any)
+	// TraceSpans caps each job's span buffer (0 selects
+	// obs.DefaultMaxSpans; negative disables per-job tracing). Finished
+	// jobs expose their buffer via GET /debug/trace/{id}.
+	TraceSpans int
 }
 
 // Manager owns the job table, the queue and the worker pool.
@@ -104,11 +112,45 @@ func New(cfg Config) *Manager {
 		queue:   make(chan *Job, cfg.QueueDepth),
 		jobs:    make(map[string]*Job),
 	}
+	m.registerGauges()
+	// The engine counters live behind process-wide pointers (see
+	// exec.EnableMetrics); the newest manager's registry wins, which in
+	// the daemon — one Manager per process — is simply "the" registry.
+	exec.EnableMetrics(m.metrics.Registry())
+	optimize.EnableMetrics(m.metrics.Registry())
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
 	}
 	return m
+}
+
+// registerGauges attaches the manager-owned gauges and the build-info
+// constant to the metrics registry. Order matters for the golden
+// byte-compat test: the pre-obs gauge block first, new families after.
+func (m *Manager) registerGauges() {
+	r := m.metrics.Registry()
+	for _, s := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled} {
+		s := s
+		r.GaugeFunc("mupod_jobs", "Jobs currently known, by state.", func() float64 {
+			return float64(m.CountStates()[s])
+		}, "state", string(s))
+	}
+	r.GaugeFunc("mupod_queue_depth", "Jobs waiting for a worker.", func() float64 {
+		return float64(m.QueueDepth())
+	})
+	r.GaugeFunc("mupod_workers", "Configured worker pool size.", func() float64 {
+		return float64(m.Workers())
+	})
+	r.GaugeFunc("mupod_profile_cache_entries", "Profiles currently cached.", func() float64 {
+		return float64(m.CacheLen())
+	})
+	module := "mupod"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Path != "" {
+		module = bi.Main.Path
+	}
+	r.GaugeFunc("mupod_build_info", "Build information; value is always 1.", func() float64 { return 1 },
+		"go_version", runtime.Version(), "module", module)
 }
 
 // Metrics exposes the counter registry (shared with the HTTP layer).
@@ -294,7 +336,16 @@ func (m *Manager) runJob(j *Job) {
 	j.mu.Unlock()
 	m.cfg.Logf("serve: job %s running", j.id)
 
-	res, cacheHit, err := m.execute(j.ctx, &j.req)
+	ctx := j.ctx
+	if m.cfg.TraceSpans >= 0 {
+		tr := obs.NewTracer(m.cfg.TraceSpans)
+		j.setTracer(tr)
+		ctx = obs.WithTracer(ctx, tr)
+	}
+	ctx, jsp := obs.Start(ctx, "job", obs.KV("id", j.id))
+	res, cacheHit, err := m.execute(ctx, &j.req)
+	jsp.SetAttr("cache_hit", cacheHit)
+	jsp.End()
 
 	final := StateDone
 	j.mu.Lock()
@@ -343,7 +394,10 @@ func (m *Manager) execute(ctx context.Context, req *JobRequest) (*JobResult, boo
 
 	t0 := time.Now()
 	sctx, cancel := m.stageCtx(ctx)
-	net, ds, err := m.cfg.Resolver(sctx, req)
+	rctx, rsp := obs.Start(sctx, "resolve",
+		obs.KV("model", req.Model), obs.KV("netdesc_bytes", len(req.Network)))
+	net, ds, err := m.cfg.Resolver(rctx, req)
+	rsp.End()
 	cancel()
 	resolveTime := time.Since(t0)
 	m.metrics.ObserveStage(StageResolve, resolveTime)

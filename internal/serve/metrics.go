@@ -1,12 +1,9 @@
 package serve
 
 import (
-	"fmt"
-	"io"
-	"sort"
-	"sync"
-	"sync/atomic"
 	"time"
+
+	"mupod/internal/obs"
 )
 
 // Pipeline stages instrumented with latency histograms.
@@ -19,124 +16,70 @@ const (
 
 var stageNames = []string{StageResolve, StageProfile, StageSearch, StageSolve}
 
-// latencyBuckets are the histogram upper bounds in seconds (+Inf is
-// implicit). Profiling a zoo network takes O(seconds); cache hits and
-// the ξ solve take microseconds — the range covers both.
-var latencyBuckets = []float64{
-	0.0001, 0.0005, 0.001, 0.005, 0.01, 0.025, 0.05, 0.1,
-	0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120,
-}
-
-// histogram is a fixed-bucket latency histogram.
-type histogram struct {
-	mu     sync.Mutex
-	counts []uint64 // len(latencyBuckets)+1; last = +Inf
-	sum    float64
-	n      uint64
-}
-
-func newHistogram() *histogram {
-	return &histogram{counts: make([]uint64, len(latencyBuckets)+1)}
-}
-
-func (h *histogram) observe(seconds float64) {
-	i := sort.SearchFloat64s(latencyBuckets, seconds)
-	h.mu.Lock()
-	h.counts[i]++
-	h.sum += seconds
-	h.n++
-	h.mu.Unlock()
-}
-
-// write renders the histogram in Prometheus exposition format with
-// cumulative bucket counts.
-func (h *histogram) write(w io.Writer, name, labels string) {
-	h.mu.Lock()
-	counts := append([]uint64(nil), h.counts...)
-	sum, n := h.sum, h.n
-	h.mu.Unlock()
-	cum := uint64(0)
-	for i, le := range latencyBuckets {
-		cum += counts[i]
-		fmt.Fprintf(w, "%s_bucket{%s,le=\"%g\"} %d\n", name, labels, le, cum)
-	}
-	cum += counts[len(latencyBuckets)]
-	fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, labels, cum)
-	fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, sum)
-	fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, n)
-}
-
-// Metrics aggregates the daemon's operational counters. All methods are
-// safe for concurrent use.
+// Metrics aggregates the daemon's operational counters on a shared
+// obs.Registry. Registration order is load-bearing: the families below
+// (and the gauges the Manager adds right after) reproduce the exact
+// byte layout of the pre-obs /metrics page — see TestMetricsGolden —
+// with new families (build info, exec, solver) appended afterwards.
+// All methods are safe for concurrent use.
 type Metrics struct {
-	submitted atomic.Uint64
-	rejected  atomic.Uint64
-	done      atomic.Uint64
-	failed    atomic.Uint64
-	cancelled atomic.Uint64
+	reg *obs.Registry
 
-	cacheHits   atomic.Uint64
-	cacheMisses atomic.Uint64
+	submitted *obs.Counter
+	rejected  *obs.Counter
+	done      *obs.Counter
+	failed    *obs.Counter
+	cancelled *obs.Counter
 
-	stages map[string]*histogram // fixed key set, created at construction
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+
+	stages map[string]*obs.Histogram // fixed key set, created at construction
 }
 
-// NewMetrics creates an empty metrics registry.
+// NewMetrics creates the daemon's counter set on a fresh registry.
 func NewMetrics() *Metrics {
-	m := &Metrics{stages: make(map[string]*histogram, len(stageNames))}
+	r := obs.NewRegistry()
+	m := &Metrics{reg: r}
+	m.submitted = r.Counter("mupod_jobs_submitted_total", "Jobs accepted into the queue.")
+	m.rejected = r.Counter("mupod_jobs_rejected_total", "Submissions rejected (queue full or draining).")
+	m.done = r.Counter("mupod_jobs_completed_total", "Jobs finished, by terminal state.", "state", "done")
+	m.failed = r.Counter("mupod_jobs_completed_total", "Jobs finished, by terminal state.", "state", "failed")
+	m.cancelled = r.Counter("mupod_jobs_completed_total", "Jobs finished, by terminal state.", "state", "cancelled")
+	m.cacheHits = r.Counter("mupod_profile_cache_hits_total", "Profiling runs served from the content-addressed cache.")
+	m.cacheMisses = r.Counter("mupod_profile_cache_misses_total", "Profiling runs computed from scratch.")
+	m.stages = make(map[string]*obs.Histogram, len(stageNames))
 	for _, s := range stageNames {
-		m.stages[s] = newHistogram()
+		m.stages[s] = r.Histogram("mupod_stage_latency_seconds", "Per-stage pipeline latency.", obs.DefaultLatencyBuckets, "stage", s)
 	}
 	return m
 }
 
+// Registry exposes the underlying registry so more families can be
+// attached (the Manager adds its gauges, exec and optimize their
+// engine counters) and the HTTP layer can render the whole page.
+func (m *Metrics) Registry() *obs.Registry { return m.reg }
+
 // ObserveStage records one stage latency.
 func (m *Metrics) ObserveStage(stage string, d time.Duration) {
 	if h, ok := m.stages[stage]; ok {
-		h.observe(d.Seconds())
+		h.Observe(d.Seconds())
 	}
 }
 
 // CacheHits returns the profile-cache hit count so far.
-func (m *Metrics) CacheHits() uint64 { return m.cacheHits.Load() }
+func (m *Metrics) CacheHits() uint64 { return m.cacheHits.Value() }
 
 // CacheMisses returns the profile-cache miss count so far.
-func (m *Metrics) CacheMisses() uint64 { return m.cacheMisses.Load() }
+func (m *Metrics) CacheMisses() uint64 { return m.cacheMisses.Value() }
 
 func (m *Metrics) jobCompleted(s State) {
 	switch s {
 	case StateDone:
-		m.done.Add(1)
+		m.done.Inc()
 	case StateFailed:
-		m.failed.Add(1)
+		m.failed.Inc()
 	case StateCancelled:
-		m.cancelled.Add(1)
-	}
-}
-
-// write renders every counter; gauges owned by the Manager (queue
-// depth, jobs by state) are appended by Manager.WriteMetrics.
-func (m *Metrics) write(w io.Writer) {
-	fmt.Fprintf(w, "# HELP mupod_jobs_submitted_total Jobs accepted into the queue.\n")
-	fmt.Fprintf(w, "# TYPE mupod_jobs_submitted_total counter\n")
-	fmt.Fprintf(w, "mupod_jobs_submitted_total %d\n", m.submitted.Load())
-	fmt.Fprintf(w, "# HELP mupod_jobs_rejected_total Submissions rejected (queue full or draining).\n")
-	fmt.Fprintf(w, "# TYPE mupod_jobs_rejected_total counter\n")
-	fmt.Fprintf(w, "mupod_jobs_rejected_total %d\n", m.rejected.Load())
-	fmt.Fprintf(w, "# HELP mupod_jobs_completed_total Jobs finished, by terminal state.\n")
-	fmt.Fprintf(w, "# TYPE mupod_jobs_completed_total counter\n")
-	fmt.Fprintf(w, "mupod_jobs_completed_total{state=\"done\"} %d\n", m.done.Load())
-	fmt.Fprintf(w, "mupod_jobs_completed_total{state=\"failed\"} %d\n", m.failed.Load())
-	fmt.Fprintf(w, "mupod_jobs_completed_total{state=\"cancelled\"} %d\n", m.cancelled.Load())
-	fmt.Fprintf(w, "# HELP mupod_profile_cache_hits_total Profiling runs served from the content-addressed cache.\n")
-	fmt.Fprintf(w, "# TYPE mupod_profile_cache_hits_total counter\n")
-	fmt.Fprintf(w, "mupod_profile_cache_hits_total %d\n", m.cacheHits.Load())
-	fmt.Fprintf(w, "# HELP mupod_profile_cache_misses_total Profiling runs computed from scratch.\n")
-	fmt.Fprintf(w, "# TYPE mupod_profile_cache_misses_total counter\n")
-	fmt.Fprintf(w, "mupod_profile_cache_misses_total %d\n", m.cacheMisses.Load())
-	fmt.Fprintf(w, "# HELP mupod_stage_latency_seconds Per-stage pipeline latency.\n")
-	fmt.Fprintf(w, "# TYPE mupod_stage_latency_seconds histogram\n")
-	for _, s := range stageNames {
-		m.stages[s].write(w, "mupod_stage_latency_seconds", fmt.Sprintf("stage=%q", s))
+		m.cancelled.Inc()
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 )
 
 // maxRequestBody bounds POST /v1/jobs bodies (inline netdesc
@@ -19,6 +20,9 @@ const maxRequestBody = 4 << 20
 //	DELETE /v1/jobs/{id}  cancel a job            → 202 + JobView
 //	GET    /healthz       liveness/readiness      → 200 (503 while draining)
 //	GET    /metrics       Prometheus text format  → 200
+//	GET    /debug/trace/{id}  Chrome trace of a finished job → 200
+//	         (?format=spans returns the plain span JSON instead)
+//	GET    /debug/pprof/  runtime profiles (heap, goroutine, cpu, ...)
 func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 
@@ -90,28 +94,46 @@ func NewHandler(m *Manager) http.Handler {
 		m.WriteMetrics(w)
 	})
 
+	mux.HandleFunc("GET /debug/trace/{id}", func(w http.ResponseWriter, r *http.Request) {
+		j, err := m.Get(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		tr := j.Tracer()
+		if tr == nil {
+			writeError(w, http.StatusNotFound, errors.New("serve: job has no trace (tracing disabled or job never started)"))
+			return
+		}
+		if !j.State().Terminal() {
+			writeError(w, http.StatusConflict, fmt.Errorf("serve: job is %s; trace is available once it finishes", j.State()))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if r.URL.Query().Get("format") == "spans" {
+			tr.WriteJSON(w)
+			return
+		}
+		tr.WriteChromeTrace(w)
+	})
+
+	// The pprof handlers self-register only on http.DefaultServeMux;
+	// mount them explicitly since the daemon serves a private mux.
+	// Index also serves the named profiles (heap, goroutine, block, ...).
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+
 	return mux
 }
 
-// WriteMetrics renders the full metrics page: the counter registry plus
-// the manager-owned gauges.
+// WriteMetrics renders the full metrics page. Everything — counters,
+// stage histograms, manager gauges, build info and the exec/solver
+// engine counters — lives on the one shared obs registry.
 func (m *Manager) WriteMetrics(w interface{ Write([]byte) (int, error) }) {
-	m.metrics.write(w)
-	fmt.Fprintf(w, "# HELP mupod_jobs Jobs currently known, by state.\n")
-	fmt.Fprintf(w, "# TYPE mupod_jobs gauge\n")
-	counts := m.CountStates()
-	for _, s := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled} {
-		fmt.Fprintf(w, "mupod_jobs{state=%q} %d\n", s, counts[s])
-	}
-	fmt.Fprintf(w, "# HELP mupod_queue_depth Jobs waiting for a worker.\n")
-	fmt.Fprintf(w, "# TYPE mupod_queue_depth gauge\n")
-	fmt.Fprintf(w, "mupod_queue_depth %d\n", m.QueueDepth())
-	fmt.Fprintf(w, "# HELP mupod_workers Configured worker pool size.\n")
-	fmt.Fprintf(w, "# TYPE mupod_workers gauge\n")
-	fmt.Fprintf(w, "mupod_workers %d\n", m.Workers())
-	fmt.Fprintf(w, "# HELP mupod_profile_cache_entries Profiles currently cached.\n")
-	fmt.Fprintf(w, "# TYPE mupod_profile_cache_entries gauge\n")
-	fmt.Fprintf(w, "mupod_profile_cache_entries %d\n", m.CacheLen())
+	m.metrics.Registry().Write(w)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

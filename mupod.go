@@ -41,10 +41,13 @@ import (
 	"mupod/internal/core"
 	"mupod/internal/dataset"
 	"mupod/internal/energy"
+	"mupod/internal/exec"
 	"mupod/internal/fixedpoint"
 	"mupod/internal/fxnet"
 	"mupod/internal/netdesc"
 	"mupod/internal/nn"
+	"mupod/internal/obs"
+	"mupod/internal/optimize"
 	"mupod/internal/pareto"
 	"mupod/internal/profile"
 	"mupod/internal/search"
@@ -133,6 +136,14 @@ type (
 	ServeState = serve.State
 	// JobManager owns the job table, queue and worker pool.
 	JobManager = serve.Manager
+
+	// MetricsRegistry is the shared Prometheus-style metrics registry
+	// (see internal/obs).
+	MetricsRegistry = obs.Registry
+	// Tracer records pipeline spans for Chrome trace-event export.
+	Tracer = obs.Tracer
+	// Span is one timed region of a traced pipeline run.
+	Span = obs.Span
 )
 
 // Accelerator execution styles.
@@ -317,6 +328,47 @@ func ParetoFront(points []ParetoPoint) []ParetoPoint {
 // per-layer accumulator-width audit a hardware implementation needs.
 func RunFixedPoint(net *Network, alloc *Allocation, cfg FixedPointConfig, x *Tensor) (*Tensor, *FixedPointReport, error) {
 	return fxnet.Run(net, alloc, cfg, x)
+}
+
+// NewMetricsRegistry builds an empty metrics registry. Pass it to
+// EnableEngineMetrics to collect the execution-engine and solver
+// counters, and render it with (*MetricsRegistry).Write — the output is
+// Prometheus text format.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// EnableEngineMetrics registers the process-wide execution-engine
+// counters (forwards, arena reuse, evaluator items/busy-seconds) and
+// solver iteration counters on reg. Last call wins; the serving
+// subsystem calls this on its own registry, so embedders running a
+// JobManager need not call it themselves.
+func EnableEngineMetrics(reg *MetricsRegistry) {
+	exec.EnableMetrics(reg)
+	optimize.EnableMetrics(reg)
+}
+
+// NewTracer builds a span recorder holding up to maxSpans spans
+// (<= 0 uses the default cap). Attach it with WithTracer; any pipeline
+// stage run under that context records spans.
+func NewTracer(maxSpans int) *Tracer { return obs.NewTracer(maxSpans) }
+
+// WithTracer returns a context whose pipeline runs record spans into tr.
+func WithTracer(ctx context.Context, tr *Tracer) context.Context {
+	return obs.WithTracer(ctx, tr)
+}
+
+// SetupLogging installs the process slog default logger from a
+// "level[,format]" spec (empty uses $MUPOD_LOG, then "info,text").
+func SetupLogging(spec string) error {
+	_, err := obs.Setup(spec)
+	return err
+}
+
+// TraceToFile arms span recording on ctx and returns a flush function
+// that writes the collected spans as a Chrome trace-event file (load it
+// in chrome://tracing or ui.perfetto.dev). An empty path disables
+// tracing; flush is then a no-op.
+func TraceToFile(ctx context.Context, path string) (context.Context, func() error) {
+	return obs.TraceToFile(ctx, path, 0)
 }
 
 // ParseNetwork reads a network description (see internal/netdesc for
