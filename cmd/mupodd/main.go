@@ -46,6 +46,7 @@ func main() {
 	stageTimeout := flag.Duration("stage-timeout", 10*time.Minute, "per-stage timeout (0 disables)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget before in-flight jobs are cancelled")
 	cacheEntries := flag.Int("cache", 64, "profile cache capacity (entries)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "profile cache byte budget (0 = unlimited)")
 	jobWorkers := flag.Int("job-workers", 0, "default per-job evaluation parallelism (0 = GOMAXPROCS divided across the worker pool)")
 	logSpec := flag.String("log", "", "log level[,format]: debug|info|warn|error, text|json (default $MUPOD_LOG or info,text)")
 	traceSpans := flag.Int("trace-spans", 0, "per-job trace buffer cap in spans (0 = default, negative disables /debug/trace)")
@@ -63,6 +64,7 @@ func main() {
 		QueueDepth:   *queue,
 		StageTimeout: *stageTimeout,
 		CacheEntries: *cacheEntries,
+		CacheBytes:   *cacheBytes,
 		TraceSpans:   *traceSpans,
 		Logf: func(format string, args ...any) {
 			logger.Info(fmt.Sprintf(format, args...))

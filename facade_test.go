@@ -2,6 +2,7 @@ package mupod
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -85,5 +86,23 @@ func TestFixedPointFacade(t *testing.T) {
 	}
 	if rep.MaxAccumulatorBits() <= 0 {
 		t.Fatal("missing accumulator audit")
+	}
+}
+
+func TestSelfCheckFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("selfcheck sweep skipped in -short mode")
+	}
+	rep, err := SelfCheck(context.Background(), SelfCheckOptions{Nets: []string{"testnet"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		for _, c := range rep.Failed() {
+			t.Errorf("%s/%s: %v", c.Net, c.Name, c.Err)
+		}
+	}
+	if _, err := SelfCheck(context.Background(), SelfCheckOptions{Nets: []string{"bogus"}}); err == nil {
+		t.Fatal("unknown net name not rejected")
 	}
 }

@@ -11,8 +11,11 @@
 // Widrow's statistical theory of quantization models the rounding error
 // of a large set of values quantized with the same format as additive
 // white noise, uniform on [-Δ, +Δ], mean 0, variance (2Δ)²/12 — i.e.
-// σ = Δ/√3. The helpers here convert between Δ, σ, and F in both
-// directions; the whole optimization pipeline is built on them.
+// σ = 2Δ/√12, which simplifies to the identical σ = Δ/√3 (DESIGN.md
+// writes the former, this package the latter; they are the same number,
+// see TestSigmaDeltaConversions). The helpers here convert between Δ,
+// σ, and F in both directions; the whole optimization pipeline is built
+// on them.
 package fixedpoint
 
 import (
@@ -65,12 +68,26 @@ func (f Format) String() string { return fmt.Sprintf("%d.%d", f.IntBits, f.FracB
 
 // Quantize rounds x to the nearest representable value of the format,
 // saturating at the format's range limits. A degenerate format whose
-// step exceeds its range (Width() ≤ 0) represents only zero.
+// step reaches or exceeds its range (Width() ≤ 0) represents only zero.
+//
+// Non-finite inputs never propagate into the pipeline: ±Inf saturates
+// to MaxValue/MinValue (the value a saturating fixed-point datapath
+// produces on overflow) and NaN maps to 0 (there is no NaN encoding in
+// fixed point; 0 is the only sign-neutral choice).
 func (f Format) Quantize(x float64) float64 {
 	step := f.Step()
 	max, min := f.MaxValue(), f.MinValue()
-	if max < min {
+	if max <= min {
 		return 0
+	}
+	if x != x { // NaN
+		return 0
+	}
+	if math.IsInf(x, 1) {
+		return max
+	}
+	if math.IsInf(x, -1) {
+		return min
 	}
 	q := math.Round(x/step) * step
 	if q > max {
@@ -90,8 +107,17 @@ func (f Format) Quantize(x float64) float64 {
 func (f Format) QuantizeRNE(x float64) float64 {
 	step := f.Step()
 	max, min := f.MaxValue(), f.MinValue()
-	if max < min {
+	if max <= min {
 		return 0
+	}
+	if x != x { // NaN
+		return 0
+	}
+	if math.IsInf(x, 1) {
+		return max
+	}
+	if math.IsInf(x, -1) {
+		return min
 	}
 	q := math.RoundToEven(x/step) * step
 	if q > max {
@@ -112,7 +138,7 @@ func (f Format) QuantizeSlice(dst, src []float64) {
 	step := f.Step()
 	inv := 1 / step
 	max, min := f.MaxValue(), f.MinValue()
-	if max < min {
+	if max <= min {
 		for i := range dst {
 			dst[i] = 0
 		}
@@ -124,6 +150,8 @@ func (f Format) QuantizeSlice(dst, src []float64) {
 			q = max
 		} else if q < min {
 			q = min
+		} else if q != q { // NaN (and ±Inf already saturated above)
+			q = 0
 		}
 		dst[i] = q
 	}
@@ -136,8 +164,19 @@ func FracBitsForDelta(delta float64) int {
 	if delta <= 0 {
 		panic(fmt.Sprintf("fixedpoint: FracBitsForDelta(%g): delta must be positive", delta))
 	}
-	f := math.Ceil(-math.Log2(2 * delta))
-	return int(f)
+	// ceil(-log2(2Δ)) written as ceil(-log2(Δ) - 1): the literal form
+	// overflows 2Δ to +Inf for Δ > MaxFloat64/2 and returns MinInt64.
+	f := int(math.Ceil(-math.Log2(delta) - 1))
+	// Log2 is not exact to the last ulp at the range extremes; settle
+	// the boundary with exact power-of-two comparisons (Inf from an
+	// overflowing Exp2 compares > delta, so the loop self-corrects).
+	for DeltaForFracBits(f) > delta {
+		f++
+	}
+	for DeltaForFracBits(f-1) <= delta {
+		f--
+	}
+	return f
 }
 
 // DeltaForFracBits returns 2^-(F+1), the inverse of FracBitsForDelta.

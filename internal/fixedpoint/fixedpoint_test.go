@@ -93,6 +93,86 @@ func TestQuantizeSliceMatchesScalarAndAliases(t *testing.T) {
 	}
 }
 
+func TestQuantizeNonFinite(t *testing.T) {
+	// Regression: NaN used to sail through math.Round into the pipeline
+	// (every range comparison is false for NaN) and ±Inf relied on the
+	// saturation comparisons incidentally. The contract is now explicit:
+	// NaN → 0, +Inf → MaxValue, −Inf → MinValue, for every quantizer.
+	cases := []struct {
+		name string
+		f    Format
+		in   float64
+		want float64
+	}{
+		{"nan", Format{4, 2}, math.NaN(), 0},
+		{"+inf", Format{4, 2}, math.Inf(1), Format{4, 2}.MaxValue()},
+		{"-inf", Format{4, 2}, math.Inf(-1), Format{4, 2}.MinValue()},
+		{"nan negative-F", Format{9, -2}, math.NaN(), 0},
+		{"+inf negative-F", Format{9, -2}, math.Inf(1), Format{9, -2}.MaxValue()},
+		{"-inf negative-F", Format{9, -2}, math.Inf(-1), Format{9, -2}.MinValue()},
+		{"nan degenerate", Format{2, -5}, math.NaN(), 0},
+		{"+inf degenerate", Format{2, -5}, math.Inf(1), 0},
+		{"-inf degenerate", Format{2, -5}, math.Inf(-1), 0},
+	}
+	for _, c := range cases {
+		if got := c.f.Quantize(c.in); got != c.want {
+			t.Errorf("%s: %v.Quantize(%v) = %v, want %v", c.name, c.f, c.in, got, c.want)
+		}
+		if got := c.f.QuantizeRNE(c.in); got != c.want {
+			t.Errorf("%s: %v.QuantizeRNE(%v) = %v, want %v", c.name, c.f, c.in, got, c.want)
+		}
+		dst := []float64{42}
+		c.f.QuantizeSlice(dst, []float64{c.in})
+		if dst[0] != c.want {
+			t.Errorf("%s: %v.QuantizeSlice(%v) = %v, want %v", c.name, c.f, c.in, dst[0], c.want)
+		}
+	}
+}
+
+func TestQuantizeNegativeFracBitsSaturation(t *testing.T) {
+	// F < 0 drops integer LSBs: step 4, range [-128, 124] for 8.-2.
+	f := Format{8, -2}
+	cases := []struct{ in, want float64 }{
+		{0, 0},
+		{1.9, 0},   // below half a step rounds to zero
+		{2.1, 4},   // above half a step rounds to one (coarse) step
+		{123, 124}, // near the top, representable
+		{126, 124}, // rounds to 128, saturates to MaxValue
+		{1e300, 124},
+		{-130, -128},
+		{-1e300, -128},
+	}
+	for _, c := range cases {
+		if got := f.Quantize(c.in); got != c.want {
+			t.Errorf("Quantize(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestQuantizeDegenerateZeroWidth(t *testing.T) {
+	// Width()==0 formats (step == range) represent only zero. The old
+	// max<min guard missed the max==min boundary and returned
+	// -2^(IntBits-1) for every input.
+	for _, f := range []Format{{1, -1}, {2, -2}, {4, -4}, {0, 0}, {2, -5}} {
+		if f.Width() != 0 {
+			t.Fatalf("fixture %v is not zero-width", f)
+		}
+		for _, x := range []float64{0, 0.3, -0.3, 5, -5, 1e12, -1e12} {
+			if got := f.Quantize(x); got != 0 {
+				t.Errorf("%v.Quantize(%v) = %v, want 0", f, x, got)
+			}
+			if got := f.QuantizeRNE(x); got != 0 {
+				t.Errorf("%v.QuantizeRNE(%v) = %v, want 0", f, x, got)
+			}
+			dst := []float64{42}
+			f.QuantizeSlice(dst, []float64{x})
+			if dst[0] != 0 {
+				t.Errorf("%v.QuantizeSlice(%v) = %v, want 0", f, x, dst[0])
+			}
+		}
+	}
+}
+
 func TestQuantizeSlicePanicsOnMismatch(t *testing.T) {
 	defer func() {
 		if recover() == nil {
@@ -279,6 +359,27 @@ func TestQuantizeRNEWithinDelta(t *testing.T) {
 		x := r.Uniform(-7, 7)
 		if math.Abs(f.QuantizeRNE(x)-x) > f.Delta()+1e-15 {
 			t.Fatalf("RNE error exceeds Δ at %v", x)
+		}
+	}
+}
+
+func TestFracBitsForDeltaExtremeRange(t *testing.T) {
+	// Δ > MaxFloat64/2 used to overflow the intermediate 2Δ to +Inf and
+	// return MinInt64; the bit demand must stay finite across the whole
+	// double range.
+	cases := []struct {
+		delta float64
+		want  int
+	}{
+		{1e308, -1024},
+		{math.MaxFloat64, -1024},
+		{5e-324, 1073}, // smallest denormal
+		{0x1p-1022, 1021},
+		{0x1p1023, -1024},
+	}
+	for _, c := range cases {
+		if got := FracBitsForDelta(c.delta); got != c.want {
+			t.Errorf("FracBitsForDelta(%g) = %d, want %d", c.delta, got, c.want)
 		}
 	}
 }

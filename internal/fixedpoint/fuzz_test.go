@@ -1,0 +1,92 @@
+package fixedpoint_test
+
+import (
+	"math"
+	"testing"
+
+	"mupod/internal/fixedpoint"
+	"mupod/internal/refcheck"
+)
+
+// clampFormat folds arbitrary fuzzed bit counts into the range real
+// datapaths use (I ∈ [0,64], F ∈ [−80,80]); outside it 2^±F overflows
+// double precision and the value-space and code-space quantizers
+// legitimately diverge through Inf arithmetic.
+func clampFormat(intBits, fracBits int) fixedpoint.Format {
+	i := intBits % 65
+	if i < 0 {
+		i = -i
+	}
+	return fixedpoint.Format{IntBits: i, FracBits: fracBits % 81}
+}
+
+// FuzzQuantize differentially fuzzes the value-space production
+// quantizer against the integer-code reference: for any format a real
+// datapath could have and any input (NaN and ±Inf included) the two
+// must agree bit-for-bit, and the result must be representable.
+func FuzzQuantize(f *testing.F) {
+	f.Add(4, 2, 0.3)
+	f.Add(8, 0, -129.5)
+	f.Add(8, -2, 1e300)
+	f.Add(1, -1, 42.0)      // Width() == 0
+	f.Add(0, 0, math.NaN()) // degenerate, NaN
+	f.Add(2, -5, -3.0)      // Width() < 0
+	f.Add(16, 8, math.Inf(1))
+	f.Add(6, 10, 0.0004882812500000001) // tie point
+	f.Fuzz(func(t *testing.T, intBits, fracBits int, x float64) {
+		fmtc := clampFormat(intBits, fracBits)
+		got := fmtc.Quantize(x)
+		want := refcheck.RefQuantize(fmtc, x)
+		if !(got == want || (got != got && want != want)) {
+			t.Fatalf("%v.Quantize(%g) = %g, reference %g", fmtc, x, got, want)
+		}
+		if got != got || math.IsInf(got, 0) {
+			t.Fatalf("%v.Quantize(%g) produced non-finite %g", fmtc, x, got)
+		}
+		if fmtc.Width() > 0 && (got > fmtc.MaxValue() || got < fmtc.MinValue()) {
+			t.Fatalf("%v.Quantize(%g) = %g outside [%g, %g]", fmtc, x, got, fmtc.MinValue(), fmtc.MaxValue())
+		}
+		dst := []float64{0}
+		fmtc.QuantizeSlice(dst, []float64{x})
+		if !(dst[0] == want || (dst[0] != dst[0] && want != want)) {
+			t.Fatalf("%v.QuantizeSlice(%g) = %g, reference %g", fmtc, x, dst[0], want)
+		}
+	})
+}
+
+// FuzzFormatRoundTrip fuzzes the Δ ↔ F ↔ σ algebra: exact round trips
+// on representable F, and for any positive finite Δ the derived F must
+// fit the budget and waste no bit (up to one ulp of log2 slack at the
+// power-of-two boundaries).
+func FuzzFormatRoundTrip(f *testing.F) {
+	f.Add(0, 1.0)
+	f.Add(-12, 0.5)
+	f.Add(24, 1e-9)
+	f.Add(7, 5e-324)
+	f.Add(-3, 1e308)
+	f.Fuzz(func(t *testing.T, fracBits int, delta float64) {
+		// %500 keeps 2^±(F+1) comfortably inside normal double range
+		// in both directions.
+		if err := refcheck.CheckFormatRoundTrip(fracBits % 500); err != nil {
+			t.Fatal(err)
+		}
+		if !(delta > 0) || math.IsInf(delta, 0) {
+			return
+		}
+		fb := fixedpoint.FracBitsForDelta(delta)
+		if got := fixedpoint.DeltaForFracBits(fb); got > delta*(1+1e-12) {
+			t.Fatalf("F=%d for Δ=%g gives worst-case error %g above budget", fb, delta, got)
+		}
+		if coarser := fixedpoint.DeltaForFracBits(fb - 1); coarser <= delta*(1-1e-12) {
+			t.Fatalf("F=%d wastes a bit for Δ=%g (F−1 gives %g)", fb, delta, coarser)
+		}
+		// The σ trip is only lossless while σ = Δ/√3 stays normal;
+		// subnormals round at absolute, not relative, granularity.
+		if delta >= 0x1p-1020 {
+			sigma := fixedpoint.SigmaFromDelta(delta)
+			if back := fixedpoint.DeltaFromSigma(sigma); math.Abs(back-delta) > delta*1e-12 {
+				t.Fatalf("Δ=%g → σ=%g → Δ=%g", delta, sigma, back)
+			}
+		}
+	})
+}

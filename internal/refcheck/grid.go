@@ -1,0 +1,73 @@
+package refcheck
+
+import (
+	"fmt"
+	"math"
+
+	"mupod/internal/optimize"
+)
+
+// GridSolve brute-forces Eq. 8 on small problems: it enumerates every
+// point of the regular simplex grid {ξ : ξ_K = c_K/steps, Σc_K = steps}
+// that satisfies the per-coordinate lower bounds and returns the best
+// feasible point and its objective value. Exponential in Dim — intended
+// as the oracle for the SQP-style solvers on networks with a handful of
+// analyzable layers. Returns an error when no grid point is feasible
+// (lower bounds too tight for the resolution).
+func GridSolve(p optimize.Problem, steps int) ([]float64, float64, error) {
+	n := p.Dim()
+	if steps < n {
+		return nil, 0, fmt.Errorf("refcheck: %d grid steps cannot cover %d coordinates", steps, n)
+	}
+	lb := make([]float64, n)
+	for k := 0; k < n; k++ {
+		lb[k] = p.LowerBound(k)
+	}
+	cur := make([]float64, n)
+	var best []float64
+	bestVal := math.Inf(1)
+	var rec func(k, remaining int)
+	rec = func(k, remaining int) {
+		if k == n-1 {
+			x := float64(remaining) / float64(steps)
+			if x < lb[k] {
+				return
+			}
+			cur[k] = x
+			if v := p.Value(cur); v < bestVal {
+				bestVal = v
+				best = append(best[:0], cur...)
+			}
+			return
+		}
+		for c := 0; c <= remaining; c++ {
+			x := float64(c) / float64(steps)
+			if x < lb[k] {
+				continue
+			}
+			cur[k] = x
+			rec(k+1, remaining-c)
+		}
+	}
+	rec(0, steps)
+	if best == nil {
+		return nil, 0, fmt.Errorf("refcheck: no feasible grid point at resolution 1/%d", steps)
+	}
+	return best, bestVal, nil
+}
+
+// CheckSolverBeatsGrid verifies a solver solution against the
+// brute-force oracle: for a convex Eq. 8 objective the solver's value
+// must be at least as good as the best grid point, up to slack for the
+// solver's convergence tolerance.
+func CheckSolverBeatsGrid(p optimize.Problem, xi []float64, steps int, slack float64) error {
+	gridXi, gridVal, err := GridSolve(p, steps)
+	if err != nil {
+		return err
+	}
+	val := p.Value(xi)
+	if val > gridVal+slack {
+		return fmt.Errorf("solver value %.9g worse than grid oracle %.9g at ξ=%v", val, gridVal, gridXi)
+	}
+	return nil
+}

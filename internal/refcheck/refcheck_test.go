@@ -1,0 +1,215 @@
+package refcheck
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"mupod/internal/nn"
+	"mupod/internal/optimize"
+	"mupod/internal/rng"
+	"mupod/internal/search"
+	"mupod/internal/tensor"
+	"mupod/internal/testnet"
+)
+
+func randTensor(r *rng.RNG, shape ...int) *tensor.Tensor {
+	x := tensor.New(shape...)
+	for i := range x.Data {
+		x.Data[i] = r.Uniform(-1.5, 1.5)
+	}
+	return x
+}
+
+// The reference network forward must agree with the allocating nn path
+// and the pooled exec path on every zoo fixture — this is the
+// differential test the whole package exists for.
+func TestReferenceMatchesFastPathsOverZoo(t *testing.T) {
+	for _, f := range testnet.Zoo() {
+		x := f.Test.Batch(0, 24)
+		ref := ForwardNetwork(f.Net, x)
+		fast := f.Net.Forward(x)
+		diff, err := CompareTensors(fast, ref)
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		if diff > ForwardTol {
+			t.Errorf("%s: nn.Forward diverges from reference by %g", f.Name, diff)
+		}
+	}
+}
+
+// The full selfcheck sweep must pass on every zoo network at workers=1
+// and workers=N — the acceptance criterion of the subsystem.
+func TestSelfCheckPassesOnZoo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep profiles and searches every fixture")
+	}
+	rep, err := Run(context.Background(), Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range rep.Failed() {
+		t.Errorf("%s/%s: %v", c.Net, c.Name, c.Err)
+	}
+	if len(rep.Checks) < 20 {
+		t.Fatalf("only %d checks ran; the sweep is not covering the zoo", len(rep.Checks))
+	}
+}
+
+// GEMM-vs-direct: both conv implementations must match the naive
+// reference; flipping UseGEMMConv must not change which answer is
+// right.
+func TestConvPathsAgainstReference(t *testing.T) {
+	r := rng.New(3)
+	c := nn.NewConv2D(3, 5, 3, 2, 1)
+	c.InitHe(r, 1)
+	x := randTensor(r, 2, 3, 9, 9)
+	ref := convRef(c, x)
+	defer func(prev bool) { nn.UseGEMMConv = prev }(nn.UseGEMMConv)
+	for _, gemm := range []bool{false, true} {
+		nn.UseGEMMConv = gemm
+		got := c.Forward([]*tensor.Tensor{x})
+		diff, err := CompareTensors(got, ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff > ForwardTol {
+			t.Errorf("UseGEMMConv=%v: diverges from reference by %g", gemm, diff)
+		}
+	}
+}
+
+func TestMatMulRefKnownProduct(t *testing.T) {
+	// [1 2; 3 4] × [5 6; 7 8] = [19 22; 43 50]
+	got := MatMulRef(2, 2, 2, []float64{1, 2, 3, 4}, []float64{5, 6, 7, 8})
+	want := []float64{19, 22, 43, 50}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MatMulRef = %v, want %v", got, want)
+		}
+	}
+}
+
+// The reference quantizer and the fast one must agree on adversarial
+// inputs for every format class, including the ones the satellite fix
+// repaired (NaN/Inf, negative F, degenerate widths).
+func TestQuantizerDifferential(t *testing.T) {
+	for _, f := range quantizerFormats {
+		if err := CheckQuantizer(f, quantizerSamples(f)); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestFormatRoundTripsIncludingNegativeF(t *testing.T) {
+	for fb := -16; fb <= 30; fb++ {
+		if err := CheckFormatRoundTrip(fb); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestSigmaIdentitySweep(t *testing.T) {
+	for _, d := range []float64{1e-12, 1e-3, 1.0 / 3, 1, math.Pi, 1e9} {
+		if err := CheckSigmaIdentity(d); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestCheckSimplexCatchesViolations(t *testing.T) {
+	if err := CheckSimplex([]float64{0.5, 0.5}, nil); err != nil {
+		t.Errorf("exact simplex rejected: %v", err)
+	}
+	if err := CheckSimplex([]float64{0.5, 0.5 + 1e-9}, nil); err == nil {
+		t.Error("1e-9 budget violation not caught")
+	}
+	if err := CheckSimplex([]float64{0.7, 0.3}, func(int) float64 { return 0.4 }); err == nil {
+		t.Error("lower-bound violation not caught")
+	}
+}
+
+// GridSolve must agree with the closed-form θ=0 optimum ξ_K ∝ ρ_K on a
+// problem whose optimum lies on the grid, and the KKT solver must beat
+// the oracle on an off-grid one.
+func TestGridSolveAgainstClosedForm(t *testing.T) {
+	p := &quadProblem{w: []float64{1, 1, 1}, c: []float64{0.2, 0.3, 0.5}}
+	xi, val, err := GridSolve(p, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.2, 0.3, 0.5}
+	for k := range want {
+		if math.Abs(xi[k]-want[k]) > 1e-12 {
+			t.Fatalf("grid optimum %v (value %g), want %v", xi, val, want)
+		}
+	}
+	kkt, _, err := optimize.SolveNewtonKKT(p, optimize.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckSolverBeatsGrid(p, kkt, 10, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+	// A deliberately bad point must fail the oracle check.
+	if err := CheckSolverBeatsGrid(p, []float64{1, 0, 0}, 10, 1e-9); err == nil {
+		t.Fatal("grid oracle accepted a clearly suboptimal point")
+	}
+}
+
+func TestGridSolveInfeasibleResolution(t *testing.T) {
+	p := &quadProblem{w: []float64{1, 1}, c: []float64{0.5, 0.5}, lb: 0.45}
+	// Resolution 1/3 has no point with both coordinates ≥ 0.45.
+	if _, _, err := GridSolve(p, 3); err == nil {
+		t.Fatal("no error for an infeasible grid resolution")
+	}
+}
+
+func TestCheckSearchTraceInvariants(t *testing.T) {
+	good := &search.Result{
+		SigmaYL: 0.5, TargetAcc: 0.9, Evaluations: 3,
+		Trace: []search.Probe{
+			{Sigma: 1, Accuracy: 0.5, Pass: false},
+			{Sigma: 0.5, Accuracy: 0.95, Pass: true},
+			{Sigma: 0.75, Accuracy: 0.6, Pass: false},
+		},
+	}
+	if err := CheckSearchTrace(good, 0.25); err != nil {
+		t.Errorf("valid trace rejected: %v", err)
+	}
+	bad := *good
+	bad.SigmaYL = 0.4 // not the largest passing probe
+	if err := CheckSearchTrace(&bad, 0.25); err == nil {
+		t.Error("σ_YŁ ≠ max passing probe not caught")
+	}
+	wide := *good
+	wide.Trace = []search.Probe{
+		{Sigma: 0.5, Accuracy: 0.95, Pass: true},
+		{Sigma: 2, Accuracy: 0.5, Pass: false},
+	}
+	wide.Evaluations = 2
+	if err := CheckSearchTrace(&wide, 0.25); err == nil {
+		t.Error("unconverged bracket not caught")
+	}
+}
+
+// quadProblem is a small separable quadratic for grid/solver tests.
+type quadProblem struct {
+	w, c []float64
+	lb   float64
+}
+
+func (q *quadProblem) Dim() int               { return len(q.w) }
+func (q *quadProblem) LowerBound(int) float64 { return q.lb }
+func (q *quadProblem) Value(xi []float64) float64 {
+	s := 0.0
+	for k := range xi {
+		d := xi[k] - q.c[k]
+		s += q.w[k] * d * d
+	}
+	return s
+}
+func (q *quadProblem) Deriv(k int, x float64) (float64, float64) {
+	return 2 * q.w[k] * (x - q.c[k]), 2 * q.w[k]
+}

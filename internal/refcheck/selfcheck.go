@@ -1,0 +1,282 @@
+package refcheck
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"mupod/internal/exec"
+	"mupod/internal/fixedpoint"
+	"mupod/internal/optimize"
+	"mupod/internal/profile"
+	"mupod/internal/search"
+	"mupod/internal/tensor"
+	"mupod/internal/testnet"
+)
+
+// Options configures a self-check sweep.
+type Options struct {
+	// Workers is the parallel fast-path worker count compared against
+	// workers=1 and the reference (0 = GOMAXPROCS).
+	Workers int
+	// Nets restricts the sweep to a subset of testnet.ZooNames()
+	// (nil/empty = all).
+	Nets []string
+	// GridSteps sets the brute-force oracle resolution for Eq. 8
+	// problems small enough to enumerate (default 20).
+	GridSteps int
+	// Logf receives one line per completed check (optional).
+	Logf func(format string, args ...any)
+}
+
+// Check is one named invariant verified (or not) by the sweep.
+type Check struct {
+	Net  string // "" for network-independent checks
+	Name string
+	Err  error
+}
+
+// Report is the outcome of a self-check sweep.
+type Report struct {
+	Checks []Check
+}
+
+// Failed returns the checks that did not hold.
+func (r *Report) Failed() []Check {
+	var out []Check
+	for _, c := range r.Checks {
+		if c.Err != nil {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// OK reports whether every check held.
+func (r *Report) OK() bool { return len(r.Failed()) == 0 }
+
+type runState struct {
+	opts Options
+	rep  *Report
+}
+
+func (s *runState) add(net, name string, err error) {
+	s.rep.Checks = append(s.rep.Checks, Check{Net: net, Name: name, Err: err})
+	if s.opts.Logf != nil {
+		label := name
+		if net != "" {
+			label = net + "/" + name
+		}
+		if err != nil {
+			s.opts.Logf("FAIL %s: %v", label, err)
+		} else {
+			s.opts.Logf("ok   %s", label)
+		}
+	}
+}
+
+// quantizerFormats is the sweep matrix for the quantizer differential:
+// ordinary, negative-F (Stripes/Loom), degenerate zero-width, and
+// wide formats.
+var quantizerFormats = []fixedpoint.Format{
+	{IntBits: 4, FracBits: 2},
+	{IntBits: 8, FracBits: 0},
+	{IntBits: 2, FracBits: 6},
+	{IntBits: 8, FracBits: -2},
+	{IntBits: 9, FracBits: -3},
+	{IntBits: 1, FracBits: -1}, // Width() == 0
+	{IntBits: 2, FracBits: -5}, // Width() < 0
+	{IntBits: 0, FracBits: 0},
+	{IntBits: 6, FracBits: 10},
+	{IntBits: 16, FracBits: 8},
+}
+
+func quantizerSamples(f fixedpoint.Format) []float64 {
+	step := f.Step()
+	xs := []float64{
+		0, 1, -1, 0.5, -0.5, 1.0 / 3, -2.0 / 3, math.Pi, -math.E,
+		math.NaN(), math.Inf(1), math.Inf(-1),
+		1e300, -1e300, 5e-324, -5e-324,
+		f.MaxValue(), f.MinValue(), f.MaxValue() + step, f.MinValue() - step,
+	}
+	// Tie points (k + 1/2)·step exercise the rounding rule, scaled
+	// points the code range.
+	for k := -3.0; k <= 3; k++ {
+		xs = append(xs, (k+0.5)*step, k*step, k*step*255)
+	}
+	return xs
+}
+
+// checkGlobal runs the network-independent invariants: quantizer
+// differential, format round-trips (negative F included), and the σ
+// notation identity.
+func (s *runState) checkGlobal() {
+	for _, f := range quantizerFormats {
+		s.add("", fmt.Sprintf("quantizer %v", f), CheckQuantizer(f, quantizerSamples(f)))
+	}
+	var err error
+	for fb := -12; fb <= 24 && err == nil; fb++ {
+		err = CheckFormatRoundTrip(fb)
+	}
+	s.add("", "format round-trip F=-12..24", err)
+	err = nil
+	for _, d := range []float64{1e-9, 1.0 / 3, 0.5, 1, math.Pi, 1e6} {
+		if err == nil {
+			err = CheckSigmaIdentity(d)
+		}
+	}
+	s.add("", "sigma notation identity", err)
+}
+
+// checkForward compares the exec fast path against the reference
+// kernels on one zoo fixture, at workers=1 and opts.Workers, and
+// demands bit-identical results across worker counts.
+func (s *runState) checkForward(ctx context.Context, f testnet.Fixture) error {
+	const batch, nBatches = 16, 4
+	ref := make([]*tensor.Tensor, nBatches)
+	for b := 0; b < nBatches; b++ {
+		ref[b] = ForwardNetwork(f.Net, f.Test.Batch(b*batch, batch))
+	}
+	var outs [][]*tensor.Tensor
+	for _, workers := range []int{1, s.opts.Workers} {
+		ev := exec.NewEvaluator(workers)
+		plan := exec.NewPlan(f.Net)
+		sessions := make([]*exec.Session, ev.Workers())
+		got := make([]*tensor.Tensor, nBatches)
+		err := ev.Map(ctx, nBatches, func(ctx context.Context, worker, b int) error {
+			if sessions[worker] == nil {
+				sessions[worker] = exec.NewSession(plan)
+			}
+			got[b] = sessions[worker].Forward(f.Test.Batch(b*batch, batch)).Clone()
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		for b := 0; b < nBatches; b++ {
+			diff, err := CompareTensors(got[b], ref[b])
+			if err != nil {
+				return fmt.Errorf("workers=%d batch %d: %w", workers, b, err)
+			}
+			if diff > ForwardTol {
+				return fmt.Errorf("workers=%d batch %d: fast path diverges from reference by %g (tol %g)", workers, b, diff, ForwardTol)
+			}
+		}
+		outs = append(outs, got)
+	}
+	// Bit-identity across worker counts (stronger than the reference
+	// tolerance: parallel evaluation must not change a single bit).
+	for b := 0; b < nBatches; b++ {
+		for i := range outs[0][b].Data {
+			if outs[0][b].Data[i] != outs[1][b].Data[i] {
+				return fmt.Errorf("batch %d element %d: workers=1 and workers=%d disagree bit-wise", b, i, s.opts.Workers)
+			}
+		}
+	}
+	return nil
+}
+
+// checkPipeline profiles, searches and solves one fixture, verifying
+// the Eq. 5 fit, the format derivation, the search bracketing, the
+// Eq. 6 simplex budget, and — when the layer count permits — the
+// brute-force Eq. 8 oracle.
+func (s *runState) checkPipeline(ctx context.Context, f testnet.Fixture) {
+	prof, err := profile.RunContext(ctx, f.Net, f.Test, profile.Config{
+		Images: 16, Points: 8, Seed: 11, Workers: s.opts.Workers,
+	})
+	s.add(f.Name, "profile", err)
+	if err != nil {
+		return
+	}
+	var fitErr error
+	for i := range prof.Layers {
+		// Bounds follow the paper's Fig. 2 discussion (<5% typical,
+		// ~10% worst) with slack for the tiny 8×8 fixtures.
+		if e := CheckFit(&prof.Layers[i], 0.9, 0.25); e != nil && fitErr == nil {
+			fitErr = e
+		}
+	}
+	s.add(f.Name, "eq5 fit residuals", fitErr)
+
+	res, err := search.RunContext(ctx, f.Net, prof, f.Test, search.Options{
+		Scheme: search.Scheme2Gaussian, RelDrop: 0.05,
+		EvalImages: 120, Seed: 13, Workers: s.opts.Workers,
+	})
+	s.add(f.Name, "sigma search", err)
+	if err != nil {
+		return
+	}
+	s.add(f.Name, "search bracketing", CheckSearchTrace(res, 0.01))
+
+	var fmtErr error
+	for i := range prof.Layers {
+		if e := CheckLayerFormats(&prof.Layers[i], res.SigmaYL, 1/float64(prof.NumLayers())); e != nil && fmtErr == nil {
+			fmtErr = e
+		}
+	}
+	s.add(f.Name, "format derivation", fmtErr)
+
+	rho := make([]float64, prof.NumLayers())
+	for k := range rho {
+		rho[k] = float64(prof.Layers[k].MACs)
+	}
+	obj, err := optimize.NewBitObjective(prof, res.SigmaYL, rho, 0)
+	if err != nil {
+		s.add(f.Name, "allocation solve", err)
+		return
+	}
+	xi, _, err := optimize.SolveNewtonKKT(obj, optimize.Options{})
+	s.add(f.Name, "allocation solve", err)
+	if err != nil {
+		return
+	}
+	s.add(f.Name, "eq6 simplex budget", CheckSimplex(xi, obj.LowerBound))
+	if obj.Dim() <= 4 {
+		s.add(f.Name, "eq8 grid oracle", CheckSolverBeatsGrid(obj, xi, s.opts.GridSteps, 1e-6))
+	}
+}
+
+// Run executes the full self-check sweep: global numeric invariants,
+// then reference-vs-fast differential forwards and the profile →
+// search → solve invariants over every requested zoo fixture.
+func Run(ctx context.Context, opts Options) (*Report, error) {
+	if opts.Workers <= 0 {
+		opts.Workers = exec.NewEvaluator(0).Workers()
+	}
+	if opts.Workers < 2 {
+		opts.Workers = 2 // always compare a genuinely parallel run
+	}
+	if opts.GridSteps <= 0 {
+		opts.GridSteps = 20
+	}
+	names := opts.Nets
+	if len(names) == 0 {
+		names = testnet.ZooNames()
+	} else {
+		known := testnet.ZooNames()
+		for _, n := range names {
+			ok := false
+			for _, k := range known {
+				if n == k {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return nil, fmt.Errorf("refcheck: unknown test network %q (have %v)", n, known)
+			}
+		}
+	}
+	s := &runState{opts: opts, rep: &Report{}}
+	s.checkGlobal()
+	for _, name := range names {
+		if err := ctx.Err(); err != nil {
+			return s.rep, err
+		}
+		net, _, te := testnet.ZooNet(name)
+		f := testnet.Fixture{Name: name, Net: net, Test: te}
+		s.add(name, "forward differential", s.checkForward(ctx, f))
+		s.checkPipeline(ctx, f)
+	}
+	return s.rep, nil
+}

@@ -13,6 +13,7 @@ package search
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 
@@ -97,6 +98,24 @@ func (o Options) withDefaults(ds *dataset.Dataset) Options {
 	}
 	return o
 }
+
+// Sentinel errors for the three ways the Sec. V-C constraint can be
+// ill-posed. Callers branch with errors.Is; the wrapped messages carry
+// the concrete numbers.
+var (
+	// ErrZeroConstraint reports a RelDrop ≤ 0: a zero accuracy-loss
+	// budget admits no quantization noise at all, so there is no σ_YŁ
+	// to search for.
+	ErrZeroConstraint = errors.New("search: accuracy-loss constraint must be positive")
+	// ErrUnattainable reports a constraint so tight that even the
+	// smallest probed σ (the search tolerance) violates it; the search
+	// refuses to return the σ=0 endpoint silently.
+	ErrUnattainable = errors.New("search: accuracy-loss constraint unattainable")
+	// ErrVacuous reports a constraint so loose that no σ violates it
+	// even after 40 doublings of the upper bound; the search refuses to
+	// return the max-iteration endpoint silently.
+	ErrVacuous = errors.New("search: accuracy-loss constraint is vacuous")
+)
 
 // Result reports the found σ_YŁ and the search trace.
 type Result struct {
@@ -335,7 +354,7 @@ func Run(net *nn.Network, prof *profile.Profile, ds *dataset.Dataset, opts Optio
 func RunContext(ctx context.Context, net *nn.Network, prof *profile.Profile, ds *dataset.Dataset, opts Options) (*Result, error) {
 	opts = opts.withDefaults(ds)
 	if opts.RelDrop <= 0 {
-		return nil, fmt.Errorf("search: RelDrop must be positive, got %g", opts.RelDrop)
+		return nil, fmt.Errorf("%w: RelDrop=%g", ErrZeroConstraint, opts.RelDrop)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("search: %w", err)
@@ -389,7 +408,7 @@ func RunContext(ctx context.Context, net *nn.Network, prof *profile.Profile, ds 
 		lo = hi
 		hi *= 2
 		if i > 40 {
-			return nil, fmt.Errorf("search: accuracy never violated up to σ=%g; constraint is vacuous", hi)
+			return nil, fmt.Errorf("%w: accuracy never violated up to σ=%g", ErrVacuous, hi)
 		}
 	}
 	// Standard binary search on the real line.
@@ -407,7 +426,7 @@ func RunContext(ctx context.Context, net *nn.Network, prof *profile.Profile, ds 
 	}
 	res.SigmaYL = lo
 	if lo == 0 {
-		return nil, fmt.Errorf("search: even σ=%g violates the %g relative-drop constraint", opts.Tol, opts.RelDrop)
+		return nil, fmt.Errorf("%w: even σ=%g violates the %g relative-drop constraint", ErrUnattainable, hi, opts.RelDrop)
 	}
 	return res, nil
 }

@@ -127,8 +127,46 @@ func TestRunTighterConstraintGivesSmallerSigma(t *testing.T) {
 func TestRunRejectsNonPositiveRelDrop(t *testing.T) {
 	net, _, te := testnet.Trained()
 	prof := sharedProfile(t)
-	if _, err := Run(net, prof, te, Options{RelDrop: 0}); err == nil {
-		t.Fatal("no error for RelDrop = 0")
+	for _, scheme := range []Scheme{Scheme1Uniform, Scheme2Gaussian} {
+		for _, drop := range []float64{0, -0.05} {
+			_, err := Run(net, prof, te, Options{Scheme: scheme, RelDrop: drop})
+			if !errors.Is(err, ErrZeroConstraint) {
+				t.Fatalf("%v RelDrop=%g: err = %v, want ErrZeroConstraint", scheme, drop, err)
+			}
+		}
+	}
+}
+
+// An effectively-zero accuracy budget must surface ErrUnattainable, not
+// the silent σ=0 endpoint. InitUpper == Tol makes the search terminate
+// after the single (failing) upper-bound probe, so lo is still 0.
+func TestRunUnattainableConstraint(t *testing.T) {
+	net, _, te := testnet.Trained()
+	prof := sharedProfile(t)
+	for _, scheme := range []Scheme{Scheme1Uniform, Scheme2Gaussian} {
+		res, err := Run(net, prof, te, Options{
+			Scheme: scheme, RelDrop: 1e-12, EvalImages: 80, Seed: 6,
+			InitUpper: 64, Tol: 64,
+		})
+		if !errors.Is(err, ErrUnattainable) {
+			t.Fatalf("%v: err = %v (res %+v), want ErrUnattainable", scheme, err, res)
+		}
+	}
+}
+
+// RelDrop = 1 sets the accuracy target to zero, which every probe
+// satisfies no matter how large σ grows; the search must surface
+// ErrVacuous instead of the max-doubling endpoint.
+func TestRunVacuousConstraint(t *testing.T) {
+	net, _, te := testnet.Trained()
+	prof := sharedProfile(t)
+	for _, scheme := range []Scheme{Scheme1Uniform, Scheme2Gaussian} {
+		res, err := Run(net, prof, te, Options{
+			Scheme: scheme, RelDrop: 1, EvalImages: 40, Seed: 7,
+		})
+		if !errors.Is(err, ErrVacuous) {
+			t.Fatalf("%v: err = %v (res %+v), want ErrVacuous", scheme, err, res)
+		}
 	}
 }
 

@@ -73,22 +73,35 @@ type cacheEntry struct {
 	ready chan struct{}
 	prof  *profile.Profile
 	err   error
-	elem  *list.Element // LRU position; nil while computing
+	elem  *list.Element // LRU position; nil while computing or after eviction
+	cost  int64         // ProfileCost(prof); counted in ProfileCache.bytes iff elem != nil
 }
 
 // ProfileCache is the in-memory content-addressed profile store with
 // single-flight semantics: concurrent submissions of the same network
 // share one profiling run instead of racing to compute it twice.
+// Completed entries are bounded both by count (cap) and, optionally, by
+// their summed estimated size (maxBytes).
 type ProfileCache struct {
 	mu      sync.Mutex
 	entries map[string]*cacheEntry
 	lru     *list.List // of string keys, front = most recent
 	cap     int
+	maxB    int64 // byte budget; 0 = unlimited
+	bytes   int64 // Σ cost over entries with elem != nil
 }
 
 // NewProfileCache creates a cache holding up to capacity completed
-// profiles (default 64 when capacity <= 0).
+// profiles (default 64 when capacity <= 0) with no byte budget.
 func NewProfileCache(capacity int) *ProfileCache {
+	return NewProfileCacheBytes(capacity, 0)
+}
+
+// NewProfileCacheBytes is NewProfileCache with an additional byte
+// budget: whenever the summed ProfileCost of completed entries exceeds
+// maxBytes (> 0), least-recently-used entries are evicted — including,
+// for an entry over-weight on its own, the entry just inserted.
+func NewProfileCacheBytes(capacity int, maxBytes int64) *ProfileCache {
 	if capacity <= 0 {
 		capacity = 64
 	}
@@ -96,6 +109,7 @@ func NewProfileCache(capacity int) *ProfileCache {
 		entries: make(map[string]*cacheEntry),
 		lru:     list.New(),
 		cap:     capacity,
+		maxB:    maxBytes,
 	}
 }
 
@@ -104,6 +118,53 @@ func (c *ProfileCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.lru.Len()
+}
+
+// CachedBytes returns the summed estimated size of the completed cached
+// profiles. The invariant maintained under any interleaving of Get/Add:
+// CachedBytes() == Σ ProfileCost over exactly the entries Len() counts
+// (each eviction decrements the sum exactly once).
+func (c *ProfileCache) CachedBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// evictLocked removes one completed entry from the LRU list, the byte
+// account, and the map. The elem != nil guard makes the byte decrement
+// idempotent: an entry leaves the account exactly once no matter how
+// the count cap and the byte budget interleave. Callers hold c.mu.
+func (c *ProfileCache) evictLocked(key string) {
+	e := c.entries[key]
+	if e == nil || e.elem == nil {
+		return
+	}
+	c.lru.Remove(e.elem)
+	e.elem = nil
+	c.bytes -= e.cost
+	delete(c.entries, key)
+}
+
+// ProfileCost estimates the resident size of a cached profile in bytes:
+// the measurement slices and strings dominate, the fixed-size struct
+// fields and map/list bookkeeping are charged at a flat rate. The
+// estimate only has to be consistent (same profile → same cost) for the
+// eviction accounting to balance.
+func ProfileCost(p *profile.Profile) int64 {
+	const (
+		entryOverhead = 256 // cacheEntry + map bucket + list element + key
+		layerFixed    = 176 // LayerProfile value fields + index map entry
+	)
+	if p == nil {
+		return entryOverhead
+	}
+	n := int64(entryOverhead) + int64(len(p.NetName))
+	for i := range p.Layers {
+		lp := &p.Layers[i]
+		n += layerFixed + int64(len(lp.Name)) + int64(len(lp.Kind))
+		n += 8 * int64(len(lp.Deltas)+len(lp.Sigmas))
+	}
+	return n
 }
 
 // GetOrCompute returns the cached profile for key, or runs compute to
@@ -140,11 +201,11 @@ func (c *ProfileCache) GetOrCompute(ctx context.Context, key string, compute fun
 		if e.err != nil {
 			delete(c.entries, key)
 		} else {
+			e.cost = ProfileCost(e.prof)
 			e.elem = c.lru.PushFront(key)
-			for c.lru.Len() > c.cap {
-				oldest := c.lru.Back()
-				c.lru.Remove(oldest)
-				delete(c.entries, oldest.Value.(string))
+			c.bytes += e.cost
+			for c.lru.Len() > c.cap || (c.maxB > 0 && c.bytes > c.maxB && c.lru.Len() > 0) {
+				c.evictLocked(c.lru.Back().Value.(string))
 			}
 		}
 		c.mu.Unlock()

@@ -58,6 +58,9 @@ type Config struct {
 	StageTimeout time.Duration
 	// CacheEntries caps the profile cache (default 64).
 	CacheEntries int
+	// CacheBytes additionally budgets the profile cache by summed
+	// estimated profile size (see serve.ProfileCost); 0 = unlimited.
+	CacheBytes int64
 	// Resolver overrides the request→network resolution (default
 	// DefaultResolver).
 	Resolver Resolver
@@ -108,7 +111,7 @@ func New(cfg Config) *Manager {
 	m := &Manager{
 		cfg:     cfg,
 		metrics: NewMetrics(),
-		cache:   NewProfileCache(cfg.CacheEntries),
+		cache:   NewProfileCacheBytes(cfg.CacheEntries, cfg.CacheBytes),
 		queue:   make(chan *Job, cfg.QueueDepth),
 		jobs:    make(map[string]*Job),
 	}
@@ -145,6 +148,9 @@ func (m *Manager) registerGauges() {
 	r.GaugeFunc("mupod_profile_cache_entries", "Profiles currently cached.", func() float64 {
 		return float64(m.CacheLen())
 	})
+	r.GaugeFunc("mupod_profile_cache_bytes", "Estimated bytes held by cached profiles.", func() float64 {
+		return float64(m.CachedBytes())
+	})
 	module := "mupod"
 	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Path != "" {
 		module = bi.Main.Path
@@ -158,6 +164,9 @@ func (m *Manager) Metrics() *Metrics { return m.metrics }
 
 // CacheLen returns the number of cached profiles.
 func (m *Manager) CacheLen() int { return m.cache.Len() }
+
+// CachedBytes returns the estimated bytes held by cached profiles.
+func (m *Manager) CachedBytes() int64 { return m.cache.CachedBytes() }
 
 // QueueDepth returns the number of jobs waiting for a worker.
 func (m *Manager) QueueDepth() int { return len(m.queue) }

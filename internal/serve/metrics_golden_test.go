@@ -149,6 +149,7 @@ func TestMetricsGolden(t *testing.T) {
 		t.Fatal("metrics output diverges from the pre-obs layout")
 	}
 	for _, fam := range []string{
+		"mupod_profile_cache_bytes 0",
 		"mupod_build_info{go_version=",
 		"mupod_exec_forwards_total",
 		"mupod_exec_arena_reuses_total",

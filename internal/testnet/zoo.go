@@ -1,0 +1,153 @@
+package testnet
+
+import (
+	"fmt"
+	"sync"
+
+	"mupod/internal/dataset"
+	"mupod/internal/nn"
+	"mupod/internal/rng"
+	"mupod/internal/train"
+)
+
+// Fixture is one trained zoo network with the shared data splits.
+type Fixture struct {
+	Name  string
+	Net   *nn.Network
+	Train *dataset.Dataset
+	Test  *dataset.Dataset
+}
+
+// ZooNames lists the fixture networks in deterministic order. Together
+// they cover every layer kind the execution engine implements — conv,
+// dwconv, fc, flatten, relu, maxpool, avgpool, gap, add, concat — so a
+// differential check over the zoo exercises every ForwardInto kernel.
+func ZooNames() []string {
+	return []string{"testnet", "dwsep", "residual", "incept"}
+}
+
+var (
+	zooMu   sync.Mutex
+	zooMemo = map[string]*nn.Network{}
+)
+
+// buildZooNet constructs the named untrained architecture on the 3×8×8
+// input the shared dataset provides.
+func buildZooNet(name string) *nn.Network {
+	switch name {
+	case "testnet":
+		return Build()
+	case "dwsep":
+		// Depthwise-separable stack: conv → dwconv → pointwise conv →
+		// avgpool → gap. Covers dwconv, avgpool and gap.
+		r := rng.New(Seed + 1)
+		n := nn.NewNetwork("dwsep", []int{3, 8, 8}, dataset.NumClasses)
+		c1 := nn.NewConv2D(3, 8, 3, 1, 1)
+		c1.InitHe(r, 1)
+		x := n.AddNode("conv1", c1, 0)
+		x = n.AddNode("relu1", nn.ReLU{}, x)
+		dw := nn.NewDepthwiseConv2D(8, 3, 1, 1)
+		dw.InitHe(r, 1)
+		x = n.AddNode("dw1", dw, x)
+		x = n.AddNode("relu2", nn.ReLU{}, x)
+		pw := nn.NewConv2D(8, 16, 1, 1, 0)
+		pw.InitHe(r, 1)
+		x = n.AddNode("pw1", pw, x)
+		x = n.AddNode("relu3", nn.ReLU{}, x)
+		x = n.AddNode("apool", nn.NewAvgPool2D(2, 2), x)
+		x = n.AddNode("gap", nn.GlobalAvgPool{}, x)
+		x = n.AddNode("flatten", nn.Flatten{}, x)
+		fc := nn.NewDense(16, dataset.NumClasses)
+		fc.InitHe(r, 1)
+		n.AddNode("fc", fc, x)
+		return n
+	case "residual":
+		// One residual block: the skip connection covers add.
+		r := rng.New(Seed + 2)
+		n := nn.NewNetwork("residual", []int{3, 8, 8}, dataset.NumClasses)
+		c1 := nn.NewConv2D(3, 8, 3, 1, 1)
+		c1.InitHe(r, 1)
+		trunk := n.AddNode("conv1", c1, 0)
+		trunk = n.AddNode("relu1", nn.ReLU{}, trunk)
+		b1 := nn.NewConv2D(8, 8, 3, 1, 1)
+		b1.InitHe(r, 1)
+		y := n.AddNode("conv2", b1, trunk)
+		y = n.AddNode("relu2", nn.ReLU{}, y)
+		b2 := nn.NewConv2D(8, 8, 3, 1, 1)
+		b2.InitHe(r, 1)
+		y = n.AddNode("conv3", b2, y)
+		x := n.AddNode("add", nn.Add{}, trunk, y)
+		x = n.AddNode("relu3", nn.ReLU{}, x)
+		x = n.AddNode("pool", nn.NewMaxPool2D(2, 2), x)
+		x = n.AddNode("flatten", nn.Flatten{}, x)
+		fc := nn.NewDense(8*4*4, dataset.NumClasses)
+		fc.InitHe(r, 1)
+		n.AddNode("fc", fc, x)
+		return n
+	case "incept":
+		// Two parallel branches joined by concat, then avgpool.
+		r := rng.New(Seed + 3)
+		n := nn.NewNetwork("incept", []int{3, 8, 8}, dataset.NumClasses)
+		c1 := nn.NewConv2D(3, 8, 3, 1, 1)
+		c1.InitHe(r, 1)
+		stem := n.AddNode("conv1", c1, 0)
+		stem = n.AddNode("relu1", nn.ReLU{}, stem)
+		bA := nn.NewConv2D(8, 4, 1, 1, 0)
+		bA.InitHe(r, 1)
+		a := n.AddNode("branch1x1", bA, stem)
+		a = n.AddNode("relu2", nn.ReLU{}, a)
+		bB := nn.NewConv2D(8, 6, 3, 1, 1)
+		bB.InitHe(r, 1)
+		b := n.AddNode("branch3x3", bB, stem)
+		b = n.AddNode("relu3", nn.ReLU{}, b)
+		x := n.AddNode("concat", nn.Concat{}, a, b)
+		x = n.AddNode("pool", nn.NewAvgPool2D(2, 2), x)
+		x = n.AddNode("flatten", nn.Flatten{}, x)
+		fc := nn.NewDense(10*4*4, dataset.NumClasses)
+		fc.InitHe(r, 1)
+		n.AddNode("fc", fc, x)
+		return n
+	default:
+		panic(fmt.Sprintf("testnet: unknown zoo fixture %q", name))
+	}
+}
+
+// ZooNet returns the named trained fixture network and the shared 8×8
+// train/test splits. Networks are trained once per process; callers
+// MUST NOT mutate their parameters (use buildZooNet-style private
+// construction via Build for "testnet" if mutation is needed). Panics
+// on an unknown name.
+func ZooNet(name string) (*nn.Network, *dataset.Dataset, *dataset.Dataset) {
+	if name == "testnet" {
+		return Trained()
+	}
+	_, tr, te := Trained() // also materializes the shared splits
+	zooMu.Lock()
+	defer zooMu.Unlock()
+	net, ok := zooMemo[name]
+	if !ok {
+		net = buildZooNet(name)
+		cfg := train.Config{
+			Optimizer: train.Adam, LR: 0.005, Steps: 150, BatchSize: 8, Seed: Seed,
+		}
+		if name == "dwsep" {
+			// The GAP bottleneck (16 features) learns slower than the
+			// wide flatten heads; give it a bigger budget.
+			cfg.LR, cfg.Steps = 0.01, 600
+		}
+		train.Run(net, tr, cfg)
+		zooMemo[name] = net
+	}
+	return net, tr, te
+}
+
+// Zoo returns every fixture, trained, in ZooNames order.
+func Zoo() []Fixture {
+	names := ZooNames()
+	out := make([]Fixture, 0, len(names))
+	for _, name := range names {
+		net, tr, te := ZooNet(name)
+		out = append(out, Fixture{Name: name, Net: net, Train: tr, Test: te})
+	}
+	return out
+}

@@ -50,6 +50,7 @@ import (
 	"mupod/internal/optimize"
 	"mupod/internal/pareto"
 	"mupod/internal/profile"
+	"mupod/internal/refcheck"
 	"mupod/internal/search"
 	"mupod/internal/serve"
 	"mupod/internal/tensor"
@@ -378,3 +379,21 @@ func ParseNetwork(r io.Reader) (*Network, error) { return netdesc.Parse(r) }
 // WriteNetwork serializes a network's topology into the description
 // language (parameters are saved separately via Network.SaveParams).
 func WriteNetwork(w io.Writer, net *Network) error { return netdesc.Write(w, net) }
+
+// SelfCheckOptions configures a differential self-check sweep (see
+// internal/refcheck).
+type SelfCheckOptions = refcheck.Options
+
+// SelfCheckReport is the outcome of a self-check sweep; OK() reports
+// whether every invariant held.
+type SelfCheckReport = refcheck.Report
+
+// SelfCheck runs the differential self-check: the optimized kernels,
+// quantizer, solvers and search are verified against slow reference
+// implementations and the paper's numerical invariants over the
+// built-in test networks. Embedders can run it at startup or in CI to
+// catch miscompiled or numerically-broken builds; cmd/mupod-selfcheck
+// wraps it for the command line.
+func SelfCheck(ctx context.Context, opts SelfCheckOptions) (*SelfCheckReport, error) {
+	return refcheck.Run(ctx, opts)
+}
