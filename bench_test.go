@@ -563,13 +563,16 @@ func BenchmarkGroupGranularity(b *testing.B) {
 // exactly what a production daemon serves at steady state.
 func BenchmarkServeSubmit(b *testing.B) {
 	net, _, te := testnet.Trained()
-	m := serve.New(serve.Config{
+	m, err := serve.New(serve.Config{
 		Workers:    4,
 		QueueDepth: 1024,
 		Resolver: func(ctx context.Context, req *serve.JobRequest) (*nn.Network, *dataset.Dataset, error) {
 			return net, te, nil
 		},
 	})
+	if err != nil {
+		b.Fatal(err)
+	}
 	defer func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()

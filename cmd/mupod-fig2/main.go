@@ -32,6 +32,8 @@ func main() {
 		os.Exit(1)
 	}
 	ctx, flushTrace := obs.TraceToFile(context.Background(), *traceOut, 0)
+	ctx, stop := obs.SignalContext(ctx)
+	defer stop()
 
 	for _, m := range strings.Split(*models, ",") {
 		a := zoo.Arch(strings.TrimSpace(m))
@@ -46,6 +48,10 @@ func main() {
 			Workers:       *workers,
 		})
 		if err != nil {
+			if obs.Interrupted(ctx) {
+				fmt.Fprintln(os.Stderr, "mupod-fig2: interrupted")
+				os.Exit(130)
+			}
 			fmt.Fprintln(os.Stderr, "mupod-fig2:", err)
 			os.Exit(1)
 		}

@@ -34,6 +34,8 @@ func main() {
 		os.Exit(1)
 	}
 	ctx, flushTrace := obs.TraceToFile(context.Background(), *traceOut, 0)
+	ctx, stop := obs.SignalContext(ctx)
+	defer stop()
 
 	a := zoo.Arch(*model)
 	if _, ok := zoo.AnalyzableLayers[a]; !ok {
@@ -57,6 +59,10 @@ func main() {
 		Workers:       *workers,
 	})
 	if err != nil {
+		if obs.Interrupted(ctx) {
+			fmt.Fprintln(os.Stderr, "mupod-fig3: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "mupod-fig3:", err)
 		os.Exit(1)
 	}

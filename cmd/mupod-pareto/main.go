@@ -38,6 +38,8 @@ func main() {
 		os.Exit(1)
 	}
 	ctx, flushTrace := obs.TraceToFile(context.Background(), *traceOut, 0)
+	ctx, stop := obs.SignalContext(ctx)
+	defer stop()
 
 	arch := zoo.Arch(*model)
 	if _, ok := zoo.AnalyzableLayers[arch]; !ok {
@@ -52,13 +54,13 @@ func main() {
 
 	prof, err := profile.RunContext(ctx, net, test, profile.Config{Images: *images, Points: *points, Seed: *seed, Workers: *workers})
 	if err != nil {
-		fatal(err)
+		fatalCtx(ctx, err)
 	}
 	sr, err := search.RunContext(ctx, net, prof, test, search.Options{
 		Scheme: search.Scheme2Gaussian, RelDrop: *drop, EvalImages: *eval, Seed: *seed ^ 0x5eed, Workers: *workers,
 	})
 	if err != nil {
-		fatal(err)
+		fatalCtx(ctx, err)
 	}
 	if err := flushTrace(); err != nil {
 		fmt.Fprintln(os.Stderr, "mupod-pareto: writing trace:", err)
@@ -94,4 +96,12 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "mupod-pareto:", err)
 	os.Exit(1)
+}
+
+func fatalCtx(ctx context.Context, err error) {
+	if obs.Interrupted(ctx) {
+		fmt.Fprintln(os.Stderr, "mupod-pareto: interrupted")
+		os.Exit(130)
+	}
+	fatal(err)
 }

@@ -42,8 +42,14 @@ func main() {
 		}
 	}
 
-	rep, err := refcheck.Run(context.Background(), opts)
+	ctx, stop := obs.SignalContext(context.Background())
+	defer stop()
+	rep, err := refcheck.Run(ctx, opts)
 	if err != nil {
+		if obs.Interrupted(ctx) {
+			fmt.Fprintln(os.Stderr, "mupod-selfcheck: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "mupod-selfcheck:", err)
 		os.Exit(1)
 	}

@@ -28,6 +28,8 @@ func main() {
 		os.Exit(1)
 	}
 	ctx, flushTrace := obs.TraceToFile(context.Background(), *traceOut, 0)
+	ctx, stop := obs.SignalContext(ctx)
+	defer stop()
 
 	res, err := experiments.Table2(ctx, experiments.Opts{
 		ProfileImages: *images,
@@ -37,6 +39,10 @@ func main() {
 		Workers:       *workers,
 	})
 	if err != nil {
+		if obs.Interrupted(ctx) {
+			fmt.Fprintln(os.Stderr, "mupod-table2: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "mupod-table2:", err)
 		os.Exit(1)
 	}

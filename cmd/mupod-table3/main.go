@@ -36,6 +36,8 @@ func main() {
 		os.Exit(1)
 	}
 	ctx, flushTrace := obs.TraceToFile(context.Background(), *traceOut, 0)
+	ctx, stop := obs.SignalContext(ctx)
+	defer stop()
 
 	archs := zoo.All
 	if *models != "" {
@@ -67,6 +69,10 @@ func main() {
 		Workers:       *workers,
 	})
 	if err != nil {
+		if obs.Interrupted(ctx) {
+			fmt.Fprintln(os.Stderr, "mupod-table3: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "mupod-table3:", err)
 		os.Exit(1)
 	}

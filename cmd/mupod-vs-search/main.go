@@ -31,6 +31,8 @@ func main() {
 		os.Exit(1)
 	}
 	ctx, flushTrace := obs.TraceToFile(context.Background(), *traceOut, 0)
+	ctx, stop := obs.SignalContext(ctx)
+	defer stop()
 
 	a := zoo.Arch(*model)
 	if _, ok := zoo.AnalyzableLayers[a]; !ok {
@@ -44,6 +46,10 @@ func main() {
 		Workers:       *workers,
 	})
 	if err != nil {
+		if obs.Interrupted(ctx) {
+			fmt.Fprintln(os.Stderr, "mupod-vs-search: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "mupod-vs-search:", err)
 		os.Exit(1)
 	}

@@ -59,6 +59,8 @@ func main() {
 		fatal("%v", err)
 	}
 	ctx, flushTrace := obs.TraceToFile(context.Background(), *traceOut, 0)
+	ctx, stop := obs.SignalContext(ctx)
+	defer stop()
 
 	var net *nn.Network
 	var test *dataset.Dataset
@@ -127,6 +129,10 @@ func main() {
 		Workers:   *workers,
 	})
 	if err != nil {
+		if obs.Interrupted(ctx) {
+			fmt.Fprintln(os.Stderr, "mupod: interrupted")
+			os.Exit(130)
+		}
 		fatal("%v", err)
 	}
 	if err := flushTrace(); err != nil {

@@ -2,17 +2,24 @@
 // full MUPOD pipeline (profile → σ search → ξ solve → allocation) over
 // HTTP as asynchronous jobs, drained by a worker pool, with a
 // content-addressed profile cache so repeated optimizations of the same
-// network skip the expensive error-injection profiling.
+// network skip the expensive error-injection profiling. With -data-dir
+// the job table is durable: submissions, state transitions and results
+// are journaled, and a restart (even kill -9) replays the journal and
+// re-runs whatever had not finished.
 //
 // Usage:
 //
 //	mupodd [-addr :8080] [-workers 2] [-queue 64] [-job-workers 0]
 //	       [-stage-timeout 10m] [-drain-timeout 30s] [-cache 64]
+//	       [-data-dir dir] [-max-attempts 3]
+//	       [-http-read-header-timeout 10s] [-http-read-timeout 1m]
+//	       [-http-write-timeout 5m] [-http-idle-timeout 2m]
 //	       [-log level[,format]] [-trace-spans 8192]
 //
 // API:
 //
 //	POST   /v1/jobs       {"model":"alexnet","objective":"mac",...} → job ID
+//	                      (429 + Retry-After when the queue is saturated)
 //	GET    /v1/jobs/{id}  job state + result
 //	DELETE /v1/jobs/{id}  cancel
 //	GET    /healthz       liveness (503 while draining)
@@ -20,8 +27,9 @@
 //	GET    /debug/trace/{id}  Chrome trace of a finished job
 //	GET    /debug/pprof/  runtime profiles
 //
-// See the README's "Serving" and "Observability" sections for curl
-// walkthroughs.
+// Fault injection for chaos drills is armed via MUPOD_FAILPOINTS (see
+// internal/fault). See the README's "Serving", "Observability" and
+// "Operations" sections for curl walkthroughs.
 package main
 
 import (
@@ -31,10 +39,9 @@ import (
 	"fmt"
 	"net/http"
 	"os"
-	"os/signal"
-	"syscall"
 	"time"
 
+	"mupod/internal/fault"
 	"mupod/internal/obs"
 	"mupod/internal/serve"
 )
@@ -42,12 +49,18 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "HTTP listen address")
 	workers := flag.Int("workers", 2, "pipeline worker pool size")
-	queue := flag.Int("queue", 64, "job queue depth (submissions beyond it are rejected)")
+	queue := flag.Int("queue", 64, "job queue depth (submissions beyond it are shed with 429)")
 	stageTimeout := flag.Duration("stage-timeout", 10*time.Minute, "per-stage timeout (0 disables)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget before in-flight jobs are cancelled")
 	cacheEntries := flag.Int("cache", 64, "profile cache capacity (entries)")
 	cacheBytes := flag.Int64("cache-bytes", 0, "profile cache byte budget (0 = unlimited)")
 	jobWorkers := flag.Int("job-workers", 0, "default per-job evaluation parallelism (0 = GOMAXPROCS divided across the worker pool)")
+	dataDir := flag.String("data-dir", "", "directory for the durable job store (empty = in-memory only; jobs are lost on restart)")
+	maxAttempts := flag.Int("max-attempts", 3, "run attempts per job across transient failures and crash recoveries")
+	readHeaderTimeout := flag.Duration("http-read-header-timeout", 10*time.Second, "time to read request headers (slowloris hardening)")
+	readTimeout := flag.Duration("http-read-timeout", time.Minute, "time to read a full request")
+	writeTimeout := flag.Duration("http-write-timeout", 5*time.Minute, "time to write a full response")
+	idleTimeout := flag.Duration("http-idle-timeout", 2*time.Minute, "keep-alive idle connection timeout")
 	logSpec := flag.String("log", "", "log level[,format]: debug|info|warn|error, text|json (default $MUPOD_LOG or info,text)")
 	traceSpans := flag.Int("trace-spans", 0, "per-job trace buffer cap in spans (0 = default, negative disables /debug/trace)")
 	flag.Parse()
@@ -57,8 +70,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mupodd: %v\n", err)
 		os.Exit(2)
 	}
+	if err := fault.InitFromEnv(); err != nil {
+		fmt.Fprintf(os.Stderr, "mupodd: %v\n", err)
+		os.Exit(2)
+	}
+	if pts := fault.Armed(); len(pts) > 0 {
+		logger.Warn("mupodd: failpoints armed", "points", pts)
+	}
 
-	m := serve.New(serve.Config{
+	m, err := serve.New(serve.Config{
 		Workers:      *workers,
 		JobWorkers:   *jobWorkers,
 		QueueDepth:   *queue,
@@ -66,18 +86,31 @@ func main() {
 		CacheEntries: *cacheEntries,
 		CacheBytes:   *cacheBytes,
 		TraceSpans:   *traceSpans,
+		DataDir:      *dataDir,
+		MaxAttempts:  *maxAttempts,
 		Logf: func(format string, args ...any) {
 			logger.Info(fmt.Sprintf(format, args...))
 		},
 	})
-	srv := &http.Server{Addr: *addr, Handler: serve.NewHandler(m)}
+	if err != nil {
+		logger.Error("mupodd: opening job store", "err", err)
+		os.Exit(1)
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           serve.NewHandler(m),
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := obs.SignalContext(context.Background())
 	defer stop()
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	logger.Info("mupodd: listening", "addr", *addr, "workers", *workers, "queue", *queue)
+	logger.Info("mupodd: listening", "addr", *addr, "workers", *workers, "queue", *queue, "data_dir", *dataDir)
 
 	select {
 	case err := <-errc:

@@ -18,6 +18,7 @@ import (
 
 	"mupod/internal/dataset"
 	"mupod/internal/energy"
+	"mupod/internal/fault"
 	"mupod/internal/fixedpoint"
 	"mupod/internal/nn"
 	"mupod/internal/obs"
@@ -414,6 +415,9 @@ func Allocate(net *nn.Network, ds *dataset.Dataset, prof *profile.Profile, sr *s
 // ctx before every (potentially expensive) real-quantization validation
 // pass.
 func AllocateContext(ctx context.Context, net *nn.Network, ds *dataset.Dataset, prof *profile.Profile, sr *search.Result, cfg Config) (*Allocation, float64, int, error) {
+	if err := fault.Hit(ctx, "solve.allocate"); err != nil {
+		return nil, 0, 0, fmt.Errorf("core: %w", err)
+	}
 	cfg = cfg.withWorkers()
 	sigma := sr.SigmaYL
 	shrink := cfg.GuardShrink

@@ -1,0 +1,332 @@
+// Package fault is a failpoint registry for fault-injection testing:
+// named injection points threaded through the pipeline's expensive
+// stages (profile sweep, σ-search probes, ξ solve, the serve resolver,
+// the job journal) that chaos tests and operators can arm to return
+// errors, inject latency, or panic at exactly the seam under study.
+//
+// Like internal/obs, the hooks are engineered to be free when unused:
+// with no failpoint armed, Hit is a single atomic load. Arming happens
+// either through the test API (Enable/Disable/Reset) or the
+// MUPOD_FAILPOINTS environment variable:
+//
+//	MUPOD_FAILPOINTS='profile.sweep=2*error(transient:chaos);search.probe=sleep(50ms)'
+//
+// The spec grammar is [count*]mode[(arg)]:
+//
+//	error            inject a permanent error
+//	error(msg)       ... with a message
+//	error(transient:msg)  inject a retryable error (see IsTransient)
+//	sleep(duration)  inject latency (respects ctx cancellation)
+//	panic            panic at the failpoint
+//
+// A count prefix ("3*error") disarms the point after that many
+// triggers; without one the point fires on every hit.
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// EnvVar is the environment variable parsed by InitFromEnv:
+// semicolon-separated name=spec pairs.
+const EnvVar = "MUPOD_FAILPOINTS"
+
+// Mode selects what an armed failpoint does when hit.
+type Mode int
+
+// The failpoint modes.
+const (
+	ModeError Mode = iota // return an injected error
+	ModeSleep             // inject latency, then proceed
+	ModePanic             // panic
+)
+
+// String names the mode for logs and errors.
+func (m Mode) String() string {
+	switch m {
+	case ModeError:
+		return "error"
+	case ModeSleep:
+		return "sleep"
+	case ModePanic:
+		return "panic"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Spec is a parsed failpoint behavior.
+type Spec struct {
+	Mode Mode
+	// Count is the remaining trigger budget; negative means unlimited.
+	// A point with Count 0 is disarmed but keeps its trigger tally.
+	Count int
+	// Delay is the injected latency for ModeSleep.
+	Delay time.Duration
+	// Msg is the injected error (or panic) message.
+	Msg string
+	// Transient marks injected errors as retryable (see IsTransient).
+	Transient bool
+}
+
+// ParseSpec parses the [count*]mode[(arg)] grammar.
+func ParseSpec(s string) (Spec, error) {
+	spec := Spec{Count: -1}
+	raw := s
+	if i := strings.Index(s, "*"); i >= 0 {
+		n, err := strconv.Atoi(strings.TrimSpace(s[:i]))
+		if err != nil || n <= 0 {
+			return Spec{}, fmt.Errorf("fault: bad trigger count in %q", raw)
+		}
+		spec.Count = n
+		s = s[i+1:]
+	}
+	arg := ""
+	if i := strings.Index(s, "("); i >= 0 {
+		if !strings.HasSuffix(s, ")") {
+			return Spec{}, fmt.Errorf("fault: unbalanced parens in %q", raw)
+		}
+		arg = s[i+1 : len(s)-1]
+		s = s[:i]
+	}
+	switch strings.TrimSpace(s) {
+	case "error":
+		spec.Mode = ModeError
+		if rest, ok := strings.CutPrefix(arg, "transient:"); ok {
+			spec.Transient = true
+			arg = rest
+		}
+		spec.Msg = strings.TrimSpace(arg)
+	case "sleep":
+		d, err := time.ParseDuration(strings.TrimSpace(arg))
+		if err != nil || d < 0 {
+			return Spec{}, fmt.Errorf("fault: bad sleep duration in %q", raw)
+		}
+		spec.Mode = ModeSleep
+		spec.Delay = d
+	case "panic":
+		spec.Mode = ModePanic
+		spec.Msg = strings.TrimSpace(arg)
+	default:
+		return Spec{}, fmt.Errorf("fault: unknown mode %q in %q (want error, sleep or panic)", s, raw)
+	}
+	return spec, nil
+}
+
+// InjectedError is the error returned by an armed ModeError failpoint.
+type InjectedError struct {
+	Point     string
+	Msg       string
+	Transient bool
+}
+
+// Error renders the injected error with its classification, so logs
+// show both where it was injected and whether retrying is expected.
+func (e *InjectedError) Error() string {
+	kind := "permanent"
+	if e.Transient {
+		kind = "transient"
+	}
+	if e.Msg != "" {
+		return fmt.Sprintf("fault: injected %s error at %s: %s", kind, e.Point, e.Msg)
+	}
+	return fmt.Sprintf("fault: injected %s error at %s", kind, e.Point)
+}
+
+// TransientFault implements the classification interface IsTransient
+// recognizes.
+func (e *InjectedError) TransientFault() bool { return e.Transient }
+
+// transientError marks an arbitrary error as retryable.
+type transientError struct{ err error }
+
+func (t *transientError) Error() string        { return t.err.Error() }
+func (t *transientError) Unwrap() error        { return t.err }
+func (t *transientError) TransientFault() bool { return true }
+
+// MarkTransient wraps err so IsTransient reports true, preserving the
+// original error for errors.Is/As. Returns nil for a nil err.
+func MarkTransient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether err (or anything it wraps) is classified
+// as retryable: an InjectedError armed as transient, a MarkTransient
+// wrapper, or any error implementing TransientFault() bool.
+func IsTransient(err error) bool {
+	var t interface{ TransientFault() bool }
+	return errors.As(err, &t) && t.TransientFault()
+}
+
+// point is one armed failpoint.
+type point struct {
+	name string
+
+	mu        sync.Mutex
+	spec      Spec
+	triggered uint64
+}
+
+var (
+	// armed is true iff the registry holds at least one point — the
+	// whole cost of a disabled failpoint is this one atomic load.
+	armed  atomic.Bool
+	regMu  sync.Mutex
+	points = map[string]*point{}
+)
+
+// Enabled reports whether any failpoint is registered.
+func Enabled() bool { return armed.Load() }
+
+// Enable arms name with the given spec string (see ParseSpec).
+func Enable(name, spec string) error {
+	sp, err := ParseSpec(spec)
+	if err != nil {
+		return err
+	}
+	EnableSpec(name, sp)
+	return nil
+}
+
+// EnableSpec arms name with an already-parsed spec, replacing any
+// previous arming (and resetting its trigger tally).
+func EnableSpec(name string, spec Spec) {
+	regMu.Lock()
+	points[name] = &point{name: name, spec: spec}
+	armed.Store(true)
+	regMu.Unlock()
+}
+
+// Disable removes the named failpoint; unknown names are a no-op.
+func Disable(name string) {
+	regMu.Lock()
+	delete(points, name)
+	armed.Store(len(points) > 0)
+	regMu.Unlock()
+}
+
+// Reset removes every failpoint — tests defer this to avoid leaking
+// armings across cases.
+func Reset() {
+	regMu.Lock()
+	points = map[string]*point{}
+	armed.Store(false)
+	regMu.Unlock()
+}
+
+// Armed returns the sorted names of the registered failpoints.
+func Armed() []string {
+	regMu.Lock()
+	names := make([]string, 0, len(points))
+	for n := range points {
+		names = append(names, n)
+	}
+	regMu.Unlock()
+	sort.Strings(names)
+	return names
+}
+
+// Triggered returns how many times the named failpoint has fired since
+// it was armed (0 for unknown names).
+func Triggered(name string) uint64 {
+	regMu.Lock()
+	p := points[name]
+	regMu.Unlock()
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.triggered
+}
+
+// InitFromEnv arms every failpoint listed in MUPOD_FAILPOINTS
+// (semicolon-separated name=spec pairs). An empty or unset variable is
+// a no-op; a malformed one is an error so a typo cannot silently run a
+// chaos drill without its faults.
+func InitFromEnv() error {
+	v := strings.TrimSpace(os.Getenv(EnvVar))
+	if v == "" {
+		return nil
+	}
+	for _, pair := range strings.Split(v, ";") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		name, spec, ok := strings.Cut(pair, "=")
+		if !ok || strings.TrimSpace(name) == "" {
+			return fmt.Errorf("fault: malformed %s entry %q (want name=spec)", EnvVar, pair)
+		}
+		if err := Enable(strings.TrimSpace(name), strings.TrimSpace(spec)); err != nil {
+			return fmt.Errorf("fault: %s entry %q: %w", EnvVar, pair, err)
+		}
+	}
+	return nil
+}
+
+// Hit evaluates the named failpoint: nil when the registry is empty or
+// the point is not armed; otherwise the armed behavior — an injected
+// error, a latency injection (which returns ctx.Err() if the caller
+// cancels mid-sleep, nil otherwise), or a panic.
+func Hit(ctx context.Context, name string) error {
+	if !armed.Load() {
+		return nil
+	}
+	regMu.Lock()
+	p := points[name]
+	regMu.Unlock()
+	if p == nil {
+		return nil
+	}
+	return p.hit(ctx)
+}
+
+func (p *point) hit(ctx context.Context) error {
+	p.mu.Lock()
+	if p.spec.Count == 0 {
+		p.mu.Unlock()
+		return nil
+	}
+	if p.spec.Count > 0 {
+		p.spec.Count--
+	}
+	p.triggered++
+	spec, n := p.spec, p.triggered
+	p.mu.Unlock()
+
+	slog.Warn("fault: failpoint triggered",
+		"point", p.name, "mode", spec.Mode.String(), "count", n)
+	switch spec.Mode {
+	case ModeSleep:
+		t := time.NewTimer(spec.Delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	case ModePanic:
+		msg := spec.Msg
+		if msg == "" {
+			msg = "injected panic"
+		}
+		panic(fmt.Sprintf("fault: failpoint %s: %s", p.name, msg))
+	default:
+		return &InjectedError{Point: p.name, Msg: spec.Msg, Transient: spec.Transient}
+	}
+}

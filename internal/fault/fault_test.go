@@ -1,0 +1,243 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Spec
+	}{
+		{"error", Spec{Mode: ModeError, Count: -1}},
+		{"error(boom)", Spec{Mode: ModeError, Count: -1, Msg: "boom"}},
+		{"error(transient:boom)", Spec{Mode: ModeError, Count: -1, Msg: "boom", Transient: true}},
+		{"2*error(transient:x)", Spec{Mode: ModeError, Count: 2, Msg: "x", Transient: true}},
+		{"sleep(50ms)", Spec{Mode: ModeSleep, Count: -1, Delay: 50 * time.Millisecond}},
+		{"3*sleep(1s)", Spec{Mode: ModeSleep, Count: 3, Delay: time.Second}},
+		{"panic", Spec{Mode: ModePanic, Count: -1}},
+		{"panic(oops)", Spec{Mode: ModePanic, Count: -1, Msg: "oops"}},
+	}
+	for _, c := range cases {
+		got, err := ParseSpec(c.in)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "explode", "0*error", "-1*error", "x*error", "sleep", "sleep(nope)", "error(x", "sleep(-5ms)"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestHitDisabledIsNil(t *testing.T) {
+	Reset()
+	if Enabled() {
+		t.Fatal("fresh registry reports enabled")
+	}
+	if err := Hit(context.Background(), "anything"); err != nil {
+		t.Fatalf("disabled Hit returned %v", err)
+	}
+}
+
+func TestErrorModeAndCountExhaustion(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Enable("p", "2*error(transient:boom)"); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		err := Hit(ctx, "p")
+		if err == nil {
+			t.Fatalf("hit %d: no injection", i)
+		}
+		var inj *InjectedError
+		if !errors.As(err, &inj) || inj.Point != "p" {
+			t.Fatalf("hit %d: err = %#v", i, err)
+		}
+		if !IsTransient(err) {
+			t.Fatalf("hit %d: transient spec not classified transient", i)
+		}
+		// Classification must survive %w wrapping, as stage code does.
+		if !IsTransient(fmt.Errorf("profile: %w", err)) {
+			t.Fatal("wrapping hides transience")
+		}
+	}
+	if err := Hit(ctx, "p"); err != nil {
+		t.Fatalf("exhausted point still fires: %v", err)
+	}
+	if got := Triggered("p"); got != 2 {
+		t.Fatalf("Triggered = %d, want 2", got)
+	}
+}
+
+func TestPermanentErrorIsNotTransient(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Enable("p", "error(dead)"); err != nil {
+		t.Fatal(err)
+	}
+	err := Hit(context.Background(), "p")
+	if err == nil || IsTransient(err) {
+		t.Fatalf("permanent injection misclassified: %v", err)
+	}
+	if !strings.Contains(err.Error(), "permanent") || !strings.Contains(err.Error(), "dead") {
+		t.Fatalf("error text %q", err)
+	}
+}
+
+func TestSleepModeRespectsContext(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Enable("slow", "sleep(10s)"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := Hit(ctx, "slow")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("sleep ignored cancellation")
+	}
+}
+
+func TestSleepModeInjectsLatency(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Enable("slow", "sleep(30ms)"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := Hit(context.Background(), "slow"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("slept only %v", d)
+	}
+}
+
+func TestPanicMode(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Enable("boom", "panic(kaboom)"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "kaboom") {
+			t.Fatalf("panic value %v", r)
+		}
+	}()
+	Hit(context.Background(), "boom") //nolint:errcheck // panics
+}
+
+func TestMarkTransientPreservesWrappedError(t *testing.T) {
+	base := errors.New("upstream down")
+	err := MarkTransient(base)
+	if !IsTransient(err) || !errors.Is(err, base) {
+		t.Fatalf("MarkTransient lost classification or identity: %v", err)
+	}
+	if IsTransient(base) {
+		t.Fatal("unwrapped error classified transient")
+	}
+	if MarkTransient(nil) != nil {
+		t.Fatal("MarkTransient(nil) != nil")
+	}
+	if IsTransient(nil) {
+		t.Fatal("nil is transient")
+	}
+}
+
+func TestInitFromEnv(t *testing.T) {
+	t.Cleanup(Reset)
+	t.Setenv(EnvVar, " profile.sweep=2*error(transient:chaos); search.probe=sleep(1ms) ")
+	if err := InitFromEnv(); err != nil {
+		t.Fatal(err)
+	}
+	got := Armed()
+	want := []string{"profile.sweep", "search.probe"}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("Armed() = %v, want %v", got, want)
+	}
+
+	t.Setenv(EnvVar, "profile.sweep")
+	if err := InitFromEnv(); err == nil {
+		t.Fatal("malformed entry accepted")
+	}
+	t.Setenv(EnvVar, "p=explode(now)")
+	if err := InitFromEnv(); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+	t.Setenv(EnvVar, "")
+	if err := InitFromEnv(); err != nil {
+		t.Fatalf("empty env: %v", err)
+	}
+}
+
+func TestDisableAndReset(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Enable("a", "error"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Enable("b", "error"); err != nil {
+		t.Fatal(err)
+	}
+	Disable("a")
+	if err := Hit(context.Background(), "a"); err != nil {
+		t.Fatalf("disabled point fired: %v", err)
+	}
+	if err := Hit(context.Background(), "b"); err == nil {
+		t.Fatal("surviving point did not fire")
+	}
+	Reset()
+	if Enabled() {
+		t.Fatal("Reset left the registry enabled")
+	}
+}
+
+// TestConcurrentHits exercises the registry under -race: a bounded
+// point drained by many goroutines fires exactly its budget.
+func TestConcurrentHits(t *testing.T) {
+	t.Cleanup(Reset)
+	const budget = 100
+	if err := Enable("c", fmt.Sprintf("%d*error", budget)); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]int, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if Hit(context.Background(), "c") != nil {
+					errs[g]++
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range errs {
+		total += n
+	}
+	if total != budget {
+		t.Fatalf("fired %d times, want exactly %d", total, budget)
+	}
+	if got := Triggered("c"); got != budget {
+		t.Fatalf("Triggered = %d, want %d", got, budget)
+	}
+}

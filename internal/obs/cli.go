@@ -3,7 +3,23 @@ package obs
 import (
 	"context"
 	"os"
+	"os/signal"
+	"syscall"
 )
+
+// SignalContext derives a context cancelled on SIGINT/SIGTERM, the
+// standard shutdown hook for every long-running cmd tool: experiments
+// check ctx between evaluations, so an interrupted run stops promptly
+// and the tool can exit nonzero instead of writing a half-finished
+// artifact. The returned stop function releases the signal handler
+// (after which a second signal kills the process the default way).
+func SignalContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+}
+
+// Interrupted reports whether ctx ended by cancellation — the cmd
+// tools' test for "the user hit Ctrl-C" on their error exit path.
+func Interrupted(ctx context.Context) bool { return ctx.Err() != nil }
 
 // TraceToFile implements the cmd tools' -trace flag: with a non-empty
 // path it returns a context carrying a fresh tracer plus a flush

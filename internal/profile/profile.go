@@ -18,6 +18,7 @@ import (
 
 	"mupod/internal/dataset"
 	"mupod/internal/exec"
+	"mupod/internal/fault"
 	"mupod/internal/fixedpoint"
 	"mupod/internal/nn"
 	"mupod/internal/obs"
@@ -256,6 +257,11 @@ func RunContext(ctx context.Context, net *nn.Network, ds *dataset.Dataset, cfg C
 				items = append(items, workItem{k, pt, rep})
 			}
 		}
+	}
+	// Not wrapped with a "profile:" prefix: the injected error already
+	// names its point, and the serve layer prefixes stage errors itself.
+	if err := fault.Hit(ctx, "profile.sweep"); err != nil {
+		return nil, err
 	}
 	stride := exact.Len()
 	diffs := make([]float64, len(items)*stride)

@@ -19,6 +19,7 @@ import (
 
 	"mupod/internal/dataset"
 	"mupod/internal/exec"
+	"mupod/internal/fault"
 	"mupod/internal/nn"
 	"mupod/internal/obs"
 	"mupod/internal/profile"
@@ -378,6 +379,9 @@ func RunContext(ctx context.Context, net *nn.Network, prof *profile.Profile, ds 
 
 	probe := func(sigma float64) (bool, error) {
 		if err := ctx.Err(); err != nil {
+			return false, fmt.Errorf("search: %w", err)
+		}
+		if err := fault.Hit(ctx, "search.probe"); err != nil {
 			return false, fmt.Errorf("search: %w", err)
 		}
 		pctx, psp := obs.Start(ctx, "search.probe", obs.KV("sigma", sigma))

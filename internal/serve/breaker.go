@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"mupod/internal/fault"
+)
+
+// ErrProfileCircuitOpen is returned (wrapped transient, so jobs retry
+// with backoff) when the profile circuit breaker is failing fast.
+var ErrProfileCircuitOpen = errors.New("serve: profile circuit breaker open, failing fast")
+
+// Breaker states, exported through the mupod_breaker_state gauge.
+const (
+	breakerClosed   = 0
+	breakerOpen     = 1
+	breakerHalfOpen = 2
+)
+
+// breaker is a consecutive-failure circuit breaker guarding the profile
+// cache's singleflight compute path: after threshold consecutive
+// profiling failures it opens and sheds compute attempts instantly
+// (cache hits are still served), then after cooldown it half-opens and
+// lets exactly one probe through — success closes it, failure reopens.
+// Context cancellations never count as failures: they are the caller
+// giving up, not the service degrading. A nil breaker (or threshold
+// <= 0) is permanently closed.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	onOpen    func()
+
+	mu          sync.Mutex
+	state       int
+	consecutive int
+	until       time.Time // earliest half-open probe when open
+	probing     bool      // a half-open probe is in flight
+}
+
+func newBreaker(threshold int, cooldown time.Duration, onOpen func()) *breaker {
+	if threshold <= 0 {
+		return nil
+	}
+	if cooldown <= 0 {
+		cooldown = 30 * time.Second
+	}
+	if onOpen == nil {
+		onOpen = func() {}
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, onOpen: onOpen}
+}
+
+// State returns the current breaker state for the metrics gauge.
+func (b *breaker) State() int {
+	if b == nil {
+		return breakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerOpen && !time.Now().Before(b.until) {
+		return breakerHalfOpen // would admit a probe right now
+	}
+	return b.state
+}
+
+// Allow gates one compute attempt. It returns nil when the attempt may
+// proceed, or a transient ErrProfileCircuitOpen to shed it.
+func (b *breaker) Allow() error {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return nil
+	case breakerOpen:
+		if time.Now().Before(b.until) {
+			return fault.MarkTransient(ErrProfileCircuitOpen)
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return nil
+	default: // half-open: one probe at a time
+		if b.probing {
+			return fault.MarkTransient(ErrProfileCircuitOpen)
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// Record reports the outcome of an attempt Allow admitted.
+func (b *breaker) Record(ctx context.Context, err error) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	wasProbe := b.state == breakerHalfOpen
+	if wasProbe {
+		b.probing = false
+	}
+	if err == nil {
+		b.consecutive = 0
+		b.state = breakerClosed
+		return
+	}
+	if ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return // cancelled by the caller, not a service failure
+	}
+	b.consecutive++
+	if wasProbe || b.consecutive >= b.threshold {
+		b.state = breakerOpen
+		b.until = time.Now().Add(b.cooldown)
+		b.consecutive = 0
+		b.onOpen()
+	}
+}

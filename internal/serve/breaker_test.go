@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"mupod/internal/fault"
+)
+
+func TestBreakerNilIsAlwaysClosed(t *testing.T) {
+	var b *breaker
+	if b != newBreaker(0, time.Second, nil) {
+		t.Fatal("threshold 0 should disable the breaker")
+	}
+	for i := 0; i < 10; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("nil breaker refused: %v", err)
+		}
+		b.Record(context.Background(), errors.New("boom"))
+	}
+	if b.State() != breakerClosed {
+		t.Fatal("nil breaker not closed")
+	}
+}
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	opens := 0
+	b := newBreaker(3, time.Hour, func() { opens++ })
+	ctx := context.Background()
+	boom := errors.New("boom")
+	for i := 0; i < 3; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("attempt %d refused while closed: %v", i, err)
+		}
+		b.Record(ctx, boom)
+	}
+	if opens != 1 {
+		t.Fatalf("onOpen fired %d times, want 1", opens)
+	}
+	err := b.Allow()
+	if !errors.Is(err, ErrProfileCircuitOpen) {
+		t.Fatalf("open breaker admitted: %v", err)
+	}
+	if !fault.IsTransient(err) {
+		t.Fatal("breaker-open error not classified transient")
+	}
+	if b.State() != breakerOpen {
+		t.Fatalf("State = %d, want open", b.State())
+	}
+}
+
+func TestBreakerSuccessResetsConsecutive(t *testing.T) {
+	b := newBreaker(2, time.Hour, nil)
+	ctx := context.Background()
+	boom := errors.New("boom")
+	b.Record(ctx, boom)
+	b.Record(ctx, nil) // success resets the streak
+	b.Record(ctx, boom)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("breaker opened without threshold consecutive failures: %v", err)
+	}
+}
+
+func TestBreakerIgnoresContextErrors(t *testing.T) {
+	b := newBreaker(1, time.Hour, nil)
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	b.Record(cancelled, context.Canceled)
+	b.Record(context.Background(), context.DeadlineExceeded)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("caller cancellations tripped the breaker: %v", err)
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b := newBreaker(1, 30*time.Millisecond, nil)
+	ctx := context.Background()
+	boom := errors.New("boom")
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(ctx, boom) // opens
+	if err := b.Allow(); !errors.Is(err, ErrProfileCircuitOpen) {
+		t.Fatalf("open breaker admitted: %v", err)
+	}
+
+	time.Sleep(50 * time.Millisecond)
+	if b.State() != breakerHalfOpen {
+		t.Fatalf("State = %d after cooldown, want half-open", b.State())
+	}
+	// First caller after cooldown becomes the probe; a second is shed.
+	if err := b.Allow(); err != nil {
+		t.Fatalf("half-open refused the probe: %v", err)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrProfileCircuitOpen) {
+		t.Fatalf("half-open admitted a second probe: %v", err)
+	}
+
+	// Failed probe reopens immediately (single failure, not threshold).
+	b.Record(ctx, boom)
+	if err := b.Allow(); !errors.Is(err, ErrProfileCircuitOpen) {
+		t.Fatalf("failed probe did not reopen: %v", err)
+	}
+
+	time.Sleep(50 * time.Millisecond)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("second probe refused: %v", err)
+	}
+	b.Record(ctx, nil)
+	if b.State() != breakerClosed {
+		t.Fatalf("State = %d after successful probe, want closed", b.State())
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("closed breaker refused: %v", err)
+	}
+}

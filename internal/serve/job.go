@@ -16,15 +16,23 @@ import (
 //
 //	queued → running → done | failed | cancelled
 //	queued → cancelled              (cancelled before a worker picked it up)
+//	running → interrupted           (transient failure awaiting retry, or
+//	                                 the daemon crashed mid-run)
+//	interrupted → queued | failed | cancelled
 type State string
 
 // The job states reported by the API.
 const (
-	StateQueued    State = "queued"
-	StateRunning   State = "running"
-	StateDone      State = "done"
-	StateFailed    State = "failed"
-	StateCancelled State = "cancelled"
+	StateQueued  State = "queued"
+	StateRunning State = "running"
+	// StateInterrupted is a non-terminal parking state: the job's last
+	// run ended early (transient stage failure, or the daemon was killed
+	// while it ran) and it is waiting to be re-queued for another
+	// attempt.
+	StateInterrupted State = "interrupted"
+	StateDone        State = "done"
+	StateFailed      State = "failed"
+	StateCancelled   State = "cancelled"
 )
 
 // Terminal reports whether a job in this state will never change again.
@@ -168,6 +176,12 @@ type Job struct {
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
+	// attempt counts runs started (including one cut short by a crash
+	// the manager recovered from); retryWait marks an interrupted job
+	// whose re-queue is owned by a backoff goroutine rather than the
+	// queue channel.
+	attempt   int
+	retryWait bool
 }
 
 // Tracer returns the job's span buffer, or nil when per-job tracing is
@@ -210,6 +224,13 @@ func (j *Job) Err() string {
 	return j.err
 }
 
+// Attempt returns how many runs of this job have started.
+func (j *Job) Attempt() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.attempt
+}
+
 // Wait blocks until the job reaches a terminal state or ctx is done.
 func (j *Job) Wait(ctx context.Context) error {
 	select {
@@ -226,6 +247,7 @@ type JobView struct {
 	State     State      `json:"state"`
 	Error     string     `json:"error,omitempty"`
 	CacheHit  bool       `json:"cache_hit"`
+	Attempt   int        `json:"attempt,omitempty"`
 	Submitted time.Time  `json:"submitted"`
 	Started   *time.Time `json:"started,omitempty"`
 	Finished  *time.Time `json:"finished,omitempty"`
@@ -241,6 +263,7 @@ func (j *Job) View() JobView {
 		State:     j.state,
 		Error:     j.err,
 		CacheHit:  j.cacheHit,
+		Attempt:   j.attempt,
 		Submitted: j.submitted,
 		Result:    j.result,
 	}

@@ -1,0 +1,301 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"mupod/internal/fault"
+)
+
+// The durable-store layout under Config.DataDir: a snapshot of the job
+// table plus an append-only JSON-lines journal of everything that
+// happened since. On startup the manager replays snapshot+journal,
+// re-enqueues unfinished jobs, then compacts: the replayed table
+// becomes the new snapshot and the journal restarts empty.
+const (
+	journalFile  = "journal.jsonl"
+	snapshotFile = "snapshot.json"
+)
+
+// journalRec is one WAL line. T selects the record type:
+//
+//	submit  a job entered the queue (Req carries the full request)
+//	state   a state transition (Attempt/Err/CacheHit as applicable)
+//	result  the JobResult of a job about to be marked done
+type journalRec struct {
+	T        string      `json:"t"`
+	ID       string      `json:"id"`
+	Time     time.Time   `json:"time"`
+	Req      *JobRequest `json:"req,omitempty"`
+	State    State       `json:"state,omitempty"`
+	Err      string      `json:"err,omitempty"`
+	Attempt  int         `json:"attempt,omitempty"`
+	CacheHit bool        `json:"cache_hit,omitempty"`
+	Result   *JobResult  `json:"result,omitempty"`
+}
+
+// jobRecord is a job's durable image — what the snapshot stores and
+// what replay reconstructs per job.
+type jobRecord struct {
+	ID        string     `json:"id"`
+	Req       JobRequest `json:"req"`
+	State     State      `json:"state"`
+	Err       string     `json:"err,omitempty"`
+	Attempt   int        `json:"attempt,omitempty"`
+	CacheHit  bool       `json:"cache_hit,omitempty"`
+	Submitted time.Time  `json:"submitted"`
+	Started   time.Time  `json:"started,omitempty"`
+	Finished  time.Time  `json:"finished,omitempty"`
+	Result    *JobResult `json:"result,omitempty"`
+}
+
+// snapshot is the snapshot.json schema.
+type snapshot struct {
+	NextID int         `json:"next_id"`
+	Jobs   []jobRecord `json:"jobs"`
+}
+
+// journal appends WAL records to journal.jsonl, one fsynced line per
+// record, so a kill -9 loses at most the record being written — and a
+// torn final line is tolerated by replay. Append failures degrade
+// durability, not availability: they are logged and the job proceeds.
+type journal struct {
+	mu     sync.Mutex
+	f      *os.File
+	closed bool
+	nosync bool
+	logf   func(format string, args ...any)
+}
+
+// openJournal opens (creating if needed) dir's journal for appending.
+func openJournal(dir string, truncate, nosync bool, logf func(string, ...any)) (*journal, error) {
+	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
+	if truncate {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(filepath.Join(dir, journalFile), flags, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("serve: opening journal: %w", err)
+	}
+	return &journal{f: f, nosync: nosync, logf: logf}, nil
+}
+
+// append writes one record. A nil journal (no DataDir) no-ops, and a
+// closed one (crash drill, post-shutdown stragglers) drops silently —
+// exactly what a dead process would have done.
+func (j *journal) append(r journalRec) {
+	if j == nil {
+		return
+	}
+	if err := fault.Hit(context.Background(), "serve.journal.append"); err != nil {
+		j.logf("serve: journal append %s/%s dropped: %v", r.T, r.ID, err)
+		return
+	}
+	line, err := json.Marshal(r)
+	if err != nil {
+		j.logf("serve: journal marshal %s/%s: %v", r.T, r.ID, err)
+		return
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return
+	}
+	if _, err := j.f.Write(line); err != nil {
+		j.logf("serve: journal write %s/%s: %v", r.T, r.ID, err)
+		return
+	}
+	if !j.nosync {
+		if err := j.f.Sync(); err != nil {
+			j.logf("serve: journal sync: %v", err)
+		}
+	}
+}
+
+// Close stops all future appends and releases the file.
+func (j *journal) Close() {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return
+	}
+	j.closed = true
+	j.f.Close()
+}
+
+// replayState is the durable job table reconstructed at startup.
+type replayState struct {
+	nextID int
+	order  []string
+	jobs   map[string]*jobRecord
+	// droppedBytes counts journal bytes discarded at the first corrupt
+	// record (usually a line torn by the crash being recovered from).
+	droppedBytes int
+}
+
+// idNum extracts the numeric suffix of a "j-%06d" job ID (0 if the ID
+// has a different shape).
+func idNum(id string) int {
+	n, err := strconv.Atoi(strings.TrimPrefix(id, "j-"))
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// apply folds one journal record into the table. Records for unknown
+// jobs (possible when their submit line was the torn one) are reported,
+// not fatal.
+func (st *replayState) apply(r journalRec) error {
+	switch r.T {
+	case "submit":
+		if r.Req == nil {
+			return fmt.Errorf("submit record for %s has no request", r.ID)
+		}
+		if _, dup := st.jobs[r.ID]; dup {
+			return fmt.Errorf("duplicate submit for %s", r.ID)
+		}
+		st.jobs[r.ID] = &jobRecord{ID: r.ID, Req: *r.Req, State: StateQueued, Submitted: r.Time}
+		st.order = append(st.order, r.ID)
+		if n := idNum(r.ID); n > st.nextID {
+			st.nextID = n
+		}
+	case "state":
+		rec, ok := st.jobs[r.ID]
+		if !ok {
+			return fmt.Errorf("state record for unknown job %s", r.ID)
+		}
+		rec.State = r.State
+		if r.Attempt > 0 {
+			rec.Attempt = r.Attempt
+		}
+		rec.Err = r.Err
+		switch r.State {
+		case StateRunning:
+			rec.Started = r.Time
+		case StateDone, StateFailed, StateCancelled:
+			rec.Finished = r.Time
+			rec.CacheHit = r.CacheHit
+		}
+	case "result":
+		rec, ok := st.jobs[r.ID]
+		if !ok {
+			return fmt.Errorf("result record for unknown job %s", r.ID)
+		}
+		rec.Result = r.Result
+	default:
+		return fmt.Errorf("unknown record type %q", r.T)
+	}
+	return nil
+}
+
+// loadState replays dir's snapshot and journal into a job table.
+// Corruption policy: a corrupt snapshot is fatal (it is written
+// atomically, so damage means something external happened); a corrupt
+// journal record stops the replay at that point with a warning — the
+// overwhelmingly common case is the final line torn by the crash being
+// recovered from, and everything before it is intact.
+func loadState(dir string, logf func(string, ...any)) (*replayState, error) {
+	st := &replayState{jobs: make(map[string]*jobRecord)}
+
+	if b, err := os.ReadFile(filepath.Join(dir, snapshotFile)); err == nil {
+		var snap snapshot
+		if err := json.Unmarshal(b, &snap); err != nil {
+			return nil, fmt.Errorf("serve: corrupt snapshot %s: %w", filepath.Join(dir, snapshotFile), err)
+		}
+		st.nextID = snap.NextID
+		for i := range snap.Jobs {
+			rec := snap.Jobs[i]
+			st.jobs[rec.ID] = &rec
+			st.order = append(st.order, rec.ID)
+			if n := idNum(rec.ID); n > st.nextID {
+				st.nextID = n
+			}
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("serve: reading snapshot: %w", err)
+	}
+
+	f, err := os.Open(filepath.Join(dir, journalFile))
+	if os.IsNotExist(err) {
+		return st, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("serve: opening journal: %w", err)
+	}
+	defer f.Close()
+
+	rd := bufio.NewReader(f)
+	lineNo := 0
+	for {
+		line, err := rd.ReadBytes('\n')
+		if len(line) > 0 {
+			lineNo++
+			var rec journalRec
+			if uerr := json.Unmarshal(line, &rec); uerr != nil {
+				// Torn or corrupt record: count it and everything after
+				// it as dropped, keep what replayed cleanly.
+				st.droppedBytes = len(line)
+				for {
+					rest, rerr := rd.ReadBytes('\n')
+					st.droppedBytes += len(rest)
+					if rerr != nil {
+						break
+					}
+				}
+				logf("serve: journal %s line %d is corrupt (%v); dropping it and the %d byte tail — likely a write torn by the crash being recovered",
+					journalFile, lineNo, uerr, st.droppedBytes)
+				return st, nil
+			}
+			if aerr := st.apply(rec); aerr != nil {
+				logf("serve: journal %s line %d: %v (skipped)", journalFile, lineNo, aerr)
+			}
+		}
+		if err == io.EOF {
+			return st, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("serve: reading journal: %w", err)
+		}
+	}
+}
+
+// writeSnapshot atomically replaces dir's snapshot.json with the given
+// table (temp file + rename, fsynced, so a crash mid-compaction leaves
+// either the old or the new snapshot, never a torn one).
+func writeSnapshot(dir string, snap snapshot) error {
+	tmp, err := os.CreateTemp(dir, snapshotFile+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("serve: snapshot temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	enc := json.NewEncoder(tmp)
+	if err := enc.Encode(&snap); err != nil {
+		tmp.Close()
+		return fmt.Errorf("serve: encoding snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("serve: syncing snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("serve: closing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, snapshotFile)); err != nil {
+		return fmt.Errorf("serve: installing snapshot: %w", err)
+	}
+	return nil
+}

@@ -3,13 +3,19 @@
 // pool drains them through profile → σ search → ξ solve → allocation,
 // and a content-addressed profile cache (see ProfileKey) lets repeated
 // submissions of the same network skip the expensive error-injection
-// profiling entirely. cmd/mupodd exposes the manager over HTTP.
+// profiling entirely. With a Config.DataDir the job table is durable: a
+// snapshot plus JSON-lines journal survive kill -9, and on restart the
+// manager re-enqueues whatever had not finished. cmd/mupodd exposes the
+// manager over HTTP.
 package serve
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
+	"math/rand/v2"
+	"os"
 	"runtime"
 	"runtime/debug"
 	"time"
@@ -19,6 +25,7 @@ import (
 	"mupod/internal/core"
 	"mupod/internal/dataset"
 	"mupod/internal/exec"
+	"mupod/internal/fault"
 	"mupod/internal/nn"
 	"mupod/internal/obs"
 	"mupod/internal/optimize"
@@ -27,7 +34,7 @@ import (
 )
 
 // Sentinel errors returned by Submit/Get/Cancel; the HTTP layer maps
-// them to status codes.
+// them to status codes (ErrQueueFull becomes 429 with a Retry-After).
 var (
 	ErrQueueFull  = errors.New("serve: job queue is full")
 	ErrDraining   = errors.New("serve: manager is draining, not accepting jobs")
@@ -51,7 +58,7 @@ type Config struct {
 	// job still uses its full share.
 	JobWorkers int
 	// QueueDepth bounds the number of queued-but-not-running jobs;
-	// submissions beyond it are rejected with ErrQueueFull (default 64).
+	// submissions beyond it are shed with ErrQueueFull (default 64).
 	QueueDepth int
 	// StageTimeout bounds each pipeline stage (resolve, profile,
 	// search, solve) individually; 0 disables the per-stage deadline.
@@ -70,6 +77,30 @@ type Config struct {
 	// obs.DefaultMaxSpans; negative disables per-job tracing). Finished
 	// jobs expose their buffer via GET /debug/trace/{id}.
 	TraceSpans int
+
+	// DataDir, when set, makes the job table durable: submissions,
+	// state transitions and results are journaled there (fsynced
+	// JSON lines) and replayed on the next startup. Empty keeps the
+	// pre-durability in-memory behavior.
+	DataDir string
+	// MaxAttempts caps how many runs a job gets across transient
+	// failures and crash recoveries (default 3).
+	MaxAttempts int
+	// RetryBaseDelay seeds the exponential backoff between attempts
+	// (default 200ms); the delay for attempt n is min(base·2ⁿ⁻¹,
+	// RetryMaxDelay) with full jitter.
+	RetryBaseDelay time.Duration
+	// RetryMaxDelay caps the backoff (default 30s).
+	RetryMaxDelay time.Duration
+	// BreakerThreshold is how many consecutive profile-compute failures
+	// open the circuit breaker (default 5; negative disables it).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker waits before letting
+	// a probe through (default 30s).
+	BreakerCooldown time.Duration
+	// NoFsync skips the per-record journal fsync — faster, but a crash
+	// can lose the last few records. Meant for tests.
+	NoFsync bool
 }
 
 // Manager owns the job table, the queue and the worker pool.
@@ -77,19 +108,25 @@ type Manager struct {
 	cfg     Config
 	metrics *Metrics
 	cache   *ProfileCache
+	journal *journal // nil without DataDir
+	breaker *breaker // nil when disabled
 
-	queue chan *Job
-	wg    sync.WaitGroup
+	queue   chan *Job
+	drainc  chan struct{} // closed when draining starts; wakes retry waiters
+	wg      sync.WaitGroup
+	retryWG sync.WaitGroup
 
-	mu       sync.Mutex
-	jobs     map[string]*Job
-	order    []string // submission order, for listing
-	nextID   int
-	draining bool
+	mu          sync.Mutex
+	jobs        map[string]*Job
+	order       []string // submission order, for listing
+	nextID      int
+	draining    bool
+	ewmaJobSecs float64 // smoothed job duration, feeds Retry-After
 }
 
-// New creates a Manager and starts its worker pool.
-func New(cfg Config) *Manager {
+// New creates a Manager, replays any durable state under cfg.DataDir,
+// and starts the worker pool.
+func New(cfg Config) (*Manager, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 2
 	}
@@ -108,24 +145,168 @@ func New(cfg Config) *Manager {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.RetryBaseDelay <= 0 {
+		cfg.RetryBaseDelay = 200 * time.Millisecond
+	}
+	if cfg.RetryMaxDelay <= 0 {
+		cfg.RetryMaxDelay = 30 * time.Second
+	}
+	threshold := cfg.BreakerThreshold
+	switch {
+	case threshold == 0:
+		threshold = 5
+	case threshold < 0:
+		threshold = 0 // disabled
+	}
 	m := &Manager{
 		cfg:     cfg,
 		metrics: NewMetrics(),
 		cache:   NewProfileCacheBytes(cfg.CacheEntries, cfg.CacheBytes),
-		queue:   make(chan *Job, cfg.QueueDepth),
+		drainc:  make(chan struct{}),
 		jobs:    make(map[string]*Job),
 	}
 	m.registerGauges()
+	m.metrics.registerReliability()
+	m.breaker = newBreaker(threshold, cfg.BreakerCooldown, func() {
+		m.metrics.breakerOpens.Add(1)
+		m.cfg.Logf("serve: profile circuit breaker opened (cooldown %v)", cfg.BreakerCooldown)
+	})
+	m.metrics.Registry().GaugeFunc("mupod_breaker_state",
+		"Profile circuit breaker state (0 closed, 1 open, 2 half-open).", func() float64 {
+			return float64(m.breaker.State())
+		})
 	// The engine counters live behind process-wide pointers (see
 	// exec.EnableMetrics); the newest manager's registry wins, which in
 	// the daemon — one Manager per process — is simply "the" registry.
 	exec.EnableMetrics(m.metrics.Registry())
 	optimize.EnableMetrics(m.metrics.Registry())
+
+	var pending []*Job
+	if cfg.DataDir != "" {
+		if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+			return nil, fmt.Errorf("serve: creating data dir: %w", err)
+		}
+		st, err := loadState(cfg.DataDir, cfg.Logf)
+		if err != nil {
+			return nil, err
+		}
+		pending = m.restore(st)
+		// Compact: the replayed table (with recovery dispositions
+		// applied) becomes the new snapshot and the journal restarts
+		// empty — replay cost stays proportional to one uptime, not
+		// the daemon's whole history.
+		if err := writeSnapshot(cfg.DataDir, m.snapshotNow()); err != nil {
+			return nil, err
+		}
+		jr, err := openJournal(cfg.DataDir, true, cfg.NoFsync, cfg.Logf)
+		if err != nil {
+			return nil, err
+		}
+		m.journal = jr
+	}
+	depth := cfg.QueueDepth
+	if len(pending) > depth {
+		depth = len(pending) // recovered backlog must fit without blocking startup
+	}
+	m.queue = make(chan *Job, depth)
+	for _, j := range pending {
+		m.queue <- j
+	}
+
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
 	}
-	return m
+	return m, nil
+}
+
+// restore folds the replayed job table into the manager and returns the
+// jobs that need to run (again). Recovery dispositions: terminal jobs
+// are kept as the record of record; queued jobs re-enqueue; running and
+// interrupted jobs — cut short by the crash being recovered from — are
+// re-enqueued as interrupted unless their attempt budget is exhausted,
+// in which case they finalize failed rather than crash-loop.
+func (m *Manager) restore(st *replayState) []*Job {
+	m.nextID = st.nextID
+	var pending []*Job
+	for _, id := range st.order {
+		rec := st.jobs[id]
+		ctx, cancel := context.WithCancel(context.Background())
+		j := &Job{
+			id:        rec.ID,
+			req:       rec.Req,
+			ctx:       ctx,
+			cancel:    cancel,
+			done:      make(chan struct{}),
+			state:     rec.State,
+			err:       rec.Err,
+			cacheHit:  rec.CacheHit,
+			result:    rec.Result,
+			attempt:   rec.Attempt,
+			submitted: rec.Submitted,
+			started:   rec.Started,
+			finished:  rec.Finished,
+		}
+		switch {
+		case rec.State.Terminal():
+			cancel()
+			close(j.done)
+		case rec.State == StateRunning || rec.State == StateInterrupted:
+			if rec.Attempt >= m.cfg.MaxAttempts {
+				j.state = StateFailed
+				j.err = fmt.Sprintf("serve: job interrupted by crash on attempt %d of %d; not retrying", rec.Attempt, m.cfg.MaxAttempts)
+				j.finished = time.Now()
+				cancel()
+				close(j.done)
+				m.metrics.recoveredFailed.Add(1)
+				m.metrics.jobCompleted(StateFailed)
+				m.cfg.Logf("serve: job %s recovered as failed (%s)", j.id, j.err)
+			} else {
+				j.state = StateInterrupted
+				pending = append(pending, j)
+				m.metrics.recoveredRequeue.Add(1)
+				m.cfg.Logf("serve: job %s recovered as interrupted (attempt %d), re-queued", j.id, rec.Attempt)
+			}
+		default: // queued
+			pending = append(pending, j)
+			m.metrics.recoveredRequeue.Add(1)
+			m.cfg.Logf("serve: job %s recovered as queued, re-queued", j.id)
+		}
+		m.jobs[j.id] = j
+		m.order = append(m.order, j.id)
+	}
+	if dropped := st.droppedBytes; dropped > 0 {
+		m.cfg.Logf("serve: recovery dropped %d corrupt journal bytes", dropped)
+	}
+	return pending
+}
+
+// snapshotNow captures the current job table for compaction.
+func (m *Manager) snapshotNow() snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	snap := snapshot{NextID: m.nextID}
+	for _, id := range m.order {
+		j := m.jobs[id]
+		j.mu.Lock()
+		snap.Jobs = append(snap.Jobs, jobRecord{
+			ID:        j.id,
+			Req:       j.req,
+			State:     j.state,
+			Err:       j.err,
+			Attempt:   j.attempt,
+			CacheHit:  j.cacheHit,
+			Submitted: j.submitted,
+			Started:   j.started,
+			Finished:  j.finished,
+			Result:    j.result,
+		})
+		j.mu.Unlock()
+	}
+	return snap
 }
 
 // registerGauges attaches the manager-owned gauges and the build-info
@@ -133,7 +314,7 @@ func New(cfg Config) *Manager {
 // byte-compat test: the pre-obs gauge block first, new families after.
 func (m *Manager) registerGauges() {
 	r := m.metrics.Registry()
-	for _, s := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled} {
+	for _, s := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled, StateInterrupted} {
 		s := s
 		r.GaugeFunc("mupod_jobs", "Jobs currently known, by state.", func() float64 {
 			return float64(m.CountStates()[s])
@@ -181,9 +362,42 @@ func (m *Manager) Draining() bool {
 	return m.draining
 }
 
+// RetryAfter estimates (in whole seconds, clamped to [1, 300]) how long
+// a shed client should wait before resubmitting: the smoothed job
+// duration times the queue position a new job would take, spread across
+// the worker pool. Before any job has finished it assumes 5s per job.
+func (m *Manager) RetryAfter() int {
+	m.mu.Lock()
+	perJob := m.ewmaJobSecs
+	m.mu.Unlock()
+	if perJob <= 0 {
+		perJob = 5
+	}
+	secs := int(math.Ceil(perJob * float64(len(m.queue)+1) / float64(m.cfg.Workers)))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 300 {
+		secs = 300
+	}
+	return secs
+}
+
+func (m *Manager) noteJobSecs(s float64) {
+	m.mu.Lock()
+	if m.ewmaJobSecs == 0 {
+		m.ewmaJobSecs = s
+	} else {
+		m.ewmaJobSecs = 0.7*m.ewmaJobSecs + 0.3*s
+	}
+	m.mu.Unlock()
+}
+
 // Submit validates the request and enqueues a new job. It never blocks:
-// a full queue rejects with ErrQueueFull, a draining manager with
-// ErrDraining.
+// a saturated queue sheds with ErrQueueFull (the HTTP layer turns that
+// into 429 + Retry-After), a draining manager rejects with ErrDraining.
+// With a DataDir the submission is journaled before Submit returns, so
+// an accepted job survives a crash.
 func (m *Manager) Submit(req JobRequest) (*Job, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
@@ -205,18 +419,26 @@ func (m *Manager) Submit(req JobRequest) (*Job, error) {
 		m.metrics.rejected.Add(1)
 		return nil, ErrDraining
 	}
-	m.nextID++
-	j.id = fmt.Sprintf("j-%06d", m.nextID)
-	select {
-	case m.queue <- j:
-	default:
+	// Capacity is checked under the lock (rather than a select-send) so
+	// the send below cannot race Shutdown closing the queue, and so the
+	// admission bound stays cfg.QueueDepth even when recovery sized the
+	// channel larger.
+	if len(m.queue) >= m.cfg.QueueDepth || len(m.queue) >= cap(m.queue) {
 		m.mu.Unlock()
 		cancel()
 		m.metrics.rejected.Add(1)
+		m.metrics.shed.Add(1)
 		return nil, ErrQueueFull
 	}
+	m.nextID++
+	j.id = fmt.Sprintf("j-%06d", m.nextID)
 	m.jobs[j.id] = j
 	m.order = append(m.order, j.id)
+	// Journal before the send: once a worker can see the job, its
+	// submit record is already durable, so no later record can refer to
+	// a job the journal has never heard of.
+	m.journal.append(journalRec{T: "submit", ID: j.id, Time: j.submitted, Req: &j.req})
+	m.queue <- j
 	m.mu.Unlock()
 
 	m.metrics.submitted.Add(1)
@@ -249,35 +471,34 @@ func (m *Manager) Jobs() []*Job {
 
 // CountStates tallies jobs by state (the /metrics gauge source).
 func (m *Manager) CountStates() map[State]int {
-	counts := make(map[State]int, 5)
+	counts := make(map[State]int, 6)
 	for _, j := range m.Jobs() {
 		counts[j.State()]++
 	}
 	return counts
 }
 
-// Cancel requests cancellation of a job. A queued job flips to
-// cancelled immediately; a running job has its context cancelled and
-// reaches StateCancelled as soon as the pipeline observes it (every
-// stage checks its context). Cancelling a terminal job is a no-op.
+// Cancel requests cancellation of a job. A queued (or crash-recovered
+// interrupted) job flips to cancelled immediately; a running job has
+// its context cancelled and reaches StateCancelled as soon as the
+// pipeline observes it; an interrupted job waiting out its backoff is
+// finalized by the retry goroutine. Cancelling a terminal job is a
+// no-op.
 func (m *Manager) Cancel(id string) (*Job, error) {
 	j, err := m.Get(id)
 	if err != nil {
 		return nil, err
 	}
 	j.mu.Lock()
-	switch j.state {
-	case StateQueued:
-		j.state = StateCancelled
-		j.finished = time.Now()
+	switch {
+	case j.state == StateQueued, j.state == StateInterrupted && !j.retryWait:
 		j.mu.Unlock()
 		j.cancel()
-		close(j.done)
-		m.metrics.jobCompleted(StateCancelled)
-		m.cfg.Logf("serve: job %s cancelled while queued", id)
-	case StateRunning:
+		m.finalize(j, StateCancelled, nil, false, nil)
+		m.cfg.Logf("serve: job %s cancelled while waiting", id)
+	case j.state == StateRunning, j.state == StateInterrupted:
 		j.mu.Unlock()
-		j.cancel() // the worker finishes the transition
+		j.cancel() // the worker (or retry goroutine) finishes the transition
 		m.cfg.Logf("serve: job %s cancellation requested", id)
 	default: // terminal: idempotent no-op
 		j.mu.Unlock()
@@ -286,7 +507,8 @@ func (m *Manager) Cancel(id string) (*Job, error) {
 }
 
 // Shutdown drains the manager: new submissions are rejected, workers
-// finish the queued and running jobs, and the call returns when the
+// finish the queued and running jobs, interrupted jobs waiting out a
+// backoff fail fast instead of retrying, and the call returns when the
 // pool has exited. If ctx expires first, every outstanding job is
 // cancelled and Shutdown waits for the (now fast) pool exit before
 // returning ctx's error.
@@ -297,17 +519,19 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 		return errors.New("serve: already shut down")
 	}
 	m.draining = true
-	m.mu.Unlock()
+	close(m.drainc)
 	close(m.queue)
+	m.mu.Unlock()
 
 	done := make(chan struct{})
 	go func() {
 		m.wg.Wait()
+		m.retryWG.Wait()
 		close(done)
 	}()
+	var err error
 	select {
 	case <-done:
-		return nil
 	case <-ctx.Done():
 		for _, j := range m.Jobs() {
 			if !j.State().Terminal() {
@@ -315,8 +539,32 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 			}
 		}
 		<-done
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	m.journal.Close()
+	return err
+}
+
+// Crash simulates kill -9 for chaos tests: the journal stops accepting
+// appends first (everything after this instant is as lost as it would
+// be in a real crash), then outstanding work is abandoned. The manager
+// is unusable afterwards; recovery is New with the same DataDir.
+func (m *Manager) Crash() {
+	m.journal.Close()
+	m.mu.Lock()
+	if !m.draining {
+		m.draining = true
+		close(m.drainc)
+		close(m.queue)
+	}
+	m.mu.Unlock()
+	for _, j := range m.Jobs() {
+		if !j.State().Terminal() {
+			j.cancel()
+		}
+	}
+	m.wg.Wait()
+	m.retryWG.Wait()
 }
 
 func (m *Manager) worker() {
@@ -336,14 +584,17 @@ func (m *Manager) stageCtx(ctx context.Context) (context.Context, context.Cancel
 
 func (m *Manager) runJob(j *Job) {
 	j.mu.Lock()
-	if j.state != StateQueued { // cancelled while queued
+	if j.state != StateQueued && j.state != StateInterrupted { // cancelled while waiting
 		j.mu.Unlock()
 		return
 	}
 	j.state = StateRunning
 	j.started = time.Now()
+	j.attempt++
+	attempt := j.attempt
 	j.mu.Unlock()
-	m.cfg.Logf("serve: job %s running", j.id)
+	m.journal.append(journalRec{T: "state", ID: j.id, Time: time.Now(), State: StateRunning, Attempt: attempt})
+	m.cfg.Logf("serve: job %s running (attempt %d)", j.id, attempt)
 
 	ctx := j.ctx
 	if m.cfg.TraceSpans >= 0 {
@@ -352,34 +603,150 @@ func (m *Manager) runJob(j *Job) {
 		ctx = obs.WithTracer(ctx, tr)
 	}
 	ctx, jsp := obs.Start(ctx, "job", obs.KV("id", j.id))
-	res, cacheHit, err := m.execute(ctx, &j.req)
+	res, cacheHit, err := m.executeSafe(ctx, &j.req)
 	jsp.SetAttr("cache_hit", cacheHit)
 	jsp.End()
 
-	final := StateDone
+	switch {
+	case err == nil:
+		m.finalize(j, StateDone, res, cacheHit, nil)
+	case j.ctx.Err() != nil && errors.Is(err, context.Canceled):
+		m.finalize(j, StateCancelled, nil, cacheHit, err)
+	case fault.IsTransient(err) && attempt < m.cfg.MaxAttempts && !m.Draining():
+		m.retryLater(j, attempt, err)
+	default:
+		m.finalize(j, StateFailed, nil, cacheHit, err)
+	}
+}
+
+// finalize moves a job to a terminal state exactly once: later calls
+// (a cancel racing a worker, a drain racing a retry) are no-ops.
+func (m *Manager) finalize(j *Job, final State, res *JobResult, cacheHit bool, cause error) {
 	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.state = final
 	j.finished = time.Now()
 	j.cacheHit = cacheHit
 	switch {
-	case err == nil:
+	case final == StateDone:
 		j.result = res
-	case j.ctx.Err() != nil && errors.Is(err, context.Canceled):
-		final = StateCancelled
+		j.err = ""
+	case final == StateFailed && cause != nil:
+		j.err = cause.Error()
 	default:
-		final = StateFailed
-		j.err = err.Error()
+		j.err = ""
 	}
-	j.state = final
-	elapsed := j.finished.Sub(j.started)
+	errMsg := j.err
+	attempt := j.attempt
+	started := j.started
+	finished := j.finished
 	j.mu.Unlock()
+
+	if final == StateDone && res != nil {
+		m.journal.append(journalRec{T: "result", ID: j.id, Time: finished, Result: res})
+	}
+	m.journal.append(journalRec{T: "state", ID: j.id, Time: finished, State: final, Err: errMsg, Attempt: attempt, CacheHit: cacheHit})
 	j.cancel()
 	close(j.done)
 	m.metrics.jobCompleted(final)
-	if err != nil {
-		m.cfg.Logf("serve: job %s %s after %v: %v", j.id, final, elapsed.Round(time.Millisecond), err)
-	} else {
-		m.cfg.Logf("serve: job %s done in %v (cache hit=%v)", j.id, elapsed.Round(time.Millisecond), cacheHit)
+	switch {
+	case final == StateDone:
+		m.noteJobSecs(finished.Sub(started).Seconds())
+		m.cfg.Logf("serve: job %s done in %v (cache hit=%v)", j.id, finished.Sub(started).Round(time.Millisecond), cacheHit)
+	case cause != nil:
+		m.cfg.Logf("serve: job %s %s: %v", j.id, final, cause)
+	default:
+		m.cfg.Logf("serve: job %s %s", j.id, final)
 	}
+}
+
+// retryDelay computes the backoff before the next attempt after the
+// given one: min(base·2ⁿ⁻¹, max) with full jitter, so a burst of jobs
+// tripping over the same transient fault does not retry in lockstep.
+func (m *Manager) retryDelay(attempt int) time.Duration {
+	d := m.cfg.RetryBaseDelay
+	for i := 1; i < attempt && d < m.cfg.RetryMaxDelay; i++ {
+		d *= 2
+	}
+	if d > m.cfg.RetryMaxDelay {
+		d = m.cfg.RetryMaxDelay
+	}
+	return time.Duration(rand.Int64N(int64(d))) + 1
+}
+
+// retryLater parks the job as interrupted and re-queues it after an
+// exponential-backoff delay. Cancellation finalizes it cancelled;
+// draining finalizes it failed (retrying against a disappearing worker
+// pool would strand it).
+func (m *Manager) retryLater(j *Job, attempt int, cause error) {
+	delay := m.retryDelay(attempt)
+	now := time.Now()
+	j.mu.Lock()
+	j.state = StateInterrupted
+	j.err = cause.Error() // visible while parked; cleared on re-queue
+	j.retryWait = true
+	j.mu.Unlock()
+	m.journal.append(journalRec{T: "state", ID: j.id, Time: now, State: StateInterrupted, Err: cause.Error(), Attempt: attempt})
+	m.metrics.retries.Add(1)
+	m.cfg.Logf("serve: job %s interrupted by transient failure on attempt %d/%d, retrying in %v: %v",
+		j.id, attempt, m.cfg.MaxAttempts, delay.Round(time.Millisecond), cause)
+
+	m.retryWG.Add(1)
+	go func() {
+		defer m.retryWG.Done()
+		t := time.NewTimer(delay)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+			case <-j.ctx.Done():
+				m.finalize(j, StateCancelled, nil, false, nil)
+				return
+			case <-m.drainc:
+				m.finalize(j, StateFailed, nil, false, fmt.Errorf("manager draining before retry: %w", cause))
+				return
+			}
+			m.mu.Lock()
+			if m.draining {
+				m.mu.Unlock()
+				m.finalize(j, StateFailed, nil, false, fmt.Errorf("manager draining before retry: %w", cause))
+				return
+			}
+			if len(m.queue) < cap(m.queue) {
+				j.mu.Lock()
+				if j.state != StateInterrupted { // finalized while parked
+					j.mu.Unlock()
+					m.mu.Unlock()
+					return
+				}
+				j.state = StateQueued
+				j.retryWait = false
+				j.err = ""
+				j.mu.Unlock()
+				m.journal.append(journalRec{T: "state", ID: j.id, Time: time.Now(), State: StateQueued, Attempt: attempt})
+				m.queue <- j
+				m.mu.Unlock()
+				return
+			}
+			m.mu.Unlock()
+			t.Reset(m.retryDelay(attempt)) // queue full: back off again
+		}
+	}()
+}
+
+// executeSafe contains panics (a panic-mode failpoint, or a pipeline
+// bug) to the job that hit them: the worker survives and the job fails
+// with the panic value.
+func (m *Manager) executeSafe(ctx context.Context, req *JobRequest) (res *JobResult, cacheHit bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("serve: job panicked: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return m.execute(ctx, req)
 }
 
 // execute runs the four pipeline stages under per-stage deadlines,
@@ -405,7 +772,13 @@ func (m *Manager) execute(ctx context.Context, req *JobRequest) (*JobResult, boo
 	sctx, cancel := m.stageCtx(ctx)
 	rctx, rsp := obs.Start(sctx, "resolve",
 		obs.KV("model", req.Model), obs.KV("netdesc_bytes", len(req.Network)))
-	net, ds, err := m.cfg.Resolver(rctx, req)
+	var (
+		net *nn.Network
+		ds  *dataset.Dataset
+	)
+	if err = fault.Hit(rctx, "serve.resolve"); err == nil {
+		net, ds, err = m.cfg.Resolver(rctx, req)
+	}
 	rsp.End()
 	cancel()
 	resolveTime := time.Since(t0)
@@ -418,7 +791,14 @@ func (m *Manager) execute(ctx context.Context, req *JobRequest) (*JobResult, boo
 	key := ProfileKey(net, ds, cfg.Profile)
 	sctx, cancel = m.stageCtx(ctx)
 	prof, cacheHit, err := m.cache.GetOrCompute(sctx, key, func(cctx context.Context) (*profile.Profile, error) {
-		return profile.RunContext(cctx, net, ds, cfg.Profile)
+		// The breaker guards only the expensive compute path: cache
+		// hits are served even while it is open.
+		if berr := m.breaker.Allow(); berr != nil {
+			return nil, berr
+		}
+		p, perr := profile.RunContext(cctx, net, ds, cfg.Profile)
+		m.breaker.Record(cctx, perr)
+		return p, perr
 	})
 	cancel()
 	profileTime := time.Since(t0)

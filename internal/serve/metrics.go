@@ -35,6 +35,14 @@ type Metrics struct {
 	cacheMisses *obs.Counter
 
 	stages map[string]*obs.Histogram // fixed key set, created at construction
+
+	// Reliability counters, registered by the Manager after its gauges
+	// (registerReliability) so the golden page prefix stays byte-stable.
+	retries          *obs.Counter
+	shed             *obs.Counter
+	recoveredRequeue *obs.Counter
+	recoveredFailed  *obs.Counter
+	breakerOpens     *obs.Counter
 }
 
 // NewMetrics creates the daemon's counter set on a fresh registry.
@@ -72,6 +80,23 @@ func (m *Metrics) CacheHits() uint64 { return m.cacheHits.Value() }
 
 // CacheMisses returns the profile-cache miss count so far.
 func (m *Metrics) CacheMisses() uint64 { return m.cacheMisses.Value() }
+
+// registerReliability attaches the retry/shedding/recovery counter
+// families. The Manager calls it after registerGauges so these append
+// to the /metrics page instead of disturbing the golden prefix.
+func (m *Metrics) registerReliability() {
+	m.retries = m.reg.Counter("mupod_job_retries_total", "Job runs re-queued after a transient failure.")
+	m.shed = m.reg.Counter("mupod_jobs_shed_total", "Submissions shed with 429 because the queue was saturated.")
+	m.recoveredRequeue = m.reg.Counter("mupod_jobs_recovered_total", "Jobs restored from the journal at startup, by disposition.", "disposition", "requeued")
+	m.recoveredFailed = m.reg.Counter("mupod_jobs_recovered_total", "Jobs restored from the journal at startup, by disposition.", "disposition", "failed")
+	m.breakerOpens = m.reg.Counter("mupod_breaker_opens_total", "Times the profile circuit breaker tripped open.")
+}
+
+// Retries returns the transient-retry count so far.
+func (m *Metrics) Retries() uint64 { return m.retries.Value() }
+
+// Shed returns the queue-saturation shed count so far.
+func (m *Metrics) Shed() uint64 { return m.shed.Value() }
 
 func (m *Metrics) jobCompleted(s State) {
 	switch s {

@@ -116,6 +116,7 @@ mupod_jobs{state="running"} 0
 mupod_jobs{state="done"} 0
 mupod_jobs{state="failed"} 0
 mupod_jobs{state="cancelled"} 0
+mupod_jobs{state="interrupted"} 0
 # HELP mupod_queue_depth Jobs waiting for a worker.
 # TYPE mupod_queue_depth gauge
 mupod_queue_depth 0
@@ -128,7 +129,10 @@ mupod_profile_cache_entries 0
 `
 
 func TestMetricsGolden(t *testing.T) {
-	m := New(Config{Workers: 2})
+	m, err := New(Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer m.Shutdown(t.Context())
 	var sb strings.Builder
 	m.WriteMetrics(&sb)
@@ -158,6 +162,12 @@ func TestMetricsGolden(t *testing.T) {
 		"mupod_exec_evaluator_busy_seconds_total",
 		`mupod_solver_iterations_total{solver="newton_kkt"}`,
 		`mupod_solver_solves_total{solver="newton_kkt"}`,
+		"mupod_job_retries_total 0",
+		"mupod_jobs_shed_total 0",
+		`mupod_jobs_recovered_total{disposition="requeued"} 0`,
+		`mupod_jobs_recovered_total{disposition="failed"} 0`,
+		"mupod_breaker_opens_total 0",
+		"mupod_breaker_state 0",
 	} {
 		if !strings.Contains(got, fam) {
 			t.Errorf("new family %q missing from /metrics", fam)

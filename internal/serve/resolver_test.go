@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mupod/internal/dataset"
+	"mupod/internal/nn"
+	"mupod/internal/profile"
+)
+
+func TestDefaultResolverUnknownModel(t *testing.T) {
+	_, _, err := DefaultResolver(context.Background(), &JobRequest{Model: "no-such-model"})
+	if err == nil || !strings.Contains(err.Error(), "unknown model") {
+		t.Fatalf("err = %v, want unknown-model", err)
+	}
+}
+
+func TestDefaultResolverBadNetdesc(t *testing.T) {
+	_, _, err := DefaultResolver(context.Background(), &JobRequest{Network: "this is not a netdesc file"})
+	if err == nil {
+		t.Fatal("garbage netdesc resolved without error")
+	}
+}
+
+func TestDefaultResolverRejectsNonRGBInput(t *testing.T) {
+	desc := "network a input=2x8x8 classes=10 seed=3\n" +
+		"conv c in=input inc=2 outc=4 k=3 pad=1\n" +
+		"relu r in=c\n" +
+		"gap g in=r\n"
+	_, _, err := DefaultResolver(context.Background(), &JobRequest{Network: desc})
+	if err == nil || !strings.Contains(err.Error(), "3-channel") {
+		t.Fatalf("err = %v, want 3-channel input rejection", err)
+	}
+}
+
+func TestDefaultResolverCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// Zoo path: the ctx check fires before the (expensive) zoo.Load.
+	if _, _, err := DefaultResolver(ctx, &JobRequest{Model: "alexnet"}); !errors.Is(err, context.Canceled) {
+		t.Errorf("zoo path err = %v, want context.Canceled", err)
+	}
+	// Netdesc path: the ctx check fires before dataset generation and
+	// training.
+	desc := "network a input=3x8x8 classes=10 seed=3\n" +
+		"conv c in=input inc=3 outc=4 k=3 pad=1\n" +
+		"relu r in=c\n" +
+		"gap g in=r\n"
+	if _, _, err := DefaultResolver(ctx, &JobRequest{Network: desc}); !errors.Is(err, context.Canceled) {
+		t.Errorf("netdesc path err = %v, want context.Canceled", err)
+	}
+}
+
+// TestResolverFailureFailsJobBeforeCache: an upstream resolver failure
+// fails the job during the resolve stage — the profile cache is never
+// consulted, so neither hit nor miss is counted.
+func TestResolverFailureFailsJobBeforeCache(t *testing.T) {
+	boom := errors.New("upstream model store down")
+	m := newTestManager(t, Config{
+		Workers: 1, MaxAttempts: 1,
+		Resolver: func(ctx context.Context, req *JobRequest) (*nn.Network, *dataset.Dataset, error) {
+			return nil, nil, boom
+		},
+	})
+	j, err := m.Submit(tinyRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j, StateFailed)
+	if !strings.Contains(j.Err(), "resolve: upstream model store down") {
+		t.Errorf("err = %q, want the wrapped resolver failure", j.Err())
+	}
+	if hits, misses := m.Metrics().CacheHits(), m.Metrics().CacheMisses(); hits != 0 || misses != 0 {
+		t.Errorf("cache counters = %d hits / %d misses after a resolve failure, want 0/0", hits, misses)
+	}
+	if m.CacheLen() != 0 {
+		t.Errorf("cache holds %d entries after a resolve failure", m.CacheLen())
+	}
+}
+
+// TestResolverCancellationMidResolve: cancelling a job parked inside the
+// resolver transitions it to cancelled, not failed.
+func TestResolverCancellationMidResolve(t *testing.T) {
+	entered := make(chan struct{}, 1)
+	m := newTestManager(t, Config{
+		Workers: 1,
+		Resolver: func(ctx context.Context, req *JobRequest) (*nn.Network, *dataset.Dataset, error) {
+			entered <- struct{}{}
+			<-ctx.Done()
+			return nil, nil, ctx.Err()
+		},
+	})
+	j, err := m.Submit(tinyRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-entered // the worker is inside the resolver now
+	if _, err := m.Cancel(j.ID()); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j, StateCancelled)
+}
+
+// TestProfileCacheSingleflightFailure: concurrent callers coalescing on
+// one failing compute all observe the error, nothing is cached, and a
+// later success computes exactly once.
+func TestProfileCacheSingleflightFailure(t *testing.T) {
+	c := NewProfileCache(4)
+	boom := errors.New("profiler exploded")
+	var fails atomic.Int32
+	const callers = 8
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, err := c.GetOrCompute(context.Background(), "k", func(ctx context.Context) (*profile.Profile, error) {
+				fails.Add(1)
+				time.Sleep(2 * time.Millisecond) // let waiters pile onto the leader
+				return nil, boom
+			})
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, boom) {
+			t.Errorf("caller %d err = %v, want the compute failure", i, err)
+		}
+	}
+	if got := fails.Load(); got < 1 || got > callers {
+		t.Errorf("failing compute ran %d times, want between 1 and %d", got, callers)
+	}
+	if c.Len() != 0 {
+		t.Errorf("failed compute left %d cached entries", c.Len())
+	}
+
+	// The failure must not poison the key: the next caller recomputes.
+	want := &profile.Profile{}
+	var succ atomic.Int32
+	got, hit, err := c.GetOrCompute(context.Background(), "k", func(ctx context.Context) (*profile.Profile, error) {
+		succ.Add(1)
+		return want, nil
+	})
+	if err != nil || hit || got != want {
+		t.Fatalf("post-failure compute = (%v, hit=%v, err=%v)", got, hit, err)
+	}
+	if succ.Load() != 1 || c.Len() != 1 {
+		t.Errorf("successful compute ran %d times, cache holds %d entries; want 1 and 1", succ.Load(), c.Len())
+	}
+}

@@ -52,7 +52,10 @@ func newTestManager(t *testing.T, cfg Config) *Manager {
 		cfg.Resolver = testResolver
 	}
 	cfg.Logf = t.Logf
-	m := New(cfg)
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Cleanup(func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
@@ -302,7 +305,7 @@ func TestConcurrentIdenticalSubmissionsShareOneProfilingRun(t *testing.T) {
 func TestGracefulShutdownFinishesInFlightJobs(t *testing.T) {
 	started := make(chan struct{})
 	release := make(chan struct{})
-	m := New(Config{
+	m, err := New(Config{
 		Workers: 1,
 		Logf:    t.Logf,
 		Resolver: func(ctx context.Context, req *JobRequest) (*nn.Network, *dataset.Dataset, error) {
@@ -315,6 +318,9 @@ func TestGracefulShutdownFinishesInFlightJobs(t *testing.T) {
 			return testResolver(ctx, req)
 		},
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	j, err := m.Submit(tinyRequest())
 	if err != nil {
 		t.Fatal(err)
@@ -348,7 +354,10 @@ func TestGracefulShutdownFinishesInFlightJobs(t *testing.T) {
 }
 
 func TestShutdownDeadlineCancelsStuckJobs(t *testing.T) {
-	m := New(Config{Workers: 1, Resolver: blockingResolver, Logf: t.Logf})
+	m, err := New(Config{Workers: 1, Resolver: blockingResolver, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
 	j, err := m.Submit(tinyRequest())
 	if err != nil {
 		t.Fatal(err)

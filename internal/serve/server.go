@@ -37,7 +37,13 @@ func NewHandler(m *Manager) http.Handler {
 		j, err := m.Submit(req)
 		if err != nil {
 			switch {
-			case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
+			case errors.Is(err, ErrQueueFull):
+				// Overload is the client's cue to back off, not a
+				// server fault: shed with 429 and a Retry-After sized
+				// from the measured job duration and queue depth.
+				w.Header().Set("Retry-After", fmt.Sprintf("%d", m.RetryAfter()))
+				writeError(w, http.StatusTooManyRequests, err)
+			case errors.Is(err, ErrDraining):
 				writeError(w, http.StatusServiceUnavailable, err)
 			default:
 				writeError(w, http.StatusBadRequest, err)

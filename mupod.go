@@ -258,7 +258,9 @@ func AllocateGuardedContext(ctx context.Context, net *Network, ds *Dataset, prof
 // NewJobManager starts the asynchronous job manager of the serving
 // subsystem: a bounded queue drained by a worker pool, sharing
 // profiling work through a content-addressed cache (internal/serve).
-func NewJobManager(cfg ServeConfig) *JobManager { return serve.New(cfg) }
+// With cfg.DataDir set the job table is durable across restarts; the
+// error is non-nil only when that durable state cannot be opened.
+func NewJobManager(cfg ServeConfig) (*JobManager, error) { return serve.New(cfg) }
 
 // NewServeHandler exposes a job manager over HTTP — the API cmd/mupodd
 // serves (POST/GET/DELETE /v1/jobs, /healthz, /metrics).
