@@ -428,6 +428,29 @@ func BenchmarkParetoSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkNSGA2Gen times one NSGA-II generation of the genetic front
+// search (tournament selection, SBX crossover, projected mutation, a
+// population of solver evaluations, non-dominated sort). Generations is
+// set to b.N so the per-op figure converges to the marginal generation
+// cost, with the α-sweep warm start amortized across the run.
+func BenchmarkNSGA2Gen(b *testing.B) {
+	net := zoo.MustLoad(zoo.GoogleNet)
+	_, te := zoo.Data(zoo.GoogleNet)
+	prof, err := profile.Run(net, te, profile.Config{Images: 12, Points: 6, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	res, err := pareto.RunNSGA2(context.Background(), prof, 1.0, pareto.NSGA2Config{
+		Generations: b.N, PopSize: 16, Seed: 1, Workers: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(len(res.Front)), "front-points")
+	b.ReportMetric(float64(res.Evals)/float64(b.N), "evals/gen")
+}
+
 // BenchmarkJointAllocation times the 2Ł joint activation+weight solve
 // (internal/weights) against the paper's Sec. V-E recipe.
 func BenchmarkJointAllocation(b *testing.B) {

@@ -1,0 +1,53 @@
+package pareto
+
+import (
+	"math"
+	"sync/atomic"
+
+	"mupod/internal/obs"
+)
+
+// Engine telemetry follows the exec/optimize pattern: a process-wide
+// atomic pointer that is nil (one load + branch, ~free) until a
+// registry opts in. The serving subsystem enables these on its own
+// registry; standalone embedders call EnableMetrics themselves.
+type engineMetrics struct {
+	evals *obs.Counter
+	gens  *obs.Counter
+}
+
+var (
+	engineMetricsPtr atomic.Pointer[engineMetrics]
+	lastHypervolume  atomic.Uint64 // Float64bits of the last Hypervolume result
+)
+
+// EnableMetrics registers the Pareto-engine counters and the
+// last-hypervolume gauge on r and makes them the process-wide active
+// set (last call wins). Disable again with DisableMetrics.
+func EnableMetrics(r *obs.Registry) {
+	m := &engineMetrics{
+		evals: r.Counter("mupod_pareto_evals_total", "Candidate ξ allocations evaluated by the Pareto engine (sweep solves and NSGA-II individuals)."),
+		gens:  r.Counter("mupod_pareto_generations_total", "NSGA-II generations completed."),
+	}
+	r.GaugeFunc("mupod_pareto_hypervolume", "Hypervolume of the most recently computed Pareto front.", func() float64 {
+		return math.Float64frombits(lastHypervolume.Load())
+	})
+	engineMetricsPtr.Store(m)
+}
+
+// DisableMetrics detaches the active counter set.
+func DisableMetrics() { engineMetricsPtr.Store(nil) }
+
+func countEvals(n int) {
+	if m := engineMetricsPtr.Load(); m != nil {
+		m.evals.Add(uint64(n))
+	}
+}
+
+func countGeneration() {
+	if m := engineMetricsPtr.Load(); m != nil {
+		m.gens.Inc()
+	}
+}
+
+func noteHypervolume(hv float64) { lastHypervolume.Store(math.Float64bits(hv)) }

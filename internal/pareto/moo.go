@@ -1,0 +1,120 @@
+package pareto
+
+import (
+	"math"
+	"sort"
+)
+
+// Generic multi-objective primitives (minimization throughout): Pareto
+// dominance, Deb's fast non-dominated sorting with front ranks, and
+// crowding distance. They operate on plain objective vectors so the
+// NSGA-II loop, the quality metrics and the tests share one definition
+// of "better". Everything here is deterministic: ties break by index,
+// sorts are stable, and no map iteration order leaks into results.
+
+// Dominates reports whether objective vector a Pareto-dominates b:
+// a is no worse in every objective and strictly better in at least one.
+// Vectors must have equal length; comparisons are exact (callers drop
+// NaN/Inf candidates before sorting — see NonDominated).
+func Dominates(a, b []float64) bool {
+	better := false
+	for i := range a {
+		switch {
+		case a[i] > b[i]:
+			return false
+		case a[i] < b[i]:
+			better = true
+		}
+	}
+	return better
+}
+
+// FastNonDominatedSort is Deb's O(MN²) non-dominated sorting: it
+// partitions the population into fronts (front 0 = the Pareto set of
+// the whole population, front 1 = the Pareto set of the remainder, …)
+// and returns the fronts as index slices plus each individual's front
+// rank. Within a front, indices appear in ascending order.
+func FastNonDominatedSort(objs [][]float64) (fronts [][]int, rank []int) {
+	n := len(objs)
+	rank = make([]int, n)
+	domCount := make([]int, n)    // how many individuals dominate p
+	dominated := make([][]int, n) // who p dominates
+	var current []int
+	for p := 0; p < n; p++ {
+		for q := 0; q < n; q++ {
+			if p == q {
+				continue
+			}
+			switch {
+			case Dominates(objs[p], objs[q]):
+				dominated[p] = append(dominated[p], q)
+			case Dominates(objs[q], objs[p]):
+				domCount[p]++
+			}
+		}
+		if domCount[p] == 0 {
+			current = append(current, p)
+		}
+	}
+	for len(current) > 0 {
+		for _, p := range current {
+			rank[p] = len(fronts)
+		}
+		fronts = append(fronts, current)
+		var next []int
+		for _, p := range current {
+			for _, q := range dominated[p] {
+				domCount[q]--
+				if domCount[q] == 0 {
+					next = append(next, q)
+				}
+			}
+		}
+		sort.Ints(next)
+		current = next
+	}
+	return fronts, rank
+}
+
+// CrowdingDistance computes the NSGA-II crowding distance of every
+// member of one front (indices into objs): the sum over objectives of
+// the normalized gap between each point's neighbors in that objective's
+// sorted order. Boundary points get +Inf so selection always keeps the
+// extremes. The returned slice aligns with front.
+func CrowdingDistance(objs [][]float64, front []int) []float64 {
+	n := len(front)
+	d := make([]float64, n)
+	if n == 0 {
+		return d
+	}
+	if n <= 2 {
+		for i := range d {
+			d[i] = math.Inf(1)
+		}
+		return d
+	}
+	m := len(objs[front[0]])
+	idx := make([]int, n)
+	for obj := 0; obj < m; obj++ {
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			va, vb := objs[front[idx[a]]][obj], objs[front[idx[b]]][obj]
+			if va != vb {
+				return va < vb
+			}
+			return front[idx[a]] < front[idx[b]]
+		})
+		d[idx[0]] = math.Inf(1)
+		d[idx[n-1]] = math.Inf(1)
+		span := objs[front[idx[n-1]]][obj] - objs[front[idx[0]]][obj]
+		if span <= 0 {
+			continue
+		}
+		for i := 1; i < n-1; i++ {
+			d[idx[i]] += (objs[front[idx[i+1]]][obj] - objs[front[idx[i-1]]][obj]) / span
+		}
+	}
+	return d
+}

@@ -1,0 +1,197 @@
+package pareto
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDominates(t *testing.T) {
+	cases := []struct {
+		a, b []float64
+		want bool
+	}{
+		{[]float64{1, 1}, []float64{2, 2}, true},
+		{[]float64{1, 2}, []float64{2, 1}, false},
+		{[]float64{1, 1}, []float64{1, 1}, false}, // equal never dominates
+		{[]float64{1, 2}, []float64{1, 3}, true},
+		{[]float64{2, 2}, []float64{1, 1}, false},
+	}
+	for _, c := range cases {
+		if got := Dominates(c.a, c.b); got != c.want {
+			t.Errorf("Dominates(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestFastNonDominatedSortLayersFronts(t *testing.T) {
+	// Three staircase fronts shifted diagonally.
+	objs := [][]float64{
+		{1, 4}, {2, 3}, {4, 1}, // front 0
+		{2, 5}, {3, 4}, {5, 2}, // front 1
+		{4, 6}, {6, 4}, // front 2
+	}
+	fronts, rank := FastNonDominatedSort(objs)
+	if len(fronts) != 3 {
+		t.Fatalf("%d fronts: %v", len(fronts), fronts)
+	}
+	wantRank := []int{0, 0, 0, 1, 1, 1, 2, 2}
+	for i, r := range rank {
+		if r != wantRank[i] {
+			t.Fatalf("rank = %v, want %v", rank, wantRank)
+		}
+	}
+	for fi, f := range fronts {
+		for j := 1; j < len(f); j++ {
+			if f[j] <= f[j-1] {
+				t.Fatalf("front %d not in ascending index order: %v", fi, f)
+			}
+		}
+	}
+}
+
+func TestFastNonDominatedSortAllEqual(t *testing.T) {
+	objs := [][]float64{{1, 1}, {1, 1}, {1, 1}}
+	fronts, rank := FastNonDominatedSort(objs)
+	if len(fronts) != 1 || len(fronts[0]) != 3 {
+		t.Fatalf("fronts = %v", fronts)
+	}
+	for _, r := range rank {
+		if r != 0 {
+			t.Fatalf("rank = %v", rank)
+		}
+	}
+}
+
+func TestCrowdingDistance(t *testing.T) {
+	objs := [][]float64{{0, 4}, {1, 2}, {2, 1}, {4, 0}}
+	d := CrowdingDistance(objs, []int{0, 1, 2, 3})
+	if !math.IsInf(d[0], 1) || !math.IsInf(d[3], 1) {
+		t.Fatalf("boundary points not infinite: %v", d)
+	}
+	// Interior: point 1 spans (2-0)/4 + (4-1)/4 = 1.25; point 2 spans
+	// (4-1)/4 + (2-0)/4 = 1.25.
+	if math.Abs(d[1]-1.25) > 1e-12 || math.Abs(d[2]-1.25) > 1e-12 {
+		t.Fatalf("interior crowding = %v", d)
+	}
+	// Two points or fewer: all infinite.
+	for _, v := range CrowdingDistance(objs, []int{1, 2}) {
+		if !math.IsInf(v, 1) {
+			t.Fatal("n<=2 front must be all +Inf")
+		}
+	}
+}
+
+func TestNonDominatedRejectsNonFinite(t *testing.T) {
+	pts := []Point{
+		{InputBits: 100, MACEnergy: math.NaN()},
+		{InputBits: 90, MACEnergy: math.Inf(1)},
+		{InputBits: 110, MACEnergy: math.Inf(-1)},
+		{InputBits: 120, MACEnergy: 5},
+	}
+	front := NonDominated(pts)
+	if len(front) != 1 || front[0].InputBits != 120 {
+		t.Fatalf("front = %+v", front)
+	}
+}
+
+func TestNonDominatedEnergyTieCollapse(t *testing.T) {
+	// Second point "improves" energy by 1 part in 1e12 for 10 more input
+	// bits: float noise, not a real operating point. The cheaper point
+	// must win.
+	e := 1e6
+	pts := []Point{
+		{InputBits: 100, MACEnergy: e},
+		{InputBits: 110, MACEnergy: e * (1 - 1e-12)},
+	}
+	front := NonDominated(pts)
+	if len(front) != 1 || front[0].InputBits != 100 {
+		t.Fatalf("tie not collapsed: %+v", front)
+	}
+	// A genuine improvement survives.
+	pts[1].MACEnergy = e * 0.9
+	if front = NonDominated(pts); len(front) != 2 {
+		t.Fatalf("real point collapsed: %+v", front)
+	}
+}
+
+func TestEnergyTie(t *testing.T) {
+	if !EnergyTie(1e6, 1e6*(1+1e-12)) {
+		t.Fatal("relative noise not a tie")
+	}
+	if EnergyTie(1e6, 1e6*1.01) {
+		t.Fatal("1% apart is not a tie")
+	}
+	if !EnergyTie(0, 1e-12) {
+		t.Fatal("absolute noise near zero not a tie")
+	}
+}
+
+func TestHypervolumeHandComputed(t *testing.T) {
+	pts := []Point{
+		{InputBits: 1, MACEnergy: 3},
+		{InputBits: 2, MACEnergy: 1},
+		{InputBits: 3, MACEnergy: 2}, // dominated; must not contribute
+	}
+	ref := [2]float64{4, 4}
+	// (4-1)*(4-3) + (4-2)*(3-1) = 3 + 4 = 7
+	if hv := Hypervolume(pts, ref); math.Abs(hv-7) > 1e-12 {
+		t.Fatalf("hv = %v, want 7", hv)
+	}
+	// Points outside the reference box contribute nothing.
+	if hv := Hypervolume([]Point{{InputBits: 5, MACEnergy: 5}}, ref); hv != 0 {
+		t.Fatalf("out-of-box hv = %v", hv)
+	}
+	if hv := Hypervolume(nil, ref); hv != 0 {
+		t.Fatalf("empty hv = %v", hv)
+	}
+}
+
+func TestHypervolumeMonotoneInPoints(t *testing.T) {
+	base := []Point{{InputBits: 2, MACEnergy: 2}}
+	more := append([]Point{{InputBits: 1, MACEnergy: 3}}, base...)
+	ref := RefPoint(more)
+	if Hypervolume(more, ref) < Hypervolume(base, ref) {
+		t.Fatal("adding a non-dominated point must not shrink hypervolume")
+	}
+}
+
+func TestGenerationalDistanceAndSpread(t *testing.T) {
+	front := []Point{
+		{InputBits: 0, MACEnergy: 4},
+		{InputBits: 2, MACEnergy: 2},
+		{InputBits: 4, MACEnergy: 0},
+	}
+	if gd := GenerationalDistance(front, front); gd != 0 {
+		t.Fatalf("GD(front, front) = %v", gd)
+	}
+	if igd := InvertedGenerationalDistance(front, front); igd != 0 {
+		t.Fatalf("IGD(front, front) = %v", igd)
+	}
+	// Uniform spacing → zero spread.
+	if s := Spread(front); s != 0 {
+		t.Fatalf("uniform spread = %v", s)
+	}
+	// Clustered spacing → positive spread.
+	skew := []Point{
+		{InputBits: 0, MACEnergy: 4},
+		{InputBits: 1, MACEnergy: 3},
+		{InputBits: 100, MACEnergy: 0},
+	}
+	if s := Spread(skew); s <= 0 {
+		t.Fatalf("clustered spread = %v", s)
+	}
+	// Empty fronts are NaN, not a panic.
+	if gd := GenerationalDistance(nil, front); !math.IsNaN(gd) {
+		t.Fatalf("GD(∅, front) = %v", gd)
+	}
+}
+
+func TestRefPointDominatesFronts(t *testing.T) {
+	front := []Point{{InputBits: 10, MACEnergy: 100}, {InputBits: 20, MACEnergy: 50}}
+	ref := RefPoint(front)
+	for _, p := range front {
+		if float64(p.InputBits) >= ref[0] || p.MACEnergy >= ref[1] {
+			t.Fatalf("ref %v does not strictly dominate-worse %+v", ref, p)
+		}
+	}
+}

@@ -10,11 +10,14 @@
 package pareto
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"sort"
 
 	"mupod/internal/core"
 	"mupod/internal/energy"
+	"mupod/internal/obs"
 	"mupod/internal/profile"
 )
 
@@ -68,7 +71,17 @@ func (c Config) withDefaults() Config {
 // between the two criteria on comparable scales regardless of the
 // magnitude difference between #Input and #MAC counts.
 func Sweep(prof *profile.Profile, sigmaYL float64, cfg Config) ([]Point, error) {
+	return SweepContext(context.Background(), prof, sigmaYL, cfg)
+}
+
+// SweepContext is Sweep with cancellation (checked between solver runs)
+// and telemetry: the run records a pareto.sweep span and counts each
+// solved blend on mupod_pareto_evals_total.
+func SweepContext(ctx context.Context, prof *profile.Profile, sigmaYL float64, cfg Config) ([]Point, error) {
 	cfg = cfg.withDefaults()
+	ctx, sp := obs.Start(ctx, "pareto.sweep",
+		obs.KV("alphas", len(cfg.Alphas)), obs.KV("sigma", sigmaYL))
+	defer sp.End()
 	L := prof.NumLayers()
 	if L == 0 {
 		return nil, fmt.Errorf("pareto: empty profile")
@@ -91,11 +104,14 @@ func Sweep(prof *profile.Profile, sigmaYL float64, cfg Config) ([]Point, error) 
 		if alpha < 0 || alpha > 1 {
 			return nil, fmt.Errorf("pareto: α=%g outside [0,1]", alpha)
 		}
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("pareto: sweep: %w", err)
+		}
 		rho := make([]float64, L)
 		for k := 0; k < L; k++ {
 			rho[k] = (1-alpha)*inputRho[k]/inSum + alpha*macRho[k]/macSum
 		}
-		xi, err := core.OptimizeXi(prof, sigmaYL, core.Config{
+		xi, _, err := core.OptimizeXiContext(ctx, prof, sigmaYL, core.Config{
 			Objective: core.CustomRho, Rho: rho, DeltaFloor: cfg.DeltaFloor,
 		})
 		if err != nil {
@@ -105,6 +121,7 @@ func Sweep(prof *profile.Profile, sigmaYL float64, cfg Config) ([]Point, error) 
 		if err != nil {
 			return nil, fmt.Errorf("pareto: α=%g: %w", alpha, err)
 		}
+		countEvals(1)
 		points = append(points, Point{
 			Alpha:        alpha,
 			InputBits:    alloc.TotalInputBits(),
@@ -117,14 +134,51 @@ func Sweep(prof *profile.Profile, sigmaYL float64, cfg Config) ([]Point, error) 
 	return points, nil
 }
 
+// energyTieEps is the relative tolerance used when deciding whether two
+// MACEnergy values are "the same point". Several α (or NSGA-II
+// individuals) can map to the same allocation after integer rounding,
+// but the pJ totals are sums of floats and may differ in the last few
+// ulps depending on summation order.
+const energyTieEps = 1e-9
+
+// EnergyTie reports whether two MACEnergy values are equal up to a
+// relative tolerance of 1e-9 (absolute near zero). The duplicate
+// collapse in NonDominated uses this instead of == so allocations that
+// are identical modulo float summation order collapse to one point.
+func EnergyTie(a, b float64) bool {
+	d := math.Abs(a - b)
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return d <= energyTieEps*scale
+}
+
+// finitePoint reports whether a point's objectives are both finite
+// (InputBits is an int64, so only MACEnergy can go NaN/Inf — e.g. from
+// a degenerate energy model). Non-finite points are rejected by
+// NonDominated: NaN compares false with everything, so keeping them
+// would make dominance non-transitive.
+func finitePoint(p Point) bool {
+	return !math.IsNaN(p.MACEnergy) && !math.IsInf(p.MACEnergy, 0)
+}
+
 // NonDominated filters to the Pareto-optimal subset (minimizing both
-// InputBits and MACEnergy) and returns it sorted by InputBits.
+// InputBits and MACEnergy) and returns it sorted by ascending InputBits
+// (hence strictly descending MACEnergy). Points with NaN or ±Inf
+// MACEnergy are dropped. Duplicate operating points — equal InputBits
+// and EnergyTie-equal MACEnergy — collapse to the first by (InputBits,
+// MACEnergy, Alpha) order, keeping the result deterministic regardless
+// of input order.
+//
+// internal/refcheck.ParetoFrontRef recomputes the same filter by brute
+// force as the differential oracle.
 func NonDominated(points []Point) []Point {
 	var front []Point
 	for i, p := range points {
+		if !finitePoint(p) {
+			continue
+		}
 		dominated := false
 		for j, q := range points {
-			if i == j {
+			if i == j || !finitePoint(q) {
 				continue
 			}
 			// q dominates p when it is no worse in both and strictly
@@ -139,18 +193,25 @@ func NonDominated(points []Point) []Point {
 			front = append(front, p)
 		}
 	}
-	sort.Slice(front, func(i, j int) bool {
+	sort.SliceStable(front, func(i, j int) bool {
 		if front[i].InputBits != front[j].InputBits {
 			return front[i].InputBits < front[j].InputBits
 		}
-		return front[i].MACEnergy < front[j].MACEnergy
+		if front[i].MACEnergy != front[j].MACEnergy {
+			return front[i].MACEnergy < front[j].MACEnergy
+		}
+		return front[i].Alpha < front[j].Alpha
 	})
-	// Drop duplicates (several α can map to identical allocations after
-	// integer rounding).
+	// Collapse duplicates against the last kept point: same bandwidth,
+	// or an energy "improvement" within float noise (the extra
+	// bandwidth buys nothing measurable, so keep the cheaper point).
 	out := front[:0]
-	for i, p := range front {
-		if i > 0 && p.InputBits == front[i-1].InputBits && p.MACEnergy == front[i-1].MACEnergy {
-			continue
+	for _, p := range front {
+		if len(out) > 0 {
+			last := out[len(out)-1]
+			if p.InputBits == last.InputBits || EnergyTie(p.MACEnergy, last.MACEnergy) {
+				continue
+			}
 		}
 		out = append(out, p)
 	}

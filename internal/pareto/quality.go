@@ -1,0 +1,156 @@
+package pareto
+
+import "math"
+
+// Front-quality metrics over (InputBits, MACEnergy) operating points.
+// They serve double duty: test oracles (internal/refcheck carries
+// independent O(N²) references the fast paths are checked against in
+// the selfcheck sweep) and emitted telemetry (mupod_pareto_hypervolume
+// tracks the most recently computed front).
+
+// RefPoint returns a hypervolume reference point that dominates-worse
+// every finite point of every given front, with a 5% margin plus an
+// absolute unit so degenerate single-point fronts still enclose area.
+// Compare fronts only with a COMMON reference point: hypervolumes
+// against different references are not comparable.
+func RefPoint(fronts ...[]Point) [2]float64 {
+	var maxX, maxY float64
+	for _, front := range fronts {
+		for _, p := range front {
+			if !finitePoint(p) {
+				continue
+			}
+			if x := float64(p.InputBits); x > maxX {
+				maxX = x
+			}
+			if p.MACEnergy > maxY {
+				maxY = p.MACEnergy
+			}
+		}
+	}
+	return [2]float64{1.05*maxX + 1, 1.05*maxY + 1}
+}
+
+// Hypervolume computes the exact 2-D hypervolume of the non-dominated
+// subset of points with respect to ref (minimization; the area of
+// objective space dominated by the front and bounded by ref). Points
+// outside the reference box contribute nothing. The result is recorded
+// on the mupod_pareto_hypervolume gauge when engine metrics are
+// enabled.
+//
+// The fast path is the classic sorted sweep: with the front ordered by
+// ascending InputBits, energies strictly decrease, and the dominated
+// region decomposes into disjoint rectangles (ref_x − x_i)·(y_{i−1} −
+// y_i). internal/refcheck.HypervolumeRef recomputes the same area by
+// O(N²) slab decomposition as the differential oracle.
+func Hypervolume(points []Point, ref [2]float64) float64 {
+	front := NonDominated(points)
+	var hv float64
+	prevY := ref[1]
+	for _, p := range front {
+		x, y := float64(p.InputBits), p.MACEnergy
+		if x >= ref[0] || y >= prevY {
+			continue
+		}
+		hv += (ref[0] - x) * (prevY - y)
+		prevY = y
+	}
+	noteHypervolume(hv)
+	return hv
+}
+
+// normRanges returns per-objective normalization spans over the union
+// of both point sets (1 when a span is degenerate), so distance-based
+// metrics weigh bandwidth and energy comparably regardless of their
+// raw magnitudes.
+func normRanges(a, b []Point) (dx, dy float64) {
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, set := range [2][]Point{a, b} {
+		for _, p := range set {
+			if !finitePoint(p) {
+				continue
+			}
+			x := float64(p.InputBits)
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, p.MACEnergy), math.Max(maxY, p.MACEnergy)
+		}
+	}
+	dx, dy = maxX-minX, maxY-minY
+	if !(dx > 0) {
+		dx = 1
+	}
+	if !(dy > 0) {
+		dy = 1
+	}
+	return dx, dy
+}
+
+// meanMinDistance is the mean (p=1) over points of a of the minimum
+// normalized Euclidean distance to any point of b.
+func meanMinDistance(a, b []Point) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return math.NaN()
+	}
+	dx, dy := normRanges(a, b)
+	var sum float64
+	for _, p := range a {
+		best := math.Inf(1)
+		for _, q := range b {
+			ddx := (float64(p.InputBits) - float64(q.InputBits)) / dx
+			ddy := (p.MACEnergy - q.MACEnergy) / dy
+			if d := math.Hypot(ddx, ddy); d < best {
+				best = d
+			}
+		}
+		sum += best
+	}
+	return sum / float64(len(a))
+}
+
+// GenerationalDistance measures how far the obtained front sits from a
+// reference front: the mean normalized Euclidean distance from each
+// obtained point to its nearest reference point (0 = every point lies
+// on the reference front). Objectives are normalized by the union
+// ranges of both fronts. NaN when either front is empty.
+func GenerationalDistance(front, ref []Point) float64 {
+	return meanMinDistance(NonDominated(front), NonDominated(ref))
+}
+
+// InvertedGenerationalDistance measures how well the obtained front
+// COVERS the reference front: the mean normalized distance from each
+// reference point to its nearest obtained point. Low GD with high IGD
+// means an accurate but incomplete front.
+func InvertedGenerationalDistance(front, ref []Point) float64 {
+	return meanMinDistance(NonDominated(ref), NonDominated(front))
+}
+
+// Spread measures how unevenly a front's points are distributed along
+// the frontier: the mean absolute deviation of consecutive-point gaps
+// relative to the mean gap (Deb's Δ without the extreme-point terms).
+// 0 = perfectly uniform spacing; larger values indicate clustering.
+// Fronts with fewer than 3 points return 0.
+func Spread(points []Point) float64 {
+	front := NonDominated(points)
+	if len(front) < 3 {
+		return 0
+	}
+	dx, dy := normRanges(front, nil)
+	gaps := make([]float64, len(front)-1)
+	var mean float64
+	for i := range gaps {
+		ddx := (float64(front[i+1].InputBits) - float64(front[i].InputBits)) / dx
+		ddy := (front[i+1].MACEnergy - front[i].MACEnergy) / dy
+		gaps[i] = math.Hypot(ddx, ddy)
+		mean += gaps[i]
+	}
+	mean /= float64(len(gaps))
+	if mean <= 0 {
+		return 0
+	}
+	var dev float64
+	for _, g := range gaps {
+		dev += math.Abs(g - mean)
+	}
+	return dev / (float64(len(gaps)) * mean)
+}

@@ -1,0 +1,216 @@
+package refcheck
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mupod/internal/pareto"
+)
+
+// Pareto-front references: independent reimplementations of the
+// pareto package's non-dominated filter and 2-D hypervolume, written
+// for obviousness rather than speed, that the fast paths are
+// differentially checked against in the selfcheck sweep.
+
+// ParetoFrontRef is the brute-force non-dominated filter. It follows
+// the documented NonDominated spec step by step — drop non-finite
+// points, exact pairwise dominance, stable (InputBits, MACEnergy,
+// Alpha) sort via insertion, collapse against the last kept point on
+// equal bandwidth or an EnergyTie — but shares no code with the fast
+// path beyond the EnergyTie predicate (which IS the spec).
+func ParetoFrontRef(points []pareto.Point) []pareto.Point {
+	var finite []pareto.Point
+	for _, p := range points {
+		if !math.IsNaN(p.MACEnergy) && !math.IsInf(p.MACEnergy, 0) {
+			finite = append(finite, p)
+		}
+	}
+	var front []pareto.Point
+	for i, p := range finite {
+		dominated := false
+		for j, q := range finite {
+			if i == j {
+				continue
+			}
+			noWorse := q.InputBits <= p.InputBits && q.MACEnergy <= p.MACEnergy
+			better := q.InputBits < p.InputBits || q.MACEnergy < p.MACEnergy
+			if noWorse && better {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, p)
+		}
+	}
+	// Stable insertion sort on (InputBits, MACEnergy, Alpha).
+	for i := 1; i < len(front); i++ {
+		p := front[i]
+		j := i - 1
+		for j >= 0 && paretoLess(p, front[j]) {
+			front[j+1] = front[j]
+			j--
+		}
+		front[j+1] = p
+	}
+	var out []pareto.Point
+	for _, p := range front {
+		if n := len(out); n > 0 {
+			last := out[n-1]
+			if p.InputBits == last.InputBits || pareto.EnergyTie(p.MACEnergy, last.MACEnergy) {
+				continue
+			}
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func paretoLess(a, b pareto.Point) bool {
+	if a.InputBits != b.InputBits {
+		return a.InputBits < b.InputBits
+	}
+	if a.MACEnergy != b.MACEnergy {
+		return a.MACEnergy < b.MACEnergy
+	}
+	return a.Alpha < b.Alpha
+}
+
+// HypervolumeRef recomputes the 2-D hypervolume by O(N²) vertical slab
+// decomposition over the RAW point cloud (no non-dominated filtering:
+// the union of rectangles is insensitive to dominated points, which
+// makes this a genuinely independent oracle for the fast sweep).
+func HypervolumeRef(points []pareto.Point, ref [2]float64) float64 {
+	type pt struct{ x, y float64 }
+	var ps []pt
+	for _, p := range points {
+		x, y := float64(p.InputBits), p.MACEnergy
+		if math.IsNaN(y) || math.IsInf(y, 0) || x >= ref[0] || y >= ref[1] {
+			continue
+		}
+		ps = append(ps, pt{x, y})
+	}
+	if len(ps) == 0 {
+		return 0
+	}
+	xs := make([]float64, 0, len(ps)+1)
+	for _, p := range ps {
+		xs = append(xs, p.x)
+	}
+	xs = append(xs, ref[0])
+	sort.Float64s(xs)
+	uniq := xs[:1]
+	for _, x := range xs[1:] {
+		if x != uniq[len(uniq)-1] {
+			uniq = append(uniq, x)
+		}
+	}
+	var hv float64
+	for i := 0; i+1 < len(uniq); i++ {
+		lo, hi := uniq[i], uniq[i+1]
+		minY := ref[1]
+		for _, p := range ps {
+			if p.x <= lo && p.y < minY {
+				minY = p.y
+			}
+		}
+		hv += (hi - lo) * (ref[1] - minY)
+	}
+	return hv
+}
+
+// CheckParetoFilter verifies pareto.NonDominated against the
+// brute-force reference: same spec, so the fronts must agree EXACTLY
+// (point count, order, and every objective field bit for bit).
+func CheckParetoFilter(points []pareto.Point) error {
+	fast := pareto.NonDominated(points)
+	ref := ParetoFrontRef(points)
+	if len(fast) != len(ref) {
+		return fmt.Errorf("refcheck: fast front has %d points, reference %d", len(fast), len(ref))
+	}
+	for i := range fast {
+		f, r := fast[i], ref[i]
+		if f.InputBits != r.InputBits ||
+			math.Float64bits(f.MACEnergy) != math.Float64bits(r.MACEnergy) ||
+			math.Float64bits(f.Alpha) != math.Float64bits(r.Alpha) {
+			return fmt.Errorf("refcheck: front point %d differs: fast (%d, %g, α=%g) vs ref (%d, %g, α=%g)",
+				i, f.InputBits, f.MACEnergy, f.Alpha, r.InputBits, r.MACEnergy, r.Alpha)
+		}
+	}
+	return nil
+}
+
+// CheckParetoHypervolume verifies the fast sorted-sweep hypervolume
+// against the slab-decomposition reference. The two may differ by the
+// epsilon duplicate collapse (the fast path filters first) plus float
+// summation order, so the comparison is tolerant relative to the
+// reference-box area.
+func CheckParetoHypervolume(points []pareto.Point, ref [2]float64) error {
+	fast := pareto.Hypervolume(points, ref)
+	slow := HypervolumeRef(points, ref)
+	tol := 1e-8 * math.Max(1, ref[0]*ref[1])
+	if math.IsNaN(fast) || math.Abs(fast-slow) > tol {
+		return fmt.Errorf("refcheck: hypervolume fast %g vs reference %g (tol %g, ref %v)", fast, slow, tol, ref)
+	}
+	return nil
+}
+
+// CheckFrontsBitIdentical enforces the worker-count determinism
+// contract: two fronts (e.g. from NSGA-II runs at different Workers)
+// must match bit for bit — lengths, objectives, and per-layer widths.
+func CheckFrontsBitIdentical(a, b []pareto.Point) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("refcheck: fronts have %d vs %d points", len(a), len(b))
+	}
+	for i := range a {
+		p, q := a[i], b[i]
+		if p.InputBits != q.InputBits ||
+			math.Float64bits(p.MACEnergy) != math.Float64bits(q.MACEnergy) ||
+			math.Float64bits(p.EffInputBits) != math.Float64bits(q.EffInputBits) ||
+			math.Float64bits(p.EffMACBits) != math.Float64bits(q.EffMACBits) {
+			return fmt.Errorf("refcheck: front point %d differs bit-wise: (%d, %g) vs (%d, %g)",
+				i, p.InputBits, p.MACEnergy, q.InputBits, q.MACEnergy)
+		}
+		if p.Allocation != nil && q.Allocation != nil {
+			pb, qb := p.Allocation.Bits(), q.Allocation.Bits()
+			if len(pb) != len(qb) {
+				return fmt.Errorf("refcheck: front point %d layer counts differ", i)
+			}
+			for k := range pb {
+				if pb[k] != qb[k] {
+					return fmt.Errorf("refcheck: front point %d layer %d widths differ: %d vs %d", i, k, pb[k], qb[k])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckNSGA2Front verifies an NSGA-II result's structural invariants:
+// the front is a strict staircase (ascending bits, descending energy),
+// survives the filter differential, and its hypervolume dominates the
+// warm-start sweep's at the common reference point (the archive
+// contains every sweep point, so losing hypervolume would mean the
+// filter dropped something it shouldn't — float-noise slack from the
+// epsilon collapse excepted).
+func CheckNSGA2Front(res *pareto.NSGA2Result) error {
+	if len(res.Front) == 0 {
+		return fmt.Errorf("refcheck: empty NSGA-II front")
+	}
+	for i := 1; i < len(res.Front); i++ {
+		if res.Front[i].InputBits <= res.Front[i-1].InputBits ||
+			res.Front[i].MACEnergy >= res.Front[i-1].MACEnergy {
+			return fmt.Errorf("refcheck: front not a strict staircase at %d: (%d, %g) after (%d, %g)",
+				i, res.Front[i].InputBits, res.Front[i].MACEnergy,
+				res.Front[i-1].InputBits, res.Front[i-1].MACEnergy)
+		}
+	}
+	if err := CheckParetoFilter(res.Front); err != nil {
+		return err
+	}
+	if res.Hypervolume < res.SweepHypervolume*(1-1e-9) {
+		return fmt.Errorf("refcheck: NSGA-II hypervolume %g below sweep %g", res.Hypervolume, res.SweepHypervolume)
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package refcheck
+
+import (
+	"math"
+	"testing"
+
+	"mupod/internal/pareto"
+	"mupod/internal/rng"
+)
+
+// randomCloud generates an adversarial point cloud: coarse integer
+// bandwidths and quantized energies force dominance ties and exact
+// duplicates, a fraction of the energies is perturbed by sub-epsilon
+// noise to exercise the tie collapse, and a few points are NaN/±Inf.
+func randomCloud(r *rng.RNG, n int) []pareto.Point {
+	pts := make([]pareto.Point, n)
+	for i := range pts {
+		e := float64(1+r.Intn(8)) * 1e5
+		if r.Float64() < 0.3 {
+			e *= 1 + 1e-13*(r.Float64()-0.5) // sub-EnergyTie noise
+		}
+		switch r.Intn(20) {
+		case 0:
+			e = math.NaN()
+		case 1:
+			e = math.Inf(1)
+		case 2:
+			e = math.Inf(-1)
+		}
+		pts[i] = pareto.Point{
+			Alpha:     float64(r.Intn(5)) / 4,
+			InputBits: int64(10 * (1 + r.Intn(10))),
+			MACEnergy: e,
+		}
+	}
+	return pts
+}
+
+func TestParetoFilterPropertyRandomClouds(t *testing.T) {
+	r := rng.New(99)
+	for trial := 0; trial < 200; trial++ {
+		pts := randomCloud(r, 1+r.Intn(40))
+		if err := CheckParetoFilter(pts); err != nil {
+			t.Fatalf("trial %d: %v\ncloud: %+v", trial, err, pts)
+		}
+	}
+}
+
+func TestParetoHypervolumePropertyRandomClouds(t *testing.T) {
+	r := rng.New(123)
+	for trial := 0; trial < 200; trial++ {
+		pts := randomCloud(r, 1+r.Intn(40))
+		ref := pareto.RefPoint(pts)
+		if err := CheckParetoHypervolume(pts, ref); err != nil {
+			t.Fatalf("trial %d: %v\ncloud: %+v", trial, err, pts)
+		}
+		// A reference point inside the cloud must still agree (points
+		// outside the box contribute nothing in both implementations).
+		if err := CheckParetoHypervolume(pts, [2]float64{ref[0] / 2, ref[1] / 2}); err != nil {
+			t.Fatalf("trial %d (half box): %v", trial, err)
+		}
+	}
+}
+
+func TestParetoFrontRefKnownCloud(t *testing.T) {
+	pts := []pareto.Point{
+		{InputBits: 100, MACEnergy: 50},
+		{InputBits: 120, MACEnergy: 40},
+		{InputBits: 130, MACEnergy: 45}, // dominated
+		{InputBits: 90, MACEnergy: 60},
+		{InputBits: 95, MACEnergy: math.NaN()}, // rejected
+	}
+	front := ParetoFrontRef(pts)
+	if len(front) != 3 {
+		t.Fatalf("reference front: %+v", front)
+	}
+	if front[0].InputBits != 90 || front[2].InputBits != 120 {
+		t.Fatalf("reference order: %+v", front)
+	}
+}
+
+func TestHypervolumeRefHandComputed(t *testing.T) {
+	pts := []pareto.Point{
+		{InputBits: 1, MACEnergy: 3},
+		{InputBits: 2, MACEnergy: 1},
+	}
+	if hv := HypervolumeRef(pts, [2]float64{4, 4}); math.Abs(hv-7) > 1e-12 {
+		t.Fatalf("hv = %v, want 7", hv)
+	}
+	if hv := HypervolumeRef(nil, [2]float64{4, 4}); hv != 0 {
+		t.Fatalf("empty hv = %v", hv)
+	}
+}
+
+func TestCheckFrontsBitIdenticalDetectsDrift(t *testing.T) {
+	a := []pareto.Point{{InputBits: 10, MACEnergy: 5}}
+	b := []pareto.Point{{InputBits: 10, MACEnergy: 5}}
+	if err := CheckFrontsBitIdentical(a, b); err != nil {
+		t.Fatal(err)
+	}
+	b[0].MACEnergy = math.Nextafter(5, 6)
+	if err := CheckFrontsBitIdentical(a, b); err == nil {
+		t.Fatal("one-ulp energy drift not detected")
+	}
+	if err := CheckFrontsBitIdentical(a, nil); err == nil {
+		t.Fatal("length mismatch not detected")
+	}
+}

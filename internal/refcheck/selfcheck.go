@@ -8,6 +8,7 @@ import (
 	"mupod/internal/exec"
 	"mupod/internal/fixedpoint"
 	"mupod/internal/optimize"
+	"mupod/internal/pareto"
 	"mupod/internal/profile"
 	"mupod/internal/search"
 	"mupod/internal/tensor"
@@ -234,6 +235,37 @@ func (s *runState) checkPipeline(ctx context.Context, f testnet.Fixture) {
 	if obj.Dim() <= 4 {
 		s.add(f.Name, "eq8 grid oracle", CheckSolverBeatsGrid(obj, xi, s.opts.GridSteps, 1e-6))
 	}
+
+	s.checkPareto(ctx, f, prof, res.SigmaYL)
+}
+
+// checkPareto runs the Pareto-engine differentials on one fixture: the
+// fast non-dominated filter and hypervolume against their brute-force
+// references, NSGA-II worker-count determinism, and the front-quality
+// invariants (strict staircase, hypervolume ≥ the warm-start sweep's).
+func (s *runState) checkPareto(ctx context.Context, f testnet.Fixture, prof *profile.Profile, sigmaYL float64) {
+	sweep, err := pareto.SweepContext(ctx, prof, sigmaYL, pareto.Config{})
+	s.add(f.Name, "pareto sweep", err)
+	if err != nil {
+		return
+	}
+	s.add(f.Name, "pareto filter differential", CheckParetoFilter(sweep))
+	s.add(f.Name, "pareto hypervolume differential", CheckParetoHypervolume(sweep, pareto.RefPoint(sweep)))
+
+	cfg := pareto.NSGA2Config{Generations: 4, PopSize: 12, Seed: 17, Workers: 1}
+	r1, err := pareto.RunNSGA2(ctx, prof, sigmaYL, cfg)
+	s.add(f.Name, "nsga2 run", err)
+	if err != nil {
+		return
+	}
+	cfg.Workers = s.opts.Workers
+	rN, err := pareto.RunNSGA2(ctx, prof, sigmaYL, cfg)
+	if err == nil {
+		err = CheckFrontsBitIdentical(r1.Front, rN.Front)
+	}
+	s.add(f.Name, "nsga2 worker determinism", err)
+	s.add(f.Name, "nsga2 front quality", CheckNSGA2Front(r1))
+	s.add(f.Name, "nsga2 hypervolume differential", CheckParetoHypervolume(r1.Front, r1.RefPoint))
 }
 
 // Run executes the full self-check sweep: global numeric invariants,

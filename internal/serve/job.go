@@ -73,6 +73,12 @@ type JobRequest struct {
 	Guard           bool    `json:"guard,omitempty"`
 	GuardShrink     float64 `json:"guard_shrink,omitempty"`
 	GuardMaxRetries int     `json:"guard_max_retries,omitempty"`
+
+	// Pareto, when set, turns the job into a Pareto-front job: instead
+	// of the single-objective ξ solve, the pipeline runs the α-sweep
+	// (and optionally NSGA-II) after the σ search and attaches the
+	// front to the result. POST /pareto sets this implicitly.
+	Pareto *ParetoSpec `json:"pareto,omitempty"`
 }
 
 // Validate checks the request without resolving the network.
@@ -82,6 +88,11 @@ func (r *JobRequest) Validate() error {
 	}
 	if _, err := r.objective(); err != nil {
 		return err
+	}
+	if r.Pareto != nil {
+		if err := r.Pareto.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -154,6 +165,11 @@ type JobResult struct {
 	ProfileMS          float64        `json:"profile_ms"`
 	SearchMS           float64        `json:"search_ms"`
 	SolveMS            float64        `json:"solve_ms"`
+
+	// Pareto carries the front of a Pareto-front job (nil otherwise).
+	// ParetoMS is that stage's latency; SolveMS stays 0 for these jobs.
+	Pareto   *ParetoResult `json:"pareto,omitempty"`
+	ParetoMS float64       `json:"pareto_ms,omitempty"`
 }
 
 // Job is one submitted optimization request moving through the queue.

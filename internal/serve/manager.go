@@ -29,6 +29,7 @@ import (
 	"mupod/internal/nn"
 	"mupod/internal/obs"
 	"mupod/internal/optimize"
+	"mupod/internal/pareto"
 	"mupod/internal/profile"
 	"mupod/internal/search"
 )
@@ -68,6 +69,9 @@ type Config struct {
 	// CacheBytes additionally budgets the profile cache by summed
 	// estimated profile size (see serve.ProfileCost); 0 = unlimited.
 	CacheBytes int64
+	// FrontCacheEntries caps the content-addressed Pareto front cache
+	// (default 64).
+	FrontCacheEntries int
 	// Resolver overrides the request→network resolution (default
 	// DefaultResolver).
 	Resolver Resolver
@@ -108,6 +112,7 @@ type Manager struct {
 	cfg     Config
 	metrics *Metrics
 	cache   *ProfileCache
+	fronts  *frontCache
 	journal *journal // nil without DataDir
 	breaker *breaker // nil when disabled
 
@@ -165,6 +170,7 @@ func New(cfg Config) (*Manager, error) {
 		cfg:     cfg,
 		metrics: NewMetrics(),
 		cache:   NewProfileCacheBytes(cfg.CacheEntries, cfg.CacheBytes),
+		fronts:  newFrontCache(cfg.FrontCacheEntries),
 		drainc:  make(chan struct{}),
 		jobs:    make(map[string]*Job),
 	}
@@ -183,6 +189,11 @@ func New(cfg Config) (*Manager, error) {
 	// the daemon — one Manager per process — is simply "the" registry.
 	exec.EnableMetrics(m.metrics.Registry())
 	optimize.EnableMetrics(m.metrics.Registry())
+	m.metrics.registerPareto()
+	pareto.EnableMetrics(m.metrics.Registry())
+	m.metrics.Registry().GaugeFunc("mupod_front_cache_entries", "Pareto fronts currently cached.", func() float64 {
+		return float64(m.fronts.Len())
+	})
 
 	var pending []*Job
 	if cfg.DataDir != "" {
@@ -820,6 +831,47 @@ func (m *Manager) execute(ctx context.Context, req *JobRequest) (*JobResult, boo
 	m.metrics.ObserveStage(StageSearch, searchTime)
 	if err != nil {
 		return nil, false, err
+	}
+
+	if req.Pareto != nil {
+		// Pareto-front job: the front replaces the single-objective ξ
+		// solve. The front cache keys on (profile key, search options,
+		// spec), so a repeated submission skips the whole search.
+		t0 = time.Now()
+		sctx, cancel = m.stageCtx(ctx)
+		fkey := FrontKey(key, cfg.Search, *req.Pareto, cfg.DeltaFloor)
+		pres, fhit, err := m.fronts.getOrCompute(sctx, fkey, func(cctx context.Context) (*ParetoResult, error) {
+			return computePareto(cctx, prof, sr.SigmaYL, *req.Pareto, cfg.DeltaFloor, cfg.Workers)
+		})
+		cancel()
+		paretoTime := time.Since(t0)
+		m.metrics.ObservePareto(paretoTime)
+		if err != nil {
+			return nil, false, fmt.Errorf("pareto: %w", err)
+		}
+		if fhit {
+			m.metrics.frontCacheHits.Add(1)
+		} else {
+			m.metrics.frontCacheMisses.Add(1)
+		}
+		out := *pres // per-job copy; the cached value stays pristine
+		out.FrontCacheHit = fhit
+		return &JobResult{
+			NetName:         net.Name,
+			Objective:       "pareto",
+			SigmaYL:         sr.SigmaYL,
+			GuardedSigma:    sr.SigmaYL,
+			ExactAccuracy:   sr.ExactAccuracy,
+			TargetAccuracy:  sr.TargetAcc,
+			Evaluations:     sr.Evaluations,
+			Trace:           sr.Trace,
+			ProfileCacheHit: cacheHit,
+			ResolveMS:       1000 * resolveTime.Seconds(),
+			ProfileMS:       1000 * profileTime.Seconds(),
+			SearchMS:        1000 * searchTime.Seconds(),
+			Pareto:          &out,
+			ParetoMS:        1000 * paretoTime.Seconds(),
+		}, cacheHit, nil
 	}
 
 	t0 = time.Now()

@@ -43,6 +43,14 @@ type Metrics struct {
 	recoveredRequeue *obs.Counter
 	recoveredFailed  *obs.Counter
 	breakerOpens     *obs.Counter
+
+	// Pareto-front families (registerPareto), appended last for the
+	// same golden-prefix reason. The pareto stage gets its own latency
+	// family rather than a new series in mupod_stage_latency_seconds,
+	// whose series set is frozen by the golden test.
+	paretoLatency    *obs.Histogram
+	frontCacheHits   *obs.Counter
+	frontCacheMisses *obs.Counter
 }
 
 // NewMetrics creates the daemon's counter set on a fresh registry.
@@ -91,6 +99,28 @@ func (m *Metrics) registerReliability() {
 	m.recoveredFailed = m.reg.Counter("mupod_jobs_recovered_total", "Jobs restored from the journal at startup, by disposition.", "disposition", "failed")
 	m.breakerOpens = m.reg.Counter("mupod_breaker_opens_total", "Times the profile circuit breaker tripped open.")
 }
+
+// registerPareto attaches the Pareto-front stage families. Called by
+// the Manager after every pre-existing registration, so the /metrics
+// page grows strictly at the end.
+func (m *Metrics) registerPareto() {
+	m.paretoLatency = m.reg.Histogram("mupod_pareto_latency_seconds", "Pareto-front stage latency (sweep or NSGA-II search).", obs.DefaultLatencyBuckets)
+	m.frontCacheHits = m.reg.Counter("mupod_front_cache_hits_total", "Pareto fronts served from the content-addressed front cache.")
+	m.frontCacheMisses = m.reg.Counter("mupod_front_cache_misses_total", "Pareto fronts computed from scratch.")
+}
+
+// ObservePareto records one Pareto stage latency.
+func (m *Metrics) ObservePareto(d time.Duration) {
+	if m.paretoLatency != nil {
+		m.paretoLatency.Observe(d.Seconds())
+	}
+}
+
+// FrontCacheHits returns the front-cache hit count so far.
+func (m *Metrics) FrontCacheHits() uint64 { return m.frontCacheHits.Value() }
+
+// FrontCacheMisses returns the front-cache miss count so far.
+func (m *Metrics) FrontCacheMisses() uint64 { return m.frontCacheMisses.Value() }
 
 // Retries returns the transient-retry count so far.
 func (m *Metrics) Retries() uint64 { return m.retries.Value() }

@@ -1,0 +1,279 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"mupod/internal/dataset"
+	"mupod/internal/fault"
+	"mupod/internal/nn"
+)
+
+// paretoRequest is tinyRequest turned into an NSGA-II front job small
+// enough to finish in well under a second.
+func paretoRequest() JobRequest {
+	req := tinyRequest()
+	req.Pareto = &ParetoSpec{NSGA2: true, Generations: 3, PopSize: 8, Seed: 7}
+	return req
+}
+
+// TestParetoJobLifecycle: submit → poll → front. The NSGA-II front must
+// be a strict staircase whose hypervolume weakly dominates the sweep's.
+func TestParetoJobLifecycle(t *testing.T) {
+	m := newTestManager(t, Config{Workers: 1})
+	j, err := m.Submit(paretoRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j, StateDone)
+
+	res := j.Result()
+	if res == nil || res.Pareto == nil {
+		t.Fatal("done pareto job has no pareto result")
+	}
+	p := res.Pareto
+	if res.Objective != "pareto" {
+		t.Errorf("objective = %q, want pareto", res.Objective)
+	}
+	if len(p.Front) == 0 || len(p.SweepFront) == 0 {
+		t.Fatalf("empty front: %d front, %d sweep points", len(p.Front), len(p.SweepFront))
+	}
+	for i, pt := range p.Front {
+		if len(pt.Bits) == 0 {
+			t.Fatalf("front point %d has no bit allocation", i)
+		}
+		if i > 0 {
+			prev := p.Front[i-1]
+			if pt.InputBits <= prev.InputBits || pt.MACEnergyPJ >= prev.MACEnergyPJ {
+				t.Fatalf("front is not a strict staircase at %d: (%d,%g) after (%d,%g)",
+					i, pt.InputBits, pt.MACEnergyPJ, prev.InputBits, prev.MACEnergyPJ)
+			}
+		}
+	}
+	if p.Hypervolume < p.SweepHypervolume*(1-1e-9) {
+		t.Errorf("hypervolume %g < sweep hypervolume %g", p.Hypervolume, p.SweepHypervolume)
+	}
+	if p.Generations != 3 {
+		t.Errorf("generations = %d, want 3", p.Generations)
+	}
+	if p.Evaluations <= 0 {
+		t.Errorf("evaluations = %d, want > 0", p.Evaluations)
+	}
+	if p.FrontCacheHit {
+		t.Error("first submission cannot hit the front cache")
+	}
+	if res.ParetoMS < 0 {
+		t.Errorf("pareto_ms = %g, want >= 0", res.ParetoMS)
+	}
+	if res.SolveMS != 0 || len(res.Layers) != 0 {
+		t.Errorf("pareto job ran the solve stage: solve_ms=%g layers=%d", res.SolveMS, len(res.Layers))
+	}
+}
+
+// TestParetoFrontCacheHit: an identical second submission is served from
+// the content-addressed front cache.
+func TestParetoFrontCacheHit(t *testing.T) {
+	m := newTestManager(t, Config{Workers: 1})
+	first, err := m.Submit(paretoRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, first, StateDone)
+	second, err := m.Submit(paretoRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, second, StateDone)
+
+	a, b := first.Result().Pareto, second.Result().Pareto
+	if a.FrontCacheHit || !b.FrontCacheHit {
+		t.Errorf("front_cache_hit = (%t, %t), want (false, true)", a.FrontCacheHit, b.FrontCacheHit)
+	}
+	if got := m.Metrics().FrontCacheHits(); got != 1 {
+		t.Errorf("mupod_front_cache_hits_total = %d, want 1", got)
+	}
+	if got := m.Metrics().FrontCacheMisses(); got != 1 {
+		t.Errorf("mupod_front_cache_misses_total = %d, want 1", got)
+	}
+	if len(a.Front) != len(b.Front) {
+		t.Fatalf("cached front has %d points, original %d", len(b.Front), len(a.Front))
+	}
+	for i := range a.Front {
+		if a.Front[i].InputBits != b.Front[i].InputBits ||
+			a.Front[i].MACEnergyPJ != b.Front[i].MACEnergyPJ {
+			t.Fatalf("cached front diverges at point %d: %+v vs %+v", i, a.Front[i], b.Front[i])
+		}
+	}
+}
+
+// TestParetoHTTPEndpoint: POST /pareto with no "pareto" key defaults to
+// the α-sweep spec; the front JSON comes back through GET /v1/jobs/{id}.
+func TestParetoHTTPEndpoint(t *testing.T) {
+	m := newTestManager(t, Config{Workers: 1})
+	srv := httptest.NewServer(NewHandler(m))
+	defer srv.Close()
+
+	body, err := json.Marshal(tinyRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/pareto", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /pareto = %d, want 202", resp.StatusCode)
+	}
+	var accepted JobView
+	if err := json.NewDecoder(resp.Body).Decode(&accepted); err != nil {
+		t.Fatal(err)
+	}
+
+	var view JobView
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		r, err := http.Get(srv.URL + "/v1/jobs/" + accepted.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(r.Body).Decode(&view)
+		r.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if view.State.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in state %s", view.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if view.State != StateDone {
+		t.Fatalf("state = %s, want done (err=%q)", view.State, view.Error)
+	}
+	p := view.Result.Pareto
+	if p == nil || len(p.Front) == 0 {
+		t.Fatal("served result has no front")
+	}
+	// Default spec is the sweep alone: front == sweep front.
+	if p.Generations != 0 || p.Hypervolume != p.SweepHypervolume {
+		t.Errorf("default /pareto spec ran NSGA-II: gens=%d hv=%g sweep=%g",
+			p.Generations, p.Hypervolume, p.SweepHypervolume)
+	}
+	if len(p.Front) != len(p.SweepFront) {
+		t.Errorf("sweep-only front sizes differ: %d vs %d", len(p.Front), len(p.SweepFront))
+	}
+}
+
+// TestParetoCancelMidGeneration: a sleep failpoint parks the NSGA-II
+// loop inside a generation; cancelling the job must unwind it promptly.
+func TestParetoCancelMidGeneration(t *testing.T) {
+	t.Cleanup(fault.Reset)
+	if err := fault.Enable("pareto.generation", "sleep(30s)"); err != nil {
+		t.Fatal(err)
+	}
+	m := newTestManager(t, Config{Workers: 1})
+	j, err := m.Submit(paretoRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the run to reach the parked generation, then cancel.
+	deadline := time.Now().Add(10 * time.Second)
+	for fault.Triggered("pareto.generation") == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("job never reached the pareto stage (state %s)", j.State())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	start := time.Now()
+	if _, err := m.Cancel(j.ID()); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j, StateCancelled)
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("cancellation took %v; the generation sleep was not interrupted", d)
+	}
+	if j.Result() != nil {
+		t.Error("cancelled job has a result")
+	}
+}
+
+// TestParetoGenerationFailpointRetries: a transient failure inside the
+// NSGA-II loop re-queues the pareto job until it succeeds.
+func TestParetoGenerationFailpointRetries(t *testing.T) {
+	t.Cleanup(fault.Reset)
+	if err := fault.Enable("pareto.generation", "2*error(transient:chaos)"); err != nil {
+		t.Fatal(err)
+	}
+	m := newTestManager(t, Config{
+		Workers: 1, MaxAttempts: 3,
+		RetryBaseDelay: time.Millisecond, RetryMaxDelay: 5 * time.Millisecond,
+		BreakerThreshold: -1, // isolate retry behavior from the breaker
+	})
+	j, err := m.Submit(paretoRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j, StateDone)
+	if got := j.Attempt(); got != 3 {
+		t.Errorf("attempt = %d, want 3 (two transient failures, then success)", got)
+	}
+	if got := m.Metrics().Retries(); got != 2 {
+		t.Errorf("mupod_job_retries_total = %d, want 2", got)
+	}
+	if got := fault.Triggered("pareto.generation"); got != 2 {
+		t.Errorf("failpoint fired %d times, want 2", got)
+	}
+	res := j.Result()
+	if res == nil || res.Pareto == nil || len(res.Pareto.Front) == 0 {
+		t.Fatal("retried pareto job finished without a front")
+	}
+}
+
+// TestParetoCrashRecoveryReplay: a pareto job interrupted by a crash is
+// replayed from the journal with its spec intact — the recovered run
+// still produces a front, proving ParetoSpec round-trips the WAL.
+func TestParetoCrashRecoveryReplay(t *testing.T) {
+	dir := t.TempDir()
+	started := make(chan struct{}, 1)
+	stall := func(ctx context.Context, req *JobRequest) (*nn.Network, *dataset.Dataset, error) {
+		started <- struct{}{}
+		<-ctx.Done()
+		return nil, nil, ctx.Err()
+	}
+	a, err := New(Config{Workers: 1, DataDir: dir, NoFsync: true, Logf: t.Logf, Resolver: stall})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := a.Submit(paretoRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	a.Crash()
+
+	b := newTestManager(t, Config{Workers: 1, DataDir: dir, NoFsync: true})
+	got, err := b.Get(j.ID())
+	if err != nil {
+		t.Fatalf("pareto job lost across the crash: %v", err)
+	}
+	waitState(t, got, StateDone)
+	res := got.Result()
+	if res == nil || res.Pareto == nil {
+		t.Fatal("replayed job lost its pareto spec in the journal")
+	}
+	if len(res.Pareto.Front) == 0 || res.Pareto.Generations != 3 {
+		t.Fatalf("replayed front malformed: %d points, %d generations",
+			len(res.Pareto.Front), res.Pareto.Generations)
+	}
+	if got.Attempt() != 2 {
+		t.Errorf("attempt = %d after recovery, want 2", got.Attempt())
+	}
+}

@@ -15,6 +15,9 @@ const maxRequestBody = 4 << 20
 // NewHandler exposes a Manager over HTTP:
 //
 //	POST   /v1/jobs       submit a job            → 202 + JobView
+//	POST   /pareto        submit a Pareto-front job → 202 + JobView
+//	         (a JobRequest whose "pareto" spec defaults to {} — the
+//	          α-sweep; poll /v1/jobs/{id} for the front JSON)
 //	GET    /v1/jobs       list jobs               → 200 + []JobView
 //	GET    /v1/jobs/{id}  poll one job            → 200 + JobView
 //	DELETE /v1/jobs/{id}  cancel a job            → 202 + JobView
@@ -26,13 +29,16 @@ const maxRequestBody = 4 << 20
 func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 
-	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+	submit := func(w http.ResponseWriter, r *http.Request, forcePareto bool) {
 		var req JobRequest
 		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&req); err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 			return
+		}
+		if forcePareto && req.Pareto == nil {
+			req.Pareto = &ParetoSpec{}
 		}
 		j, err := m.Submit(req)
 		if err != nil {
@@ -52,6 +58,17 @@ func NewHandler(m *Manager) http.Handler {
 		}
 		w.Header().Set("Location", "/v1/jobs/"+j.ID())
 		writeJSON(w, http.StatusAccepted, j.View())
+	}
+
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		submit(w, r, false)
+	})
+
+	// POST /pareto is POST /v1/jobs with the pareto spec made implicit:
+	// a request without one gets the default α-sweep spec. The job
+	// lifecycle (polling, cancellation, journaling) is shared.
+	mux.HandleFunc("POST /pareto", func(w http.ResponseWriter, r *http.Request) {
+		submit(w, r, true)
 	})
 
 	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {

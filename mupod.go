@@ -115,6 +115,10 @@ type (
 	ParetoPoint = pareto.Point
 	// ParetoConfig tunes the frontier sweep.
 	ParetoConfig = pareto.Config
+	// ParetoNSGA2Config tunes the genetic front search.
+	ParetoNSGA2Config = pareto.NSGA2Config
+	// ParetoNSGA2Result is a finished genetic front search.
+	ParetoNSGA2Result = pareto.NSGA2Result
 	// FixedPointConfig selects the weight formats of the integer
 	// execution path.
 	FixedPointConfig = fxnet.Config
@@ -323,6 +327,45 @@ func ParetoSweep(prof *Profile, sigmaYL float64, cfg ParetoConfig) ([]ParetoPoin
 // ParetoFront filters sweep results to the non-dominated frontier.
 func ParetoFront(points []ParetoPoint) []ParetoPoint {
 	return pareto.NonDominated(points)
+}
+
+// ParetoNSGA2 runs the genetic front search, warm-started from the
+// α-sweep: the archive of every evaluated point is filtered to the
+// returned frontier, so its hypervolume weakly dominates the sweep's.
+// Results are bit-identical at any worker count.
+func ParetoNSGA2(ctx context.Context, prof *Profile, sigmaYL float64, cfg ParetoNSGA2Config) (*ParetoNSGA2Result, error) {
+	return pareto.RunNSGA2(ctx, prof, sigmaYL, cfg)
+}
+
+// ParetoRefPoint picks a hypervolume reference point dominated by every
+// finite point of the given fronts, with margin.
+func ParetoRefPoint(fronts ...[]ParetoPoint) [2]float64 {
+	return pareto.RefPoint(fronts...)
+}
+
+// ParetoHypervolume measures the area a frontier dominates up to ref —
+// the standard scalar quality of a two-objective front (larger is
+// better).
+func ParetoHypervolume(points []ParetoPoint, ref [2]float64) float64 {
+	return pareto.Hypervolume(points, ref)
+}
+
+// ParetoGD and ParetoIGD score a front against a reference front:
+// generational distance is the mean distance from the front to the
+// reference (convergence), inverted GD the reverse (coverage).
+func ParetoGD(front, ref []ParetoPoint) float64 {
+	return pareto.GenerationalDistance(front, ref)
+}
+
+// ParetoIGD is the inverted generational distance (see ParetoGD).
+func ParetoIGD(front, ref []ParetoPoint) float64 {
+	return pareto.InvertedGenerationalDistance(front, ref)
+}
+
+// ParetoSpread measures how evenly a front's points are distributed
+// along the frontier (0 = perfectly uniform).
+func ParetoSpread(points []ParetoPoint) float64 {
+	return pareto.Spread(points)
 }
 
 // RunFixedPoint executes the network with TRUE integer arithmetic in
