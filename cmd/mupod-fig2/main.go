@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"mupod/internal/experiments"
+	"mupod/internal/kernels"
 	"mupod/internal/obs"
 	"mupod/internal/zoo"
 )
@@ -23,9 +24,17 @@ func main() {
 	seed := flag.Uint64("seed", 1, "noise seed")
 	scatter := flag.Int("scatter", 2, "number of layers to render as ASCII scatter plots")
 	workers := flag.Int("workers", 0, "evaluation worker count (0 = all CPUs; results are identical at any count)")
+	kernel := flag.String("kernel", "", "forward-pass compute backend: "+strings.Join(kernels.Names(), ", ")+" (default "+kernels.DefaultImpl+")")
+	intraWorkers := flag.Int("intra-workers", 0, "goroutines the parallel kernel spends inside one layer (0 = automatic)")
 	logSpec := flag.String("log", "", "log level[,format]: debug|info|warn|error, text|json (default $MUPOD_LOG or info,text)")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event file of the run to this path")
 	flag.Parse()
+
+	kpol := kernels.Policy{Impl: *kernel, IntraWorkers: *intraWorkers}
+	if err := kpol.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "mupod-fig2: %v\n", err)
+		os.Exit(2)
+	}
 
 	if _, err := obs.Setup(*logSpec); err != nil {
 		fmt.Fprintln(os.Stderr, "mupod-fig2:", err)
@@ -46,6 +55,7 @@ func main() {
 			ProfilePoints: *points,
 			Seed:          *seed,
 			Workers:       *workers,
+			Kernel:        kpol,
 		})
 		if err != nil {
 			if obs.Interrupted(ctx) {

@@ -16,6 +16,7 @@ import (
 	"strconv"
 	"strings"
 
+	"mupod/internal/kernels"
 	"mupod/internal/obs"
 	"mupod/internal/pareto"
 	"mupod/internal/profile"
@@ -40,10 +41,16 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	all := flag.Bool("all", false, "print every sweep point, not only the frontier")
 	workers := flag.Int("workers", 0, "evaluation worker count (0 = all CPUs; results are identical at any count)")
+	kernel := flag.String("kernel", "", "forward-pass compute backend: "+strings.Join(kernels.Names(), ", ")+" (default "+kernels.DefaultImpl+")")
+	intraWorkers := flag.Int("intra-workers", 0, "goroutines the parallel kernel spends inside one layer (0 = automatic)")
 	logSpec := flag.String("log", "", "log level[,format]: debug|info|warn|error, text|json (default $MUPOD_LOG or info,text)")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event file of the run to this path")
 	flag.Parse()
 
+	kpol := kernels.Policy{Impl: *kernel, IntraWorkers: *intraWorkers}
+	if err := kpol.Validate(); err != nil {
+		fatal(err)
+	}
 	if _, err := obs.Setup(*logSpec); err != nil {
 		fmt.Fprintln(os.Stderr, "mupod-pareto:", err)
 		os.Exit(1)
@@ -67,12 +74,12 @@ func main() {
 	}
 	_, test := zoo.Data(arch)
 
-	prof, err := profile.RunContext(ctx, net, test, profile.Config{Images: *images, Points: *points, Seed: *seed, Workers: *workers})
+	prof, err := profile.RunContext(ctx, net, test, profile.Config{Images: *images, Points: *points, Seed: *seed, Workers: *workers, Kernel: kpol})
 	if err != nil {
 		fatalCtx(ctx, err)
 	}
 	sr, err := search.RunContext(ctx, net, prof, test, search.Options{
-		Scheme: search.Scheme2Gaussian, RelDrop: *drop, EvalImages: *eval, Seed: *seed ^ 0x5eed, Workers: *workers,
+		Scheme: search.Scheme2Gaussian, RelDrop: *drop, EvalImages: *eval, Seed: *seed ^ 0x5eed, Workers: *workers, Kernel: kpol,
 	})
 	if err != nil {
 		fatalCtx(ctx, err)

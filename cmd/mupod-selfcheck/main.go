@@ -14,6 +14,7 @@ import (
 	"os"
 	"strings"
 
+	"mupod/internal/kernels"
 	"mupod/internal/obs"
 	"mupod/internal/refcheck"
 	"mupod/internal/testnet"
@@ -21,6 +22,8 @@ import (
 
 func main() {
 	workers := flag.Int("workers", 0, "parallel worker count compared against workers=1 (0 = all CPUs)")
+	kernel := flag.String("kernel", "", "compute backend for the pipeline checks: "+strings.Join(kernels.Names(), ", ")+" (default "+kernels.DefaultImpl+"; the kernel differentials always sweep all backends)")
+	intraWorkers := flag.Int("intra-workers", 0, "goroutines the parallel kernel spends inside one layer (0 = automatic)")
 	nets := flag.String("nets", "", "comma-separated subset of test networks (default all: "+strings.Join(testnet.ZooNames(), ",")+")")
 	gridSteps := flag.Int("grid", 0, "brute-force Eq. 8 oracle resolution (0 = default)")
 	verbose := flag.Bool("v", false, "print every check, not just failures")
@@ -32,7 +35,11 @@ func main() {
 		os.Exit(1)
 	}
 
-	opts := refcheck.Options{Workers: *workers, GridSteps: *gridSteps}
+	opts := refcheck.Options{
+		Workers:   *workers,
+		GridSteps: *gridSteps,
+		Kernel:    kernels.Policy{Impl: *kernel, IntraWorkers: *intraWorkers},
+	}
 	if *nets != "" {
 		opts.Nets = strings.Split(*nets, ",")
 	}

@@ -7,6 +7,7 @@
 //
 //	mupod -model alexnet -objective mac -drop 0.01 [-scheme 1]
 //	      [-images 30] [-points 12] [-eval 200] [-summary]
+//	      [-kernel blocked|parallel|naive] [-intra-workers n]
 //	      [-log level[,format]] [-trace out.json]
 //
 // With -trace, the run writes a Chrome trace-event file covering the
@@ -28,6 +29,7 @@ import (
 	"mupod/internal/dataset"
 	"mupod/internal/energy"
 	"mupod/internal/fxnet"
+	"mupod/internal/kernels"
 	"mupod/internal/netdesc"
 	"mupod/internal/nn"
 	"mupod/internal/obs"
@@ -51,10 +53,16 @@ func main() {
 	seed := flag.Uint64("seed", 1, "noise seed")
 	summary := flag.Bool("summary", false, "print the network topology and exit")
 	workers := flag.Int("workers", 0, "evaluation worker count (0 = all CPUs; results are identical at any count)")
+	kernel := flag.String("kernel", "", "forward-pass compute backend: "+strings.Join(kernels.Names(), ", ")+" (default "+kernels.DefaultImpl+")")
+	intraWorkers := flag.Int("intra-workers", 0, "goroutines the parallel kernel spends inside one layer (0 = automatic)")
 	logSpec := flag.String("log", "", "log level[,format]: debug|info|warn|error, text|json (default $MUPOD_LOG or info,text)")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event file of the pipeline run to this path")
 	flag.Parse()
 
+	kpol := kernels.Policy{Impl: *kernel, IntraWorkers: *intraWorkers}
+	if err := kpol.Validate(); err != nil {
+		fatal("%v", err)
+	}
 	if _, err := obs.Setup(*logSpec); err != nil {
 		fatal("%v", err)
 	}
@@ -127,6 +135,7 @@ func main() {
 		Objective: obj,
 		Guard:     true,
 		Workers:   *workers,
+		Kernel:    kpol,
 	})
 	if err != nil {
 		if obs.Interrupted(ctx) {
@@ -166,7 +175,7 @@ func main() {
 	fmt.Printf("\nREAL quantized inference: accuracy %.3f (constraint ≥ %.3f)\n",
 		acc, res.Search.ExactAccuracy*(1-*drop))
 
-	if w, err := baseline.UniformWeightSearch(net, al, test, baseline.Options{RelDrop: *drop, EvalImages: *eval, Workers: *workers}); err == nil {
+	if w, err := baseline.UniformWeightSearch(net, al, test, baseline.Options{RelDrop: *drop, EvalImages: *eval, Workers: *workers, Kernel: kpol}); err == nil {
 		fmt.Printf("uniform weight bitwidth (Sec. V-E): W = %d\n", w)
 		fmt.Printf("MAC energy at W=%d: %.3g pJ/image\n", w, al.MACEnergy(energy.Default40nm, w))
 		// True integer execution: cross-check accuracy and report the

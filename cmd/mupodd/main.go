@@ -10,6 +10,7 @@
 // Usage:
 //
 //	mupodd [-addr :8080] [-workers 2] [-queue 64] [-job-workers 0]
+//	       [-kernel blocked|parallel|naive] [-intra-workers 0]
 //	       [-stage-timeout 10m] [-drain-timeout 30s] [-cache 64]
 //	       [-data-dir dir] [-max-attempts 3]
 //	       [-http-read-header-timeout 10s] [-http-read-timeout 1m]
@@ -39,9 +40,11 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"mupod/internal/fault"
+	"mupod/internal/kernels"
 	"mupod/internal/obs"
 	"mupod/internal/serve"
 )
@@ -55,6 +58,8 @@ func main() {
 	cacheEntries := flag.Int("cache", 64, "profile cache capacity (entries)")
 	cacheBytes := flag.Int64("cache-bytes", 0, "profile cache byte budget (0 = unlimited)")
 	jobWorkers := flag.Int("job-workers", 0, "default per-job evaluation parallelism (0 = GOMAXPROCS divided across the worker pool)")
+	kernel := flag.String("kernel", "", "default forward-pass compute backend for jobs that don't name one: "+strings.Join(kernels.Names(), ", ")+" (default "+kernels.DefaultImpl+")")
+	intraWorkers := flag.Int("intra-workers", 0, "default goroutines the parallel kernel spends inside one layer (0 = automatic)")
 	dataDir := flag.String("data-dir", "", "directory for the durable job store (empty = in-memory only; jobs are lost on restart)")
 	maxAttempts := flag.Int("max-attempts", 3, "run attempts per job across transient failures and crash recoveries")
 	readHeaderTimeout := flag.Duration("http-read-header-timeout", 10*time.Second, "time to read request headers (slowloris hardening)")
@@ -65,6 +70,11 @@ func main() {
 	traceSpans := flag.Int("trace-spans", 0, "per-job trace buffer cap in spans (0 = default, negative disables /debug/trace)")
 	flag.Parse()
 
+	kpol := kernels.Policy{Impl: *kernel, IntraWorkers: *intraWorkers}
+	if err := kpol.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "mupodd: %v\n", err)
+		os.Exit(2)
+	}
 	logger, err := obs.Setup(*logSpec)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mupodd: %v\n", err)
@@ -81,6 +91,7 @@ func main() {
 	m, err := serve.New(serve.Config{
 		Workers:      *workers,
 		JobWorkers:   *jobWorkers,
+		Kernel:       kpol,
 		QueueDepth:   *queue,
 		StageTimeout: *stageTimeout,
 		CacheEntries: *cacheEntries,

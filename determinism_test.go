@@ -14,6 +14,7 @@ import (
 
 	"mupod/internal/core"
 	"mupod/internal/exec"
+	"mupod/internal/kernels"
 	"mupod/internal/obs"
 	"mupod/internal/profile"
 	"mupod/internal/search"
@@ -103,6 +104,48 @@ func TestAllocationBitIdenticalAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestAllocationBitIdenticalAcrossKernels pins the kernel layer's
+// contract at pipeline scope: a full guarded run on the "parallel"
+// backend — at ANY intra-op worker count — is float64-for-float64
+// equal to the "blocked" run, which in turn equals the default (zero
+// KernelPolicy) run. Intra-op tiling, like inter-op workers, is a pure
+// latency/CPU trade.
+func TestAllocationBitIdenticalAcrossKernels(t *testing.T) {
+	net, _, te := testnet.Trained()
+	run := func(pol kernels.Policy) *core.Result {
+		res, err := core.Run(net, te, core.Config{
+			Profile:   profile.Config{Images: 16, Points: 6, Seed: 7},
+			Search:    search.Options{Scheme: search.Scheme1Uniform, RelDrop: 0.05, EvalImages: 120, Seed: 3},
+			Objective: core.MinimizeInputBits,
+			Guard:     true,
+			Workers:   2,
+			Kernel:    pol,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ref := run(kernels.Policy{})
+	for _, pol := range []kernels.Policy{
+		{Impl: "blocked"},
+		{Impl: "parallel", IntraWorkers: 1},
+		{Impl: "parallel", IntraWorkers: 5},
+	} {
+		got := run(pol)
+		if !reflect.DeepEqual(ref.Allocation, got.Allocation) {
+			t.Fatalf("kernel %+v: allocation diverges:\nref: %+v\ngot: %+v", pol, ref.Allocation, got.Allocation)
+		}
+		if !reflect.DeepEqual(ref.Search, got.Search) {
+			t.Fatalf("kernel %+v: embedded search result diverges", pol)
+		}
+		if ref.GuardedSigma != got.GuardedSigma || ref.GuardRetries != got.GuardRetries {
+			t.Fatalf("kernel %+v: guard outcome diverges: σ %v vs %v, retries %d vs %d",
+				pol, ref.GuardedSigma, got.GuardedSigma, ref.GuardRetries, got.GuardRetries)
+		}
+	}
+}
+
 // TestAllocationBitIdenticalWithTelemetry pins that the observability
 // layer only observes: a full guarded run with a live tracer AND engine
 // metrics enabled is float64-for-float64 equal to the bare run, at 1
@@ -114,7 +157,9 @@ func TestAllocationBitIdenticalWithTelemetry(t *testing.T) {
 		if telemetry {
 			reg := obs.NewRegistry()
 			exec.EnableMetrics(reg)
+			kernels.EnableMetrics(reg)
 			t.Cleanup(exec.DisableMetrics)
+			t.Cleanup(kernels.DisableMetrics)
 			ctx = obs.WithTracer(ctx, obs.NewTracer(0))
 		}
 		res, err := core.RunContext(ctx, net, te, core.Config{

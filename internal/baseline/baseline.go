@@ -20,6 +20,7 @@ import (
 	"mupod/internal/core"
 	"mupod/internal/dataset"
 	"mupod/internal/fixedpoint"
+	"mupod/internal/kernels"
 	"mupod/internal/nn"
 	"mupod/internal/profile"
 	"mupod/internal/search"
@@ -39,6 +40,9 @@ type Options struct {
 	// dynamic searches (Stripes above all) are dominated by these
 	// evaluations and speed up near-linearly.
 	Workers int
+	// Kernel is the compute backend of every forward pass (zero value =
+	// the default backend).
+	Kernel kernels.Policy
 }
 
 func (o Options) withDefaults(ds *dataset.Dataset) Options {
@@ -69,7 +73,7 @@ type SearchResult struct {
 // accuracy is the shared (parallel, stateless-plan) evaluation of the
 // baseline searches.
 func accuracy(net *nn.Network, ds *dataset.Dataset, o Options, plan map[int]nn.Injector) float64 {
-	acc, _ := search.AccuracyStateless(context.Background(), o.Workers, net, ds, o.EvalImages, o.BatchSize, plan)
+	acc, _ := search.AccuracyStatelessOn(context.Background(), o.Workers, o.Kernel, net, ds, o.EvalImages, o.BatchSize, plan)
 	return acc
 }
 

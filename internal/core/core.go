@@ -20,6 +20,7 @@ import (
 	"mupod/internal/energy"
 	"mupod/internal/fault"
 	"mupod/internal/fixedpoint"
+	"mupod/internal/kernels"
 	"mupod/internal/nn"
 	"mupod/internal/obs"
 	"mupod/internal/optimize"
@@ -82,16 +83,30 @@ type Config struct {
 	// every worker count. Stage-specific values in Profile.Workers /
 	// Search.Workers take precedence when non-zero.
 	Workers int
+
+	// Kernel selects the compute backend for every stage's forward
+	// passes (zero value = default backend, automatic intra-op budget).
+	// Stage-specific policies in Profile.Kernel / Search.Kernel take
+	// precedence when non-zero. "parallel" and IntraWorkers never change
+	// results (kernels.Policy.ResultClass); "naive" does in the last
+	// bits, and so gets its own cache class.
+	Kernel kernels.Policy
 }
 
-// withWorkers fans the pipeline-level Workers knob into the stage
-// configs that did not set their own.
+// withWorkers fans the pipeline-level Workers and Kernel knobs into the
+// stage configs that did not set their own.
 func (c Config) withWorkers() Config {
 	if c.Profile.Workers == 0 {
 		c.Profile.Workers = c.Workers
 	}
 	if c.Search.Workers == 0 {
 		c.Search.Workers = c.Workers
+	}
+	if (c.Profile.Kernel == kernels.Policy{}) {
+		c.Profile.Kernel = c.Kernel
+	}
+	if (c.Search.Kernel == kernels.Policy{}) {
+		c.Search.Kernel = c.Kernel
 	}
 	return c
 }
@@ -465,8 +480,9 @@ func AllocateContext(ctx context.Context, net *nn.Network, ds *dataset.Dataset, 
 		rctx, rsp := obs.Start(gctx, "guard.round",
 			obs.KV("attempt", attempt), obs.KV("scale", scale))
 		// Quantizing injectors are stateless, so the guard's real-
-		// quantization validation parallelizes across eval batches.
-		acc, err := search.AccuracyStateless(rctx, cfg.Search.Workers, net, ds, evalImages, 32, alloc.InjectionPlan())
+		// quantization validation parallelizes across eval batches — on
+		// the same kernel backend the σ search used.
+		acc, err := search.AccuracyStatelessOn(rctx, cfg.Search.Workers, cfg.Search.Kernel, net, ds, evalImages, 32, alloc.InjectionPlan())
 		if err != nil {
 			rsp.End()
 			return nil, 0, 0, fmt.Errorf("core: guard: %w", err)

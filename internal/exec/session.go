@@ -1,17 +1,20 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 
+	"mupod/internal/kernels"
 	"mupod/internal/nn"
 	"mupod/internal/tensor"
 )
 
 // Session executes one network through pooled activation arenas. It
 // owns one output buffer per node plus one injection buffer per node
-// and a shared float64 scratch (the GEMM conv im2col columns), all
-// reused across calls, so the steady-state replay/forward hot path
-// allocates nothing.
+// and a shared float64 scratch (the conv im2col columns), all reused
+// across calls, so the steady-state replay/forward hot path allocates
+// nothing. Dense math dispatches to the kernel backend the Session was
+// created with (see kernels.Policy).
 //
 // A Session is NOT safe for concurrent use; create one per worker
 // goroutine. Any number of Sessions may share one Plan — the Plan and
@@ -22,6 +25,8 @@ import (
 // before reusing the Session.
 type Session struct {
 	plan *Plan
+	base kernels.Backend // resolved from the policy at construction
+	be   kernels.Backend // base, possibly trace-wrapped (see Trace)
 
 	cur     []*tensor.Tensor   // per-call activation view, indexed by node ID
 	bufs    []*tensor.Tensor   // pooled output buffer per node
@@ -35,11 +40,20 @@ type Session struct {
 	statAllocs uint64
 }
 
-// NewSession creates an execution session over the given plan.
-func NewSession(p *Plan) *Session {
+// NewSession creates an execution session over the given plan using the
+// default kernel policy.
+func NewSession(p *Plan) *Session { return NewSessionPolicy(p, kernels.Policy{}) }
+
+// NewSessionPolicy creates an execution session computing on the kernel
+// backend named by pol. The policy must be valid (validate upstream);
+// an unknown backend panics here rather than silently falling back.
+func NewSessionPolicy(p *Plan, pol kernels.Policy) *Session {
 	n := len(p.net.Nodes)
+	be := kernels.MustNew(pol)
 	s := &Session{
 		plan:   p,
+		base:   be,
+		be:     be,
 		cur:    make([]*tensor.Tensor, n),
 		bufs:   make([]*tensor.Tensor, n),
 		inbufs: make([]*tensor.Tensor, n),
@@ -50,6 +64,15 @@ func NewSession(p *Plan) *Session {
 	}
 	return s
 }
+
+// Trace makes subsequent passes record kernel-level spans on the tracer
+// carried by ctx (no-op, and zero ongoing cost, when ctx carries none).
+// Tracing observes only — results are bit-identical either way.
+func (s *Session) Trace(ctx context.Context) { s.be = kernels.Traced(ctx, s.base) }
+
+// Backend returns the name of the kernel backend this session computes
+// on.
+func (s *Session) Backend() string { return s.base.Name() }
 
 // Plan returns the plan this session executes.
 func (s *Session) Plan() *Plan { return s.plan }
@@ -94,10 +117,17 @@ func (s *Session) gather(nd *nn.Node) []*tensor.Tensor {
 	return ins
 }
 
-// step executes one node into its pooled buffer (falling back to the
-// layer's allocating Forward if it does not implement IntoForwarder)
-// and records the result in cur.
+// step executes one node into its pooled buffer on the session's
+// kernel backend (falling back to plain ForwardInto, then to the
+// layer's allocating Forward, for layers outside the kernel layer) and
+// records the result in cur.
 func (s *Session) step(nd *nn.Node, ins []*tensor.Tensor, batch int) {
+	if f, ok := nd.Layer.(nn.BackendForwarder); ok {
+		out := s.buf(nd.ID, batch)
+		s.scratch = f.ForwardIntoOn(s.be, ins, out, s.scratch)
+		s.cur[nd.ID] = out
+		return
+	}
 	if f, ok := nd.Layer.(nn.IntoForwarder); ok {
 		out := s.buf(nd.ID, batch)
 		s.scratch = f.ForwardInto(ins, out, s.scratch)

@@ -11,6 +11,7 @@ import (
 
 	"mupod/internal/core"
 	"mupod/internal/dataset"
+	"mupod/internal/kernels"
 	"mupod/internal/nn"
 	"mupod/internal/profile"
 	"mupod/internal/search"
@@ -30,6 +31,11 @@ type Opts struct {
 	// profiling and search stage (0 = GOMAXPROCS, 1 = sequential).
 	// Results are bit-identical at any worker count.
 	Workers int
+	// Kernel is the compute backend threaded into every forward pass
+	// (zero value = the default backend). Like Workers it never changes
+	// an experiment's numbers between "blocked" and "parallel"; "naive"
+	// accumulates in a different order and may differ in the last ulp.
+	Kernel kernels.Policy
 }
 
 func (o Opts) withDefaults() Opts {
@@ -52,7 +58,7 @@ func (o Opts) withDefaults() Opts {
 }
 
 func (o Opts) profileConfig() profile.Config {
-	return profile.Config{Images: o.ProfileImages, Points: o.ProfilePoints, Seed: o.Seed, Workers: o.Workers}
+	return profile.Config{Images: o.ProfileImages, Points: o.ProfilePoints, Seed: o.Seed, Workers: o.Workers, Kernel: o.Kernel}
 }
 
 func (o Opts) searchOptions(relDrop float64) search.Options {
@@ -62,13 +68,14 @@ func (o Opts) searchOptions(relDrop float64) search.Options {
 		EvalImages: o.EvalImages,
 		Seed:       o.Seed ^ 0x5eed,
 		Workers:    o.Workers,
+		Kernel:     o.Kernel,
 	}
 }
 
 // exactAccuracy is the exact (no-injection, hence stateless) top-1
 // evaluation, parallel across batches on o.Workers.
 func exactAccuracy(ctx context.Context, l loaded, n int, o Opts) float64 {
-	acc, _ := search.AccuracyStateless(ctx, o.Workers, l.net, l.test, n, 32, nil)
+	acc, _ := search.AccuracyStatelessOn(ctx, o.Workers, o.Kernel, l.net, l.test, n, 32, nil)
 	return acc
 }
 
@@ -107,6 +114,7 @@ func pipeline(ctx context.Context, l loaded, relDrop float64, o Opts) (prof *pro
 			Search:    o.searchOptions(relDrop),
 			Guard:     true,
 			Workers:   o.Workers,
+			Kernel:    o.Kernel,
 		}
 		alloc, _, _, err := core.AllocateContext(ctx, l.net, l.test, prof, sr, cfg)
 		if err != nil {

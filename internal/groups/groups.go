@@ -21,6 +21,7 @@ import (
 	"mupod/internal/dataset"
 	"mupod/internal/exec"
 	"mupod/internal/fixedpoint"
+	"mupod/internal/kernels"
 	"mupod/internal/nn"
 	"mupod/internal/optimize"
 	"mupod/internal/profile"
@@ -215,8 +216,11 @@ func RunContext(ctx context.Context, net *nn.Network, ds *dataset.Dataset, cfg C
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("groups: %w", err)
 	}
+	if err := pc.Kernel.Validate(); err != nil {
+		return nil, fmt.Errorf("groups: %w", err)
+	}
 	batch := ds.Batch(0, pc.Images)
-	acts := net.ForwardAll(batch)
+	acts := net.ForwardAllOn(kernels.MustNew(pc.Kernel), batch)
 	exact := acts[len(acts)-1]
 
 	// Sequential prep: group bounds, metadata, Δ grid, pre-split RNGs.
@@ -256,6 +260,10 @@ func RunContext(ctx context.Context, net *nn.Network, ds *dataset.Dataset, cfg C
 	stride := exact.Len()
 	diffs := make([]float64, len(items)*stride)
 	ev := exec.NewEvaluator(pc.Workers)
+	pol := pc.Kernel
+	if pol.IntraWorkers == 0 {
+		pol.IntraWorkers = kernels.IntraBudget(ev.Workers())
+	}
 	plan := exec.NewPlan(net)
 	sessions := make([]*exec.Session, ev.Workers())
 	err := ev.Map(ctx, len(items), func(ctx context.Context, worker, i int) error {
@@ -264,7 +272,7 @@ func RunContext(ctx context.Context, net *nn.Network, ds *dataset.Dataset, cfg C
 		}
 		sess := sessions[worker]
 		if sess == nil {
-			sess = exec.NewSession(plan)
+			sess = exec.NewSessionPolicy(plan, pol)
 			sessions[worker] = sess
 		}
 		it := items[i]

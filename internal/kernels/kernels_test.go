@@ -1,0 +1,448 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"mupod/internal/obs"
+)
+
+func fill(r *rand.Rand, n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = r.NormFloat64()
+		if r.Intn(8) == 0 {
+			s[i] = 0 // exercise naive's zero-skip path
+		}
+	}
+	return s
+}
+
+// refGEMM is the plain ijk triple loop every backend is checked
+// against.
+func refGEMM(m, n, k int, a, b, bias, c []float64) {
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			acc := 0.0
+			if bias != nil {
+				acc = bias[i]
+			}
+			for l := 0; l < k; l++ {
+				acc += a[i*k+l] * b[l*n+j]
+			}
+			c[i*n+j] = acc
+		}
+	}
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	d := 0.0
+	for i := range a {
+		if v := math.Abs(a[i] - b[i]); v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+func backendsUnderTest(t *testing.T) map[string]Backend {
+	t.Helper()
+	out := map[string]Backend{}
+	for _, name := range Names() {
+		for _, workers := range []int{1, 4} {
+			be, err := New(Policy{Impl: name, IntraWorkers: workers})
+			if err != nil {
+				t.Fatalf("New(%s): %v", name, err)
+			}
+			out[fmt.Sprintf("%s/w%d", name, workers)] = be
+		}
+	}
+	return out
+}
+
+func TestGEMMEquivalence(t *testing.T) {
+	shapes := []struct{ m, n, k int }{
+		{1, 1, 1}, {4, 4, 4}, {5, 7, 3}, {3, 2, 9}, {1, 513, 64},
+		{64, 37, 13}, {16, 256, 27}, {7, 1030, 33}, {8, 300, 144},
+	}
+	r := rand.New(rand.NewSource(1))
+	for _, sh := range shapes {
+		a := fill(r, sh.m*sh.k)
+		b := fill(r, sh.k*sh.n)
+		bias := fill(r, sh.m)
+		want := make([]float64, sh.m*sh.n)
+		refGEMM(sh.m, sh.n, sh.k, a, b, bias, want)
+		blockedOut := make([]float64, sh.m*sh.n)
+		blockedBackend{}.GEMM(sh.m, sh.n, sh.k, a, b, bias, blockedOut)
+		for name, be := range backendsUnderTest(t) {
+			got := make([]float64, sh.m*sh.n)
+			be.GEMM(sh.m, sh.n, sh.k, a, b, bias, got)
+			if d := maxAbsDiff(got, want); d > 1e-9 {
+				t.Errorf("%s GEMM %dx%dx%d: max diff %g vs reference", name, sh.m, sh.n, sh.k, d)
+			}
+			// parallel must be bit-identical to blocked at any worker
+			// count (disjoint-shard contract).
+			if be.Name() == "parallel" {
+				for i := range got {
+					if got[i] != blockedOut[i] {
+						t.Fatalf("%s GEMM %dx%dx%d: not bit-identical to blocked at index %d: %x vs %x",
+							name, sh.m, sh.n, sh.k, i, math.Float64bits(got[i]), math.Float64bits(blockedOut[i]))
+					}
+				}
+			}
+		}
+		// nil bias means zero.
+		noBias := make([]float64, sh.m*sh.n)
+		refGEMM(sh.m, sh.n, sh.k, a, b, nil, noBias)
+		got := make([]float64, sh.m*sh.n)
+		blockedBackend{}.GEMM(sh.m, sh.n, sh.k, a, b, nil, got)
+		if d := maxAbsDiff(got, noBias); d > 1e-9 {
+			t.Errorf("blocked GEMM nil bias %dx%dx%d: max diff %g", sh.m, sh.n, sh.k, d)
+		}
+	}
+}
+
+// refDWConv is a 7-loop depthwise reference with per-pixel bounds
+// checks, mirroring internal/refcheck.
+func refDWConv(g ConvGeom, batch, channels int, x, w, bias, out []float64) {
+	for n := 0; n < batch; n++ {
+		for c := 0; c < channels; c++ {
+			for oh := 0; oh < g.OH; oh++ {
+				for ow := 0; ow < g.OW; ow++ {
+					acc := bias[c]
+					for kh := 0; kh < g.K; kh++ {
+						ih := oh*g.Stride - g.Pad + kh
+						if ih < 0 || ih >= g.H {
+							continue
+						}
+						for kw := 0; kw < g.K; kw++ {
+							iw := ow*g.Stride - g.Pad + kw
+							if iw < 0 || iw >= g.W {
+								continue
+							}
+							acc += x[((n*channels+c)*g.H+ih)*g.W+iw] * w[(c*g.K+kh)*g.K+kw]
+						}
+					}
+					out[((n*channels+c)*g.OH+oh)*g.OW+ow] = acc
+				}
+			}
+		}
+	}
+}
+
+func geom(h, w, k, stride, pad int) ConvGeom {
+	return ConvGeom{
+		H: h, W: w, K: k, Stride: stride, Pad: pad,
+		OH: (h+2*pad-k)/stride + 1,
+		OW: (w+2*pad-k)/stride + 1,
+	}
+}
+
+// TestDWConvEquivalence covers the odd shapes of the issue checklist:
+// 1×1 kernels, stride > K, zero-pad-dominant windows, degenerate rows.
+func TestDWConvEquivalence(t *testing.T) {
+	cases := []struct {
+		g               ConvGeom
+		batch, channels int
+	}{
+		{geom(8, 8, 3, 1, 1), 2, 3},
+		{geom(5, 5, 1, 1, 0), 1, 4}, // 1x1
+		{geom(9, 7, 2, 3, 0), 2, 2}, // stride > K
+		{geom(4, 4, 3, 1, 2), 1, 3}, // pad-dominant (pad = K-1..)
+		{geom(1, 6, 3, 1, 1), 2, 1}, // single-row input
+		{geom(12, 12, 5, 2, 2), 1, 8},
+	}
+	r := rand.New(rand.NewSource(2))
+	for ci, tc := range cases {
+		g := tc.g
+		x := fill(r, tc.batch*tc.channels*g.H*g.W)
+		w := fill(r, tc.channels*g.K*g.K)
+		bias := fill(r, tc.channels)
+		want := make([]float64, tc.batch*tc.channels*g.OH*g.OW)
+		refDWConv(g, tc.batch, tc.channels, x, w, bias, want)
+		for name, be := range backendsUnderTest(t) {
+			got := make([]float64, len(want))
+			be.DWConv(g, tc.batch, tc.channels, x, w, bias, got)
+			// Hoisting the bounds only removes excluded terms, so every
+			// backend is bit-identical on depthwise conv.
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("case %d %s DWConv: mismatch at %d: got %v want %v", ci, name, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestDenseEquivalence(t *testing.T) {
+	cases := []struct{ batch, in, out int }{
+		{1, 1, 1}, {3, 5, 7}, {1, 64, 10}, {4, 37, 129}, {2, 300, 64},
+	}
+	r := rand.New(rand.NewSource(3))
+	for _, tc := range cases {
+		x := fill(r, tc.batch*tc.in)
+		w := fill(r, tc.out*tc.in)
+		bias := fill(r, tc.out)
+		want := make([]float64, tc.batch*tc.out)
+		naiveBackend{}.Dense(tc.batch, tc.in, tc.out, x, w, bias, want)
+		for name, be := range backendsUnderTest(t) {
+			got := make([]float64, len(want))
+			be.Dense(tc.batch, tc.in, tc.out, x, w, bias, got)
+			// Per-element ascending-i order is shared by every backend:
+			// dense is bit-identical across the board.
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s Dense %v: mismatch at %d: got %v want %v", name, tc, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestIm2colEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for _, tc := range []struct {
+		g   ConvGeom
+		inC int
+	}{
+		{geom(8, 8, 3, 1, 1), 3},
+		{geom(6, 6, 1, 1, 0), 5},
+		{geom(9, 9, 2, 3, 0), 2},
+		{geom(4, 4, 3, 1, 2), 4},
+	} {
+		x := fill(r, tc.inC*tc.g.H*tc.g.W)
+		want := make([]float64, tc.inC*tc.g.K*tc.g.K*tc.g.OH*tc.g.OW)
+		naiveBackend{}.Im2col(tc.g, tc.inC, x, want)
+		for name, be := range backendsUnderTest(t) {
+			got := make([]float64, len(want))
+			be.Im2col(tc.g, tc.inC, x, got)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s Im2col: mismatch at %d", name, i)
+				}
+			}
+		}
+	}
+}
+
+func TestFanRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7} {
+		be := MustNew(Policy{Impl: "parallel", IntraWorkers: workers})
+		const n = 153
+		counts := make([]int32, n)
+		var mu sync.Mutex
+		be.Fan(n, func(i int) {
+			mu.Lock()
+			counts[i]++
+			mu.Unlock()
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+// TestIntraPoolRaceHammer drives the parallel backend from many
+// goroutines at once (run under -race in CI's kernels job).
+func TestIntraPoolRaceHammer(t *testing.T) {
+	be := MustNew(Policy{Impl: "parallel", IntraWorkers: 4})
+	r := rand.New(rand.NewSource(5))
+	const m, n, k = 9, 530, 40
+	a := fill(r, m*k)
+	b := fill(r, k*n)
+	bias := fill(r, m)
+	want := make([]float64, m*n)
+	blockedBackend{}.GEMM(m, n, k, a, b, bias, want)
+	g := geom(16, 16, 3, 1, 1)
+	xdw := fill(r, 2*8*g.H*g.W)
+	wdw := fill(r, 8*g.K*g.K)
+	bdw := fill(r, 8)
+	wantDW := make([]float64, 2*8*g.OH*g.OW)
+	blockedBackend{}.DWConv(g, 2, 8, xdw, wdw, bdw, wantDW)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got := make([]float64, m*n)
+			gotDW := make([]float64, len(wantDW))
+			for it := 0; it < 20; it++ {
+				be.GEMM(m, n, k, a, b, bias, got)
+				for i := range got {
+					if got[i] != want[i] {
+						t.Errorf("race hammer GEMM mismatch at %d", i)
+						return
+					}
+				}
+				be.DWConv(g, 2, 8, xdw, wdw, bdw, gotDW)
+				for i := range gotDW {
+					if gotDW[i] != wantDW[i] {
+						t.Errorf("race hammer DWConv mismatch at %d", i)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestPolicy(t *testing.T) {
+	if err := (Policy{}).Validate(); err != nil {
+		t.Fatalf("zero policy invalid: %v", err)
+	}
+	if err := (Policy{Impl: "nope"}).Validate(); err == nil {
+		t.Fatal("unknown impl accepted")
+	}
+	if err := (Policy{IntraWorkers: -1}).Validate(); err == nil {
+		t.Fatal("negative workers accepted")
+	}
+	if got := (Policy{Impl: "parallel", IntraWorkers: 9}).ResultClass(); got != (Policy{Impl: "blocked"}) {
+		t.Fatalf("parallel result class = %+v", got)
+	}
+	if got := (Policy{}).ResultClass(); got != (Policy{Impl: DefaultImpl}) {
+		t.Fatalf("default result class = %+v", got)
+	}
+	if got := (Policy{Impl: "naive", IntraWorkers: 3}).ResultClass(); got != (Policy{Impl: "naive"}) {
+		t.Fatalf("naive result class = %+v", got)
+	}
+	names := Names()
+	for _, want := range []string{"naive", "blocked", "parallel"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("backend %q not registered (have %v)", want, names)
+		}
+	}
+	if Default().Name() != DefaultImpl {
+		t.Fatalf("Default() = %s", Default().Name())
+	}
+	if b := IntraBudget(0); b < 1 {
+		t.Fatalf("IntraBudget(0) = %d", b)
+	}
+}
+
+func TestDispatchMetrics(t *testing.T) {
+	r := obs.NewRegistry()
+	m := EnableMetrics(r)
+	defer DisableMetrics()
+	be := MustNew(Policy{Impl: "blocked"})
+	a := []float64{1, 2, 3, 4}
+	c := make([]float64, 4)
+	be.GEMM(2, 2, 2, a, a, nil, c)
+	be.Dot(a, a)
+	if got := m.Dispatch("blocked", "gemm").Value(); got != 1 {
+		t.Fatalf("gemm dispatch count = %d", got)
+	}
+	if got := m.Dispatch("blocked", "dot").Value(); got != 1 {
+		t.Fatalf("dot dispatch count = %d", got)
+	}
+	if m.Dispatch("blocked", "nope") != nil || m.Dispatch("nope", "gemm") != nil {
+		t.Fatal("unknown labels should return nil")
+	}
+}
+
+// alexConv2 is the 64×576×3136 GEMM of AlexNet's (scaled) conv2: the
+// shape the CI bench smoke and BENCH_kernels.json gate on.
+const alexM, alexK, alexN = 64, 576, 3136
+
+// gemmInputs builds dense (no exact zeros) operands: He-style random
+// weights are never exactly zero, so benching with zero-injected data
+// would hand naive's zero-skip an unrealistic advantage.
+func gemmInputs(m, n, k int) (a, b, bias, c []float64) {
+	r := rand.New(rand.NewSource(6))
+	dense := func(n int) []float64 {
+		s := make([]float64, n)
+		for i := range s {
+			s[i] = r.NormFloat64() + 1e-9
+		}
+		return s
+	}
+	return dense(m * k), dense(k * n), dense(m), make([]float64, m*n)
+}
+
+// TestBlockedFasterThanNaiveSmoke is the perf gate: blocked must beat
+// naive on the AlexNet conv2 GEMM shape. Best-of-3 timings damp
+// scheduler noise. The default bar is a deliberately loose 1.05× so a
+// GOAMD64=v1 build (where math.FMA pays a per-site hardware check, see
+// the package docs) still passes on a noisy shared core; CI builds
+// with GOAMD64=v3 and raises the bar via MUPOD_GEMM_SPEEDUP_MIN. The
+// recorded speedup on an idle core at v3 is ≥2× (BENCH_kernels.json).
+func TestBlockedFasterThanNaiveSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf smoke skipped in -short")
+	}
+	minSpeedup := 1.05
+	if s := os.Getenv("MUPOD_GEMM_SPEEDUP_MIN"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("bad MUPOD_GEMM_SPEEDUP_MIN %q: %v", s, err)
+		}
+		minSpeedup = v
+	}
+	a, b, bias, c := gemmInputs(alexM, alexN, alexK)
+	timeBest := func(be Backend) time.Duration {
+		be.GEMM(alexM, alexN, alexK, a, b, bias, c) // warm caches
+		best := time.Duration(math.MaxInt64)
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			be.GEMM(alexM, alexN, alexK, a, b, bias, c)
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	naive := timeBest(naiveBackend{})
+	blocked := timeBest(blockedBackend{})
+	speedup := float64(naive) / float64(blocked)
+	t.Logf("GEMM %dx%dx%d: naive %v, blocked %v (%.2fx)", alexM, alexN, alexK, naive, blocked, speedup)
+	if speedup <= minSpeedup {
+		t.Fatalf("blocked GEMM not faster than naive on %dx%dx%d: naive %v, blocked %v (%.2fx, want >%.2fx)",
+			alexM, alexN, alexK, naive, blocked, speedup, minSpeedup)
+	}
+}
+
+func BenchmarkGEMMBackends(b *testing.B) {
+	a, bb, bias, c := gemmInputs(alexM, alexN, alexK)
+	for _, name := range []string{"naive", "blocked", "parallel"} {
+		be := MustNew(Policy{Impl: name, IntraWorkers: 0})
+		b.Run(name, func(b *testing.B) {
+			b.SetBytes(int64(8 * (alexM*alexK + alexK*alexN + alexM*alexN)))
+			for i := 0; i < b.N; i++ {
+				be.GEMM(alexM, alexN, alexK, a, bb, bias, c)
+			}
+		})
+	}
+}
+
+func BenchmarkDWConvBackends(b *testing.B) {
+	g := geom(56, 56, 3, 1, 1)
+	r := rand.New(rand.NewSource(7))
+	const batch, channels = 1, 64
+	x := fill(r, batch*channels*g.H*g.W)
+	w := fill(r, channels*g.K*g.K)
+	bias := fill(r, channels)
+	out := make([]float64, batch*channels*g.OH*g.OW)
+	for _, name := range []string{"naive", "blocked", "parallel"} {
+		be := MustNew(Policy{Impl: name})
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				be.DWConv(g, batch, channels, x, w, bias, out)
+			}
+		})
+	}
+}

@@ -1,0 +1,67 @@
+package kernels
+
+import (
+	"context"
+
+	"mupod/internal/obs"
+)
+
+// traceMinMACs gates GEMM spans by problem size: only packed-panel
+// GEMMs doing at least this many multiply-accumulates are recorded, so
+// tiny replay-loop convolutions cannot flood the bounded span buffer.
+const traceMinMACs = 1 << 18
+
+// Traced wraps be so sizeable GEMM calls record "kernels.gemm" spans
+// (attrs impl/m/n/k) on the tracer carried by ctx. When ctx carries no
+// tracer the backend is returned unwrapped — zero overhead. All other
+// operations delegate untouched; tracing never changes results.
+func Traced(ctx context.Context, be Backend) Backend {
+	if !obs.Enabled(ctx) || be == nil {
+		return be
+	}
+	return tracedBackend{ctx: ctx, be: be}
+}
+
+type tracedBackend struct {
+	ctx context.Context
+	be  Backend
+}
+
+// Name implements Backend.
+func (t tracedBackend) Name() string { return t.be.Name() }
+
+// GEMM implements Backend, timing the call when it is large enough.
+func (t tracedBackend) GEMM(m, n, k int, a, b, bias, c []float64) {
+	if m*n*k < traceMinMACs {
+		t.be.GEMM(m, n, k, a, b, bias, c)
+		return
+	}
+	_, sp := obs.Start(t.ctx, "kernels.gemm",
+		obs.KV("impl", t.be.Name()), obs.KV("m", m), obs.KV("n", n), obs.KV("k", k))
+	t.be.GEMM(m, n, k, a, b, bias, c)
+	sp.End()
+}
+
+// Im2col implements Backend.
+func (t tracedBackend) Im2col(g ConvGeom, inC int, x, cols []float64) {
+	t.be.Im2col(g, inC, x, cols)
+}
+
+// DWConv implements Backend.
+func (t tracedBackend) DWConv(g ConvGeom, batch, channels int, x, w, bias, out []float64) {
+	t.be.DWConv(g, batch, channels, x, w, bias, out)
+}
+
+// Dense implements Backend.
+func (t tracedBackend) Dense(batch, in, out int, x, w, bias, y []float64) {
+	t.be.Dense(batch, in, out, x, w, bias, y)
+}
+
+// Axpy implements Backend.
+func (t tracedBackend) Axpy(alpha float64, x, y []float64) { t.be.Axpy(alpha, x, y) }
+
+// Dot implements Backend.
+func (t tracedBackend) Dot(x, y []float64) float64 { return t.be.Dot(x, y) }
+
+// Fan implements Backend.
+func (t tracedBackend) Fan(n int, f func(i int)) { t.be.Fan(n, f) }

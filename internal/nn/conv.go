@@ -79,10 +79,10 @@ func (c *Conv2D) Params() []Param {
 	return []Param{{"W", c.W, c.dW}, {"B", c.B, c.dB}}
 }
 
-// Forward implements Layer with a direct convolution by default; see
-// UseGEMMConv for the im2col+GEMM alternative. Both paths share their
-// loops with ForwardInto, which pooled execution (internal/exec) calls
-// directly to skip the per-call output allocation.
+// Forward implements Layer via im2col+GEMM on the default kernel
+// backend. The loops live in internal/kernels behind ForwardIntoOn;
+// pooled execution (internal/exec) calls ForwardIntoOn directly to skip
+// the per-call output allocation and pick its own backend.
 func (c *Conv2D) Forward(ins []*tensor.Tensor) *tensor.Tensor {
 	checkInputs("conv", ins, 1)
 	out := tensor.New(c.OutShape([][]int{ins[0].Shape})...)

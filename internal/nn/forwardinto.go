@@ -3,6 +3,7 @@ package nn
 import (
 	"math"
 
+	"mupod/internal/kernels"
 	"mupod/internal/tensor"
 )
 
@@ -15,9 +16,13 @@ import (
 // the given inputs (shape metadata is trusted, not checked on the hot
 // path); every element of out is overwritten, so a dirty buffer is
 // fine. scratch is optional reusable working memory — implementations
-// that need temporaries (the GEMM conv path's im2col columns) grow it
-// as needed and return it so the caller can pass it back next call.
+// that need temporaries (the conv path's im2col columns) grow it as
+// needed and return it so the caller can pass it back next call.
 // Implementations that need no temporaries return scratch unchanged.
+//
+// Layers whose math lives in internal/kernels also implement
+// BackendForwarder; their ForwardInto is ForwardIntoOn on the default
+// backend.
 type IntoForwarder interface {
 	ForwardInto(ins []*tensor.Tensor, out *tensor.Tensor, scratch []float64) []float64
 }
@@ -33,138 +38,17 @@ func growScratch(s []float64, n int) []float64 {
 
 // ForwardInto implements IntoForwarder.
 func (c *Conv2D) ForwardInto(ins []*tensor.Tensor, out *tensor.Tensor, scratch []float64) []float64 {
-	checkInputs("conv", ins, 1)
-	x := ins[0]
-	if UseGEMMConv {
-		return c.gemmInto(x, out, scratch)
-	}
-	N, H, W := x.Shape[0], x.Shape[2], x.Shape[3]
-	os := c.OutShape([][]int{x.Shape})
-	OH, OW := os[2], os[3]
-	for n := 0; n < N; n++ {
-		for oc := 0; oc < c.OutC; oc++ {
-			bias := c.B.Data[oc]
-			for oh := 0; oh < OH; oh++ {
-				ihBase := oh*c.Stride - c.Pad
-				for ow := 0; ow < OW; ow++ {
-					iwBase := ow*c.Stride - c.Pad
-					acc := bias
-					for ic := 0; ic < c.InC; ic++ {
-						xBase := ((n*c.InC + ic) * H) * W
-						wBase := ((oc*c.InC + ic) * c.K) * c.K
-						for kh := 0; kh < c.K; kh++ {
-							ih := ihBase + kh
-							if ih < 0 || ih >= H {
-								continue
-							}
-							xRow := xBase + ih*W
-							wRow := wBase + kh*c.K
-							for kw := 0; kw < c.K; kw++ {
-								iw := iwBase + kw
-								if iw < 0 || iw >= W {
-									continue
-								}
-								acc += x.Data[xRow+iw] * c.W.Data[wRow+kw]
-							}
-						}
-					}
-					out.Data[((n*c.OutC+oc)*OH+oh)*OW+ow] = acc
-				}
-			}
-		}
-	}
-	return scratch
-}
-
-// gemmInto is forwardGEMM writing into a pooled output, with the im2col
-// column matrix carried in scratch instead of allocated per call.
-func (c *Conv2D) gemmInto(x *tensor.Tensor, out *tensor.Tensor, scratch []float64) []float64 {
-	N := x.Shape[0]
-	os := c.OutShape([][]int{x.Shape})
-	OH, OW := os[2], os[3]
-	plane := OH * OW
-	ckk := c.InC * c.K * c.K
-	scratch = growScratch(scratch, ckk*plane)
-	cols := scratch[:ckk*plane]
-	for n := 0; n < N; n++ {
-		c.im2col(x, n, cols)
-		for oc := 0; oc < c.OutC; oc++ {
-			wRow := c.W.Data[oc*ckk : (oc+1)*ckk]
-			dst := out.Data[(n*c.OutC+oc)*plane : (n*c.OutC+oc+1)*plane]
-			for i := range dst {
-				dst[i] = c.B.Data[oc]
-			}
-			for r, wv := range wRow {
-				if wv == 0 {
-					continue
-				}
-				src := cols[r*plane : (r+1)*plane]
-				for i, sv := range src {
-					dst[i] += wv * sv
-				}
-			}
-		}
-	}
-	return scratch
+	return c.ForwardIntoOn(kernels.Default(), ins, out, scratch)
 }
 
 // ForwardInto implements IntoForwarder.
 func (d *DepthwiseConv2D) ForwardInto(ins []*tensor.Tensor, out *tensor.Tensor, scratch []float64) []float64 {
-	checkInputs("dwconv", ins, 1)
-	x := ins[0]
-	N, H, W := x.Shape[0], x.Shape[2], x.Shape[3]
-	os := d.OutShape([][]int{x.Shape})
-	OH, OW := os[2], os[3]
-	for n := 0; n < N; n++ {
-		for c := 0; c < d.C; c++ {
-			xBase := ((n*d.C + c) * H) * W
-			wBase := c * d.K * d.K
-			bias := d.B.Data[c]
-			for oh := 0; oh < OH; oh++ {
-				ihBase := oh*d.Stride - d.Pad
-				for ow := 0; ow < OW; ow++ {
-					iwBase := ow*d.Stride - d.Pad
-					acc := bias
-					for kh := 0; kh < d.K; kh++ {
-						ih := ihBase + kh
-						if ih < 0 || ih >= H {
-							continue
-						}
-						xRow := xBase + ih*W
-						wRow := wBase + kh*d.K
-						for kw := 0; kw < d.K; kw++ {
-							iw := iwBase + kw
-							if iw < 0 || iw >= W {
-								continue
-							}
-							acc += x.Data[xRow+iw] * d.W.Data[wRow+kw]
-						}
-					}
-					out.Data[((n*d.C+c)*OH+oh)*OW+ow] = acc
-				}
-			}
-		}
-	}
-	return scratch
+	return d.ForwardIntoOn(kernels.Default(), ins, out, scratch)
 }
 
 // ForwardInto implements IntoForwarder.
 func (d *Dense) ForwardInto(ins []*tensor.Tensor, out *tensor.Tensor, scratch []float64) []float64 {
-	checkInputs("fc", ins, 1)
-	x := ins[0]
-	N := x.Shape[0]
-	for n := 0; n < N; n++ {
-		xRow := x.Data[n*d.In : (n+1)*d.In]
-		for o := 0; o < d.Out; o++ {
-			wRow := d.W.Data[o*d.In : (o+1)*d.In]
-			acc := d.B.Data[o]
-			for i, xv := range xRow {
-				acc += wRow[i] * xv
-			}
-			out.Data[n*d.Out+o] = acc
-		}
-	}
-	return scratch
+	return d.ForwardIntoOn(kernels.Default(), ins, out, scratch)
 }
 
 // ForwardInto implements IntoForwarder.
@@ -187,80 +71,54 @@ func (ReLU) ForwardInto(ins []*tensor.Tensor, out *tensor.Tensor, scratch []floa
 	return scratch
 }
 
-// ForwardInto implements IntoForwarder.
-func (p *MaxPool2D) ForwardInto(ins []*tensor.Tensor, out *tensor.Tensor, scratch []float64) []float64 {
-	checkInputs("maxpool", ins, 1)
-	x := ins[0]
-	N, C, H, W := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
-	os := p.OutShape([][]int{x.Shape})
-	OH, OW := os[2], os[3]
-	for n := 0; n < N; n++ {
-		for c := 0; c < C; c++ {
-			base := ((n*C + c) * H) * W
-			for oh := 0; oh < OH; oh++ {
-				for ow := 0; ow < OW; ow++ {
-					best := math.Inf(-1)
-					for kh := 0; kh < p.K; kh++ {
-						row := base + (oh*p.Stride+kh)*W + ow*p.Stride
-						for kw := 0; kw < p.K; kw++ {
-							if v := x.Data[row+kw]; v > best {
-								best = v
-							}
-						}
+// maxPoolPlane pools one [H, W] plane starting at x[base] into
+// out[oBase:]; shared by the serial and fanned pooling paths.
+func maxPoolPlane(x, out []float64, base, oBase, w, oh, ow, k, stride int) {
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			best := math.Inf(-1)
+			for kh := 0; kh < k; kh++ {
+				row := base + (oy*stride+kh)*w + ox*stride
+				for kw := 0; kw < k; kw++ {
+					if v := x[row+kw]; v > best {
+						best = v
 					}
-					out.Data[((n*C+c)*OH+oh)*OW+ow] = best
 				}
 			}
+			out[oBase+oy*ow+ox] = best
 		}
 	}
-	return scratch
+}
+
+// avgPoolPlane is maxPoolPlane's mean-pooling twin.
+func avgPoolPlane(x, out []float64, base, oBase, w, oh, ow, k, stride int, inv float64) {
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			acc := 0.0
+			for kh := 0; kh < k; kh++ {
+				row := base + (oy*stride+kh)*w + ox*stride
+				for kw := 0; kw < k; kw++ {
+					acc += x[row+kw]
+				}
+			}
+			out[oBase+oy*ow+ox] = acc * inv
+		}
+	}
+}
+
+// ForwardInto implements IntoForwarder.
+func (p *MaxPool2D) ForwardInto(ins []*tensor.Tensor, out *tensor.Tensor, scratch []float64) []float64 {
+	return p.ForwardIntoOn(kernels.Default(), ins, out, scratch)
 }
 
 // ForwardInto implements IntoForwarder.
 func (p *AvgPool2D) ForwardInto(ins []*tensor.Tensor, out *tensor.Tensor, scratch []float64) []float64 {
-	checkInputs("avgpool", ins, 1)
-	x := ins[0]
-	N, C, H, W := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
-	os := p.OutShape([][]int{x.Shape})
-	OH, OW := os[2], os[3]
-	inv := 1 / float64(p.K*p.K)
-	for n := 0; n < N; n++ {
-		for c := 0; c < C; c++ {
-			base := ((n*C + c) * H) * W
-			for oh := 0; oh < OH; oh++ {
-				for ow := 0; ow < OW; ow++ {
-					acc := 0.0
-					for kh := 0; kh < p.K; kh++ {
-						row := base + (oh*p.Stride+kh)*W + ow*p.Stride
-						for kw := 0; kw < p.K; kw++ {
-							acc += x.Data[row+kw]
-						}
-					}
-					out.Data[((n*C+c)*OH+oh)*OW+ow] = acc * inv
-				}
-			}
-		}
-	}
-	return scratch
+	return p.ForwardIntoOn(kernels.Default(), ins, out, scratch)
 }
 
 // ForwardInto implements IntoForwarder.
-func (GlobalAvgPool) ForwardInto(ins []*tensor.Tensor, out *tensor.Tensor, scratch []float64) []float64 {
-	checkInputs("gap", ins, 1)
-	x := ins[0]
-	N, C, H, W := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
-	inv := 1 / float64(H*W)
-	for n := 0; n < N; n++ {
-		for c := 0; c < C; c++ {
-			base := ((n*C + c) * H) * W
-			acc := 0.0
-			for i := 0; i < H*W; i++ {
-				acc += x.Data[base+i]
-			}
-			out.Data[n*C+c] = acc * inv
-		}
-	}
-	return scratch
+func (g GlobalAvgPool) ForwardInto(ins []*tensor.Tensor, out *tensor.Tensor, scratch []float64) []float64 {
+	return g.ForwardIntoOn(kernels.Default(), ins, out, scratch)
 }
 
 // ForwardInto implements IntoForwarder.

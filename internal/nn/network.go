@@ -3,6 +3,7 @@ package nn
 import (
 	"fmt"
 
+	"mupod/internal/kernels"
 	"mupod/internal/tensor"
 )
 
@@ -147,12 +148,34 @@ func (n *Network) gather(acts []*tensor.Tensor, ids []int) []*tensor.Tensor {
 // ForwardAll runs a full forward pass and returns the activation of
 // every node (index = node ID). x has shape [N, C, H, W].
 func (n *Network) ForwardAll(x *tensor.Tensor) []*tensor.Tensor {
+	return n.ForwardAllOn(kernels.Default(), x)
+}
+
+// ForwardAllOn is ForwardAll with every backend-dispatched layer
+// computed on be; layers with no kernel path run their own Forward.
+func (n *Network) ForwardAllOn(be kernels.Backend, x *tensor.Tensor) []*tensor.Tensor {
 	acts := make([]*tensor.Tensor, len(n.Nodes))
 	acts[0] = x
 	for _, nd := range n.Nodes[1:] {
-		acts[nd.ID] = nd.Layer.Forward(n.gather(acts, nd.Inputs))
+		acts[nd.ID] = forwardOn(be, nd.Layer, n.gather(acts, nd.Inputs))
 	}
 	return acts
+}
+
+// forwardOn computes one layer's forward pass on be when the layer
+// dispatches to the kernel backend, allocating the output tensor.
+func forwardOn(be kernels.Backend, l Layer, ins []*tensor.Tensor) *tensor.Tensor {
+	bf, ok := l.(BackendForwarder)
+	if !ok {
+		return l.Forward(ins)
+	}
+	inShapes := make([][]int, len(ins))
+	for i, t := range ins {
+		inShapes[i] = t.Shape
+	}
+	out := tensor.New(l.OutShape(inShapes)...)
+	bf.ForwardIntoOn(be, ins, out, nil)
+	return out
 }
 
 // Forward runs a full forward pass and returns the output logits.

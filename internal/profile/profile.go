@@ -20,6 +20,7 @@ import (
 	"mupod/internal/exec"
 	"mupod/internal/fault"
 	"mupod/internal/fixedpoint"
+	"mupod/internal/kernels"
 	"mupod/internal/nn"
 	"mupod/internal/obs"
 	"mupod/internal/rng"
@@ -60,6 +61,12 @@ type Config struct {
 	// bit-identical at every worker count — Workers changes wall-clock
 	// time only, never results (content-addressed caches hash it out).
 	Workers int
+	// Kernel selects the compute backend for the exact forward pass and
+	// every replay (zero value = default backend, automatic intra-op
+	// budget). The "parallel" backend and IntraWorkers are result-
+	// neutral (kernels.Policy.ResultClass); caches hash the result class
+	// only.
+	Kernel kernels.Policy
 }
 
 func (c Config) withDefaults() Config {
@@ -224,15 +231,21 @@ func RunContext(ctx context.Context, net *nn.Network, ds *dataset.Dataset, cfg C
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("profile: %w", err)
 	}
+	if err := cfg.Kernel.Validate(); err != nil {
+		return nil, fmt.Errorf("profile: %w", err)
+	}
 	ctx, psp := obs.Start(ctx, "profile",
 		obs.KV("net", net.Name), obs.KV("images", cfg.Images), obs.KV("workers", cfg.Workers))
 	defer psp.End()
 	batch := ds.Batch(0, cfg.Images)
 
 	// Step 1 of Sec. V-A: record the exact output Y_Ł (and every
-	// intermediate activation, enabling suffix-only replay).
+	// intermediate activation, enabling suffix-only replay) — on the
+	// same kernel backend the replay sessions will use, so cached
+	// activations and replays share one accumulation order.
+	pol := cfg.Kernel
 	_, fsp := obs.Start(ctx, "profile.forward", obs.KV("batch", cfg.Images))
-	acts := net.ForwardAll(batch)
+	acts := net.ForwardAllOn(kernels.MustNew(pol), batch)
 	fsp.End()
 	exact := acts[len(acts)-1]
 
@@ -266,6 +279,11 @@ func RunContext(ctx context.Context, net *nn.Network, ds *dataset.Dataset, cfg C
 	stride := exact.Len()
 	diffs := make([]float64, len(items)*stride)
 	ev := exec.NewEvaluator(cfg.Workers)
+	if pol.IntraWorkers == 0 {
+		// Inter-item replay parallelism has priority; intra-op tiling
+		// spends whatever cores the sweep pool leaves idle.
+		pol.IntraWorkers = kernels.IntraBudget(ev.Workers())
+	}
 	plan := exec.NewPlan(net)
 	sessions := make([]*exec.Session, ev.Workers())
 	sctx, ssp := obs.Start(ctx, "profile.sweep",
@@ -276,7 +294,8 @@ func RunContext(ctx context.Context, net *nn.Network, ds *dataset.Dataset, cfg C
 		}
 		sess := sessions[worker]
 		if sess == nil {
-			sess = exec.NewSession(plan)
+			sess = exec.NewSessionPolicy(plan, pol)
+			sess.Trace(ctx)
 			sessions[worker] = sess
 		}
 		it := items[i]

@@ -5,6 +5,7 @@ import (
 	"math"
 	"testing"
 
+	"mupod/internal/kernels"
 	"mupod/internal/nn"
 	"mupod/internal/optimize"
 	"mupod/internal/rng"
@@ -57,8 +58,8 @@ func TestSelfCheckPassesOnZoo(t *testing.T) {
 	}
 }
 
-// GEMM-vs-direct: both conv implementations must match the naive
-// reference; flipping UseGEMMConv must not change which answer is
+// Every registered kernel backend's conv must match the naive
+// reference loops; switching backends must not change which answer is
 // right.
 func TestConvPathsAgainstReference(t *testing.T) {
 	r := rng.New(3)
@@ -66,16 +67,16 @@ func TestConvPathsAgainstReference(t *testing.T) {
 	c.InitHe(r, 1)
 	x := randTensor(r, 2, 3, 9, 9)
 	ref := convRef(c, x)
-	defer func(prev bool) { nn.UseGEMMConv = prev }(nn.UseGEMMConv)
-	for _, gemm := range []bool{false, true} {
-		nn.UseGEMMConv = gemm
-		got := c.Forward([]*tensor.Tensor{x})
+	for _, name := range kernels.Names() {
+		be := kernels.MustNew(kernels.Policy{Impl: name, IntraWorkers: 3})
+		got := tensor.New(c.OutShape([][]int{x.Shape})...)
+		c.ForwardIntoOn(be, []*tensor.Tensor{x}, got, nil)
 		diff, err := CompareTensors(got, ref)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if diff > ForwardTol {
-			t.Errorf("UseGEMMConv=%v: diverges from reference by %g", gemm, diff)
+			t.Errorf("backend %s: diverges from reference by %g", name, diff)
 		}
 	}
 }

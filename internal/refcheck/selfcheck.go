@@ -7,6 +7,7 @@ import (
 
 	"mupod/internal/exec"
 	"mupod/internal/fixedpoint"
+	"mupod/internal/kernels"
 	"mupod/internal/optimize"
 	"mupod/internal/pareto"
 	"mupod/internal/profile"
@@ -20,6 +21,11 @@ type Options struct {
 	// Workers is the parallel fast-path worker count compared against
 	// workers=1 and the reference (0 = GOMAXPROCS).
 	Workers int
+	// Kernel is the compute backend threaded through the pipeline
+	// checks (zero value = the default backend). The per-backend
+	// differential sweep always covers every registered backend
+	// regardless of this setting.
+	Kernel kernels.Policy
 	// Nets restricts the sweep to a subset of testnet.ZooNames()
 	// (nil/empty = all).
 	Nets []string
@@ -146,7 +152,7 @@ func (s *runState) checkForward(ctx context.Context, f testnet.Fixture) error {
 		got := make([]*tensor.Tensor, nBatches)
 		err := ev.Map(ctx, nBatches, func(ctx context.Context, worker, b int) error {
 			if sessions[worker] == nil {
-				sessions[worker] = exec.NewSession(plan)
+				sessions[worker] = exec.NewSessionPolicy(plan, s.opts.Kernel)
 			}
 			got[b] = sessions[worker].Forward(f.Test.Batch(b*batch, batch)).Clone()
 			return nil
@@ -177,13 +183,56 @@ func (s *runState) checkForward(ctx context.Context, f testnet.Fixture) error {
 	return nil
 }
 
+// checkKernelBackends runs the compute-kernel differentials on one
+// fixture: every registered backend must stay within ForwardTol of the
+// reference kernels, and the "parallel" backend must be bit-identical
+// to "blocked" at every intra-op worker count (it only shards disjoint
+// outputs; the per-output reduction order is part of the kernel
+// contract).
+func (s *runState) checkKernelBackends(f testnet.Fixture) {
+	const batch = 16
+	in := f.Test.Batch(0, batch)
+	ref := ForwardNetwork(f.Net, in)
+	plan := exec.NewPlan(f.Net)
+
+	forward := func(pol kernels.Policy) *tensor.Tensor {
+		return exec.NewSessionPolicy(plan, pol).Forward(in).Clone()
+	}
+	outs := make(map[string]*tensor.Tensor)
+	for _, name := range kernels.Names() {
+		out := forward(kernels.Policy{Impl: name, IntraWorkers: 3})
+		outs[name] = out
+		diff, err := CompareTensors(out, ref)
+		if err == nil && diff > ForwardTol {
+			err = fmt.Errorf("diverges from reference by %g (tol %g)", diff, ForwardTol)
+		}
+		s.add(f.Name, "kernel differential "+name, err)
+	}
+
+	bitIdentical := func(a, b *tensor.Tensor, what string) error {
+		for i := range a.Data {
+			if a.Data[i] != b.Data[i] {
+				return fmt.Errorf("%s disagree bit-wise at element %d", what, i)
+			}
+		}
+		return nil
+	}
+	err := bitIdentical(outs[kernels.DefaultImpl], outs["parallel"], "blocked and parallel")
+	if err == nil {
+		w1 := forward(kernels.Policy{Impl: "parallel", IntraWorkers: 1})
+		wN := forward(kernels.Policy{Impl: "parallel", IntraWorkers: s.opts.Workers})
+		err = bitIdentical(w1, wN, fmt.Sprintf("parallel intra-workers 1 and %d", s.opts.Workers))
+	}
+	s.add(f.Name, "kernel parallel bit-identity", err)
+}
+
 // checkPipeline profiles, searches and solves one fixture, verifying
 // the Eq. 5 fit, the format derivation, the search bracketing, the
 // Eq. 6 simplex budget, and — when the layer count permits — the
 // brute-force Eq. 8 oracle.
 func (s *runState) checkPipeline(ctx context.Context, f testnet.Fixture) {
 	prof, err := profile.RunContext(ctx, f.Net, f.Test, profile.Config{
-		Images: 16, Points: 8, Seed: 11, Workers: s.opts.Workers,
+		Images: 16, Points: 8, Seed: 11, Workers: s.opts.Workers, Kernel: s.opts.Kernel,
 	})
 	s.add(f.Name, "profile", err)
 	if err != nil {
@@ -202,6 +251,7 @@ func (s *runState) checkPipeline(ctx context.Context, f testnet.Fixture) {
 	res, err := search.RunContext(ctx, f.Net, prof, f.Test, search.Options{
 		Scheme: search.Scheme2Gaussian, RelDrop: 0.05,
 		EvalImages: 120, Seed: 13, Workers: s.opts.Workers,
+		Kernel: s.opts.Kernel,
 	})
 	s.add(f.Name, "sigma search", err)
 	if err != nil {
@@ -281,6 +331,9 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 	if opts.GridSteps <= 0 {
 		opts.GridSteps = 20
 	}
+	if err := opts.Kernel.Validate(); err != nil {
+		return nil, fmt.Errorf("refcheck: %w", err)
+	}
 	names := opts.Nets
 	if len(names) == 0 {
 		names = testnet.ZooNames()
@@ -308,6 +361,7 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 		net, _, te := testnet.ZooNet(name)
 		f := testnet.Fixture{Name: name, Net: net, Test: te}
 		s.add(name, "forward differential", s.checkForward(ctx, f))
+		s.checkKernelBackends(f)
 		s.checkPipeline(ctx, f)
 	}
 	return s.rep, nil

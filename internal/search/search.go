@@ -20,6 +20,7 @@ import (
 	"mupod/internal/dataset"
 	"mupod/internal/exec"
 	"mupod/internal/fault"
+	"mupod/internal/kernels"
 	"mupod/internal/nn"
 	"mupod/internal/obs"
 	"mupod/internal/profile"
@@ -73,6 +74,12 @@ type Options struct {
 	// eval batch in batch order and correct counts are reduced in batch
 	// order, so results are bit-identical at every worker count.
 	Workers int
+	// Kernel selects the compute backend for evaluation forward passes
+	// (zero value = default backend, automatic intra-op budget). Like
+	// Workers, the "parallel" backend and any IntraWorkers setting never
+	// change results (kernels.Policy.ResultClass), so caches hash the
+	// result class only.
+	Kernel kernels.Policy
 }
 
 func (o Options) withDefaults(ds *dataset.Dataset) Options {
@@ -142,21 +149,28 @@ type Probe struct {
 type runner struct {
 	ev       *exec.Evaluator
 	plan     *exec.Plan
+	pol      kernels.Policy
 	sessions []*exec.Session
 }
 
-func newRunner(net *nn.Network, workers int) *runner {
+func newRunner(net *nn.Network, workers int, pol kernels.Policy) *runner {
 	ev := exec.NewEvaluator(workers)
+	if pol.IntraWorkers == 0 {
+		// Inter-item parallelism has priority; intra-op tiling spends
+		// whatever cores the eval pool leaves idle.
+		pol.IntraWorkers = kernels.IntraBudget(ev.Workers())
+	}
 	return &runner{
 		ev:       ev,
 		plan:     exec.NewPlan(net),
+		pol:      pol,
 		sessions: make([]*exec.Session, ev.Workers()),
 	}
 }
 
 func (r *runner) session(worker int) *exec.Session {
 	if r.sessions[worker] == nil {
-		r.sessions[worker] = exec.NewSession(r.plan)
+		r.sessions[worker] = exec.NewSessionPolicy(r.plan, r.pol)
 	}
 	return r.sessions[worker]
 }
@@ -221,7 +235,7 @@ func (r *runner) accuracy(ctx context.Context, ds *dataset.Dataset, n, batchSize
 // sequential; use AccuracyStateless for parallel evaluation with
 // stateless (e.g. quantizing) injectors.
 func Accuracy(net *nn.Network, ds *dataset.Dataset, n, batchSize int, inject map[int]nn.Injector) float64 {
-	r := newRunner(net, 1)
+	r := newRunner(net, 1, kernels.Policy{})
 	planFor := func(int) map[int]nn.Injector { return inject }
 	if len(inject) == 0 {
 		planFor = nil
@@ -236,7 +250,15 @@ func Accuracy(net *nn.Network, ds *dataset.Dataset, n, batchSize int, inject map
 // may invoke the same injector concurrently. The result is
 // bit-identical at every worker count.
 func AccuracyStateless(ctx context.Context, workers int, net *nn.Network, ds *dataset.Dataset, n, batchSize int, inject map[int]nn.Injector) (float64, error) {
-	r := newRunner(net, workers)
+	return AccuracyStatelessOn(ctx, workers, kernels.Policy{}, net, ds, n, batchSize, inject)
+}
+
+// AccuracyStatelessOn is AccuracyStateless computing on the kernel
+// backend named by pol — the policy-carrying variant the serving
+// daemon's guard loop uses so validation runs the same backend the
+// profile ran.
+func AccuracyStatelessOn(ctx context.Context, workers int, pol kernels.Policy, net *nn.Network, ds *dataset.Dataset, n, batchSize int, inject map[int]nn.Injector) (float64, error) {
+	r := newRunner(net, workers, pol)
 	planFor := func(int) map[int]nn.Injector { return inject }
 	if len(inject) == 0 {
 		planFor = nil
@@ -289,7 +311,7 @@ func XiPlan(prof *profile.Profile, sigmaYL float64, xi []float64, r *rng.RNG) ma
 // with results bit-identical at every worker count.
 func EvaluateSigma(net *nn.Network, prof *profile.Profile, ds *dataset.Dataset, sigma float64, opts Options) float64 {
 	opts = opts.withDefaults(ds)
-	acc, err := evaluateSigma(context.Background(), newRunner(net, opts.Workers), net, prof, ds, sigma, opts)
+	acc, err := evaluateSigma(context.Background(), newRunner(net, opts.Workers, opts.Kernel), net, prof, ds, sigma, opts)
 	if err != nil {
 		panic(fmt.Sprintf("search: %v", err)) // unreachable without ctx cancellation
 	}
@@ -364,7 +386,7 @@ func RunContext(ctx context.Context, net *nn.Network, prof *profile.Profile, ds 
 		obs.KV("scheme", int(opts.Scheme)), obs.KV("rel_drop", opts.RelDrop),
 		obs.KV("eval_images", opts.EvalImages), obs.KV("tol", opts.Tol))
 	defer ssp.End()
-	rn := newRunner(net, opts.Workers)
+	rn := newRunner(net, opts.Workers, opts.Kernel)
 	_, esp := obs.Start(ctx, "search.exact")
 	exact, err := rn.accuracy(ctx, ds, opts.EvalImages, opts.BatchSize, nil, nil)
 	esp.End()

@@ -27,8 +27,11 @@ func ProfileKey(net *nn.Network, ds *dataset.Dataset, cfg profile.Config) string
 	cfg = cfg.Normalized()
 	// Worker count never changes the (bit-identical) profile, so it must
 	// not split the cache: requests differing only in parallelism share
-	// one entry.
+	// one entry. The kernel policy is hashed by result-equivalence
+	// class for the same reason — "parallel" and the blocked default
+	// produce identical bits at any intra-op worker count.
 	cfg.Workers = 0
+	cfg.Kernel = cfg.Kernel.ResultClass()
 	h := sha256.New()
 
 	// Topology. The DSL covers every layer the repository builds; if a

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"mupod/internal/core"
+	"mupod/internal/kernels"
 	"mupod/internal/obs"
 	"mupod/internal/profile"
 	"mupod/internal/search"
@@ -69,6 +70,17 @@ type JobRequest struct {
 	// any worker count, so this only trades latency for CPU.
 	Workers int `json:"workers,omitempty"`
 
+	// Kernel names the compute backend for this job's forward passes:
+	// "naive", "blocked" or "parallel" ("" = the daemon's default).
+	// IntraWorkers bounds the goroutines the "parallel" backend spends
+	// inside one layer (0 = automatic). Stage-level policies in
+	// Profile.Kernel / Search.Kernel take precedence when set. Like
+	// Workers, "parallel"/IntraWorkers never change results; "naive"
+	// computes in a different accumulation order and therefore keys its
+	// own profile-cache class.
+	Kernel       string `json:"kernel,omitempty"`
+	IntraWorkers int    `json:"intra_workers,omitempty"`
+
 	DeltaFloor      float64 `json:"delta_floor,omitempty"`
 	Guard           bool    `json:"guard,omitempty"`
 	GuardShrink     float64 `json:"guard_shrink,omitempty"`
@@ -94,7 +106,17 @@ func (r *JobRequest) Validate() error {
 			return err
 		}
 	}
+	for _, p := range []kernels.Policy{r.kernelPolicy(), r.Profile.Kernel, r.Search.Kernel} {
+		if err := p.Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// kernelPolicy bundles the request's job-level kernel knobs.
+func (r *JobRequest) kernelPolicy() kernels.Policy {
+	return kernels.Policy{Impl: r.Kernel, IntraWorkers: r.IntraWorkers}
 }
 
 func (r *JobRequest) objective() (core.Objective, error) {
@@ -129,6 +151,7 @@ func (r *JobRequest) coreConfig() (core.Config, error) {
 		GuardShrink:     r.GuardShrink,
 		GuardMaxRetries: r.GuardMaxRetries,
 		Workers:         r.Workers,
+		Kernel:          r.kernelPolicy(),
 	}, nil
 }
 

@@ -26,6 +26,7 @@ import (
 	"mupod/internal/dataset"
 	"mupod/internal/exec"
 	"mupod/internal/fault"
+	"mupod/internal/kernels"
 	"mupod/internal/nn"
 	"mupod/internal/obs"
 	"mupod/internal/optimize"
@@ -58,6 +59,9 @@ type Config struct {
 	// a fully-loaded queue does not oversubscribe the CPU while a lone
 	// job still uses its full share.
 	JobWorkers int
+	// Kernel is the default compute-backend policy for jobs whose
+	// request leaves it unset (zero value = kernels default).
+	Kernel kernels.Policy
 	// QueueDepth bounds the number of queued-but-not-running jobs;
 	// submissions beyond it are shed with ErrQueueFull (default 64).
 	QueueDepth int
@@ -188,6 +192,7 @@ func New(cfg Config) (*Manager, error) {
 	// exec.EnableMetrics); the newest manager's registry wins, which in
 	// the daemon — one Manager per process — is simply "the" registry.
 	exec.EnableMetrics(m.metrics.Registry())
+	kernels.EnableMetrics(m.metrics.Registry())
 	optimize.EnableMetrics(m.metrics.Registry())
 	m.metrics.registerPareto()
 	pareto.EnableMetrics(m.metrics.Registry())
@@ -777,6 +782,17 @@ func (m *Manager) execute(ctx context.Context, req *JobRequest) (*JobResult, boo
 	}
 	if cfg.Search.Workers == 0 {
 		cfg.Search.Workers = cfg.Workers
+	}
+	// Same fan-out for the kernel policy: job-level knob, then the
+	// daemon default, reach any stage that did not pick its own.
+	if (cfg.Kernel == kernels.Policy{}) {
+		cfg.Kernel = m.cfg.Kernel
+	}
+	if (cfg.Profile.Kernel == kernels.Policy{}) {
+		cfg.Profile.Kernel = cfg.Kernel
+	}
+	if (cfg.Search.Kernel == kernels.Policy{}) {
+		cfg.Search.Kernel = cfg.Kernel
 	}
 
 	t0 := time.Now()

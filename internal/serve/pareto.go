@@ -108,6 +108,7 @@ func toParetoPoints(pts []pareto.Point) []ParetoPoint {
 // bit-identical at any parallelism, so they must not split the cache.
 func FrontKey(profileKey string, sopts search.Options, spec ParetoSpec, deltaFloor float64) string {
 	sopts.Workers = 0
+	sopts.Kernel = sopts.Kernel.ResultClass()
 	h := sha256.New()
 	io.WriteString(h, "pareto-front-v1\n")
 	io.WriteString(h, profileKey)

@@ -23,6 +23,7 @@ import (
 	"mupod/internal/dataset"
 	"mupod/internal/exec"
 	"mupod/internal/fixedpoint"
+	"mupod/internal/kernels"
 	"mupod/internal/nn"
 	"mupod/internal/profile"
 	"mupod/internal/rng"
@@ -113,10 +114,13 @@ func RunContext(ctx context.Context, net *nn.Network, ds *dataset.Dataset, cfg C
 	if ds.Len() < cfg.Images {
 		return nil, fmt.Errorf("weights: dataset has %d images, config needs %d", ds.Len(), cfg.Images)
 	}
+	if err := cfg.Kernel.Validate(); err != nil {
+		return nil, fmt.Errorf("weights: %w", err)
+	}
 	batch := ds.Batch(0, cfg.Images)
-	acts := net.ForwardAll(batch)
+	acts := net.ForwardAllOn(kernels.MustNew(cfg.Kernel), batch)
 	exact := acts[len(acts)-1]
-	sess := exec.NewSession(exec.NewPlan(net))
+	sess := exec.NewSessionPolicy(exec.NewPlan(net), cfg.Kernel)
 
 	p := &Profile{NetName: net.Name}
 	for _, nodeID := range net.AnalyzableNodes() {

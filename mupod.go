@@ -44,6 +44,7 @@ import (
 	"mupod/internal/exec"
 	"mupod/internal/fixedpoint"
 	"mupod/internal/fxnet"
+	"mupod/internal/kernels"
 	"mupod/internal/netdesc"
 	"mupod/internal/nn"
 	"mupod/internal/obs"
@@ -141,6 +142,14 @@ type (
 	ServeState = serve.State
 	// JobManager owns the job table, queue and worker pool.
 	JobManager = serve.Manager
+
+	// KernelPolicy selects the compute backend of every forward pass
+	// ("naive", "blocked" or "parallel"; the zero value is the default
+	// backend) and bounds the intra-op parallelism of "parallel". Set it
+	// on Config.Kernel, ProfileConfig.Kernel, SearchOptions.Kernel,
+	// BaselineOptions.Kernel or ServeConfig.Kernel (see
+	// internal/kernels).
+	KernelPolicy = kernels.Policy
 
 	// MetricsRegistry is the shared Prometheus-style metrics registry
 	// (see internal/obs).
@@ -383,14 +392,27 @@ func RunFixedPoint(net *Network, alloc *Allocation, cfg FixedPointConfig, x *Ten
 func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 
 // EnableEngineMetrics registers the process-wide execution-engine
-// counters (forwards, arena reuse, evaluator items/busy-seconds) and
-// solver iteration counters on reg. Last call wins; the serving
-// subsystem calls this on its own registry, so embedders running a
-// JobManager need not call it themselves.
+// counters (forwards, arena reuse, evaluator items/busy-seconds),
+// compute-kernel dispatch counters and solver iteration counters on
+// reg. Last call wins; the serving subsystem calls this on its own
+// registry, so embedders running a JobManager need not call it
+// themselves.
 func EnableEngineMetrics(reg *MetricsRegistry) {
 	exec.EnableMetrics(reg)
+	kernels.EnableMetrics(reg)
 	optimize.EnableMetrics(reg)
 }
+
+// KernelBackends lists the registered compute backends ("naive",
+// "blocked", "parallel"), sorted; KernelDefault is the one a zero
+// KernelPolicy selects. All backends satisfy the same differential
+// contract against the reference kernels (≤1e-9 on the self-check
+// nets); "blocked" and "parallel" are bit-identical to each other at
+// any worker count, while "naive" accumulates in a different order.
+func KernelBackends() []string { return kernels.Names() }
+
+// KernelDefault is the backend name a zero KernelPolicy resolves to.
+const KernelDefault = kernels.DefaultImpl
 
 // NewTracer builds a span recorder holding up to maxSpans spans
 // (<= 0 uses the default cap). Attach it with WithTracer; any pipeline
