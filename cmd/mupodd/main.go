@@ -21,9 +21,11 @@
 //
 //	POST   /v1/jobs       {"model":"alexnet","objective":"mac",...} → job ID
 //	                      (429 + Retry-After when the queue is saturated)
-//	GET    /v1/jobs/{id}  job state + result
+//	GET    /v1/jobs/{id}  job state + result + stage timeline
 //	DELETE /v1/jobs/{id}  cancel
-//	GET    /healthz       liveness (503 while draining)
+//	GET    /healthz       liveness (always 200 while the process serves)
+//	GET    /readyz        readiness (503 + reasons while draining,
+//	                      queue-saturated, or the profile breaker is open)
 //	GET    /metrics       Prometheus text format
 //	GET    /debug/trace/{id}  Chrome trace of a finished job
 //	GET    /debug/pprof/  runtime profiles

@@ -1,0 +1,206 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mupod/internal/serve"
+)
+
+// TestOpenLoopNoCoordinatedOmission pins the defining property of the
+// open-loop scheduler: a responder that never answers must not
+// suppress scheduled arrivals. A closed-loop (or blocking) generator
+// would fire once and stall — the coordinated-omission failure mode.
+func TestOpenLoopNoCoordinatedOmission(t *testing.T) {
+	block := make(chan struct{})
+	var fired atomic.Int64
+	done := make(chan int64, 1)
+	go func() {
+		done <- OpenLoop(context.Background(), 1000, 100*time.Millisecond, func(i int64, scheduled time.Time) {
+			fired.Add(1)
+			<-block // stalled responder: request never completes
+		})
+	}()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for fired.Load() < 80 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	got := fired.Load()
+	if got < 80 {
+		t.Errorf("stalled responder suppressed arrivals: fired %d of ~100 scheduled", got)
+	}
+	close(block)
+	total := <-done
+	if total != fired.Load() {
+		t.Errorf("OpenLoop returned %d fired, callbacks saw %d", total, fired.Load())
+	}
+	if total > 110 {
+		t.Errorf("fired %d arrivals, want ~100 (rate 1000/s for 100ms)", total)
+	}
+}
+
+// TestOpenLoopCancel: cancelling the context stops the schedule early
+// but still waits for in-flight firings.
+func TestOpenLoopCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var inflight, finished atomic.Int64
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	fired := OpenLoop(ctx, 100, 10*time.Second, func(i int64, scheduled time.Time) {
+		inflight.Add(1)
+		time.Sleep(20 * time.Millisecond)
+		finished.Add(1)
+	})
+	if fired == 0 || fired > 100 {
+		t.Errorf("cancelled schedule fired %d arrivals, want a handful", fired)
+	}
+	if finished.Load() != inflight.Load() {
+		t.Errorf("OpenLoop returned before firings finished: %d started, %d done", inflight.Load(), finished.Load())
+	}
+}
+
+// stubDaemon fakes the two submit endpoints with the given per-request
+// delay, counting hits per target.
+func stubDaemon(delay time.Duration, jobs, pareto *atomic.Int64) *httptest.Server {
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(delay)
+		switch r.URL.Path {
+		case TargetJobs:
+			jobs.Add(1)
+		case TargetPareto:
+			pareto.Add(1)
+		default:
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+	}))
+}
+
+func TestRunClosedLoop(t *testing.T) {
+	var jobs, pareto atomic.Int64
+	srv := stubDaemon(0, &jobs, &pareto)
+	defer srv.Close()
+
+	res, err := Run(context.Background(), Options{
+		BaseURL:        srv.URL,
+		Mode:           "closed",
+		Concurrency:    4,
+		Duration:       200 * time.Millisecond,
+		ParetoFraction: 0.3,
+		Payloads:       [][]byte{[]byte(`{}`)},
+		SLOP99:         5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests == 0 || res.Errors != 0 {
+		t.Fatalf("closed loop: %d requests, %d errors", res.Requests, res.Errors)
+	}
+	if jobs.Load() == 0 || pareto.Load() == 0 {
+		t.Fatalf("mix not exercised: %d jobs, %d pareto", jobs.Load(), pareto.Load())
+	}
+	frac := float64(pareto.Load()) / float64(jobs.Load()+pareto.Load())
+	if frac < 0.15 || frac > 0.45 {
+		t.Errorf("pareto fraction = %.2f, want ~0.30", frac)
+	}
+	rep := BuildReport(res)
+	if rep.SLO == nil || rep.SLO.Violated {
+		t.Errorf("SLO gate = %+v, want met at a 5s limit", rep.SLO)
+	}
+	if rep.Targets["all"].Count != uint64(res.Requests) {
+		t.Errorf("report all-count %d != %d requests", rep.Targets["all"].Count, res.Requests)
+	}
+	if rep.ThroughputRPS <= 0 {
+		t.Errorf("throughput %g, want > 0", rep.ThroughputRPS)
+	}
+}
+
+func TestRunOpenLoopSLOViolation(t *testing.T) {
+	var jobs, pareto atomic.Int64
+	srv := stubDaemon(20*time.Millisecond, &jobs, &pareto)
+	defer srv.Close()
+
+	res, err := Run(context.Background(), Options{
+		BaseURL:  srv.URL,
+		Mode:     "open",
+		Rate:     50,
+		Duration: 300 * time.Millisecond,
+		Payloads: [][]byte{[]byte(`{}`)},
+		SLOP99:   time.Millisecond, // a 20ms server cannot meet 1ms
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scheduled == 0 || res.Requests != res.Scheduled {
+		t.Fatalf("open loop: scheduled %d, completed %d", res.Scheduled, res.Requests)
+	}
+	rep := BuildReport(res)
+	if rep.SLO == nil || !rep.SLO.Violated {
+		t.Fatalf("SLO gate = %+v, want violated (p99 ~20ms vs 1ms limit)", rep.SLO)
+	}
+	if p99 := rep.Targets["all"].P99MS; p99 < 15 {
+		t.Errorf("p99 = %.2fms, want >= the 20ms server delay", p99)
+	}
+
+	// Round-trip the JSON report.
+	var sb []byte
+	{
+		buf := &bytesBuffer{}
+		if err := rep.WriteJSON(buf); err != nil {
+			t.Fatal(err)
+		}
+		sb = buf.b
+	}
+	var back Report
+	if err := json.Unmarshal(sb, &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if back.Mode != "open" || back.SLO == nil || !back.SLO.Violated {
+		t.Errorf("round-tripped report = %+v", back)
+	}
+}
+
+type bytesBuffer struct{ b []byte }
+
+func (w *bytesBuffer) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+// TestBuildPayloads: every payload must be a valid JobRequest with an
+// inline netdesc body and a distinct seed.
+func TestBuildPayloads(t *testing.T) {
+	payloads, err := BuildPayloads(5, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(payloads) != 5 {
+		t.Fatalf("got %d payloads, want 5", len(payloads))
+	}
+	seeds := map[uint64]bool{}
+	for i, p := range payloads {
+		var req serve.JobRequest
+		if err := json.Unmarshal(p, &req); err != nil {
+			t.Fatalf("payload %d does not parse: %v", i, err)
+		}
+		if err := req.Validate(); err != nil {
+			t.Errorf("payload %d invalid: %v", i, err)
+		}
+		if req.Network == "" || req.TrainSteps != 30 {
+			t.Errorf("payload %d = {network %dB, train_steps %d}, want inline netdesc", i, len(req.Network), req.TrainSteps)
+		}
+		if seeds[req.Seed] {
+			t.Errorf("payload %d reuses seed %d", i, req.Seed)
+		}
+		seeds[req.Seed] = true
+	}
+}

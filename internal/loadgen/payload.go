@@ -1,0 +1,51 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"mupod/internal/netdesc"
+	"mupod/internal/profile"
+	"mupod/internal/search"
+	"mupod/internal/serve"
+	"mupod/internal/testnet"
+)
+
+// BuildPayloads serializes distinct job bodies over the testnet zoo
+// architectures: each payload is an inline netdesc description the
+// daemon trains server-side for trainSteps steps, with a rotating seed
+// so the profile-cache hit rate under load is distinct/total, not 100%.
+// Payload i reuses architecture ZooNames()[i % len] with seed 1000+i.
+func BuildPayloads(distinct, trainSteps int) ([][]byte, error) {
+	if distinct <= 0 {
+		distinct = 1
+	}
+	if trainSteps <= 0 {
+		trainSteps = 30
+	}
+	names := testnet.ZooNames()
+	out := make([][]byte, 0, distinct)
+	for i := 0; i < distinct; i++ {
+		var sb strings.Builder
+		if err := netdesc.Write(&sb, testnet.BuildZoo(names[i%len(names)])); err != nil {
+			return nil, fmt.Errorf("loadgen: serializing %s: %w", names[i%len(names)], err)
+		}
+		req := serve.JobRequest{
+			Network:    sb.String(),
+			TrainSteps: trainSteps,
+			Seed:       uint64(1000 + i),
+			// The tiny-profile settings the serve tests use: jobs finish
+			// in well under a second, so a short run still completes a
+			// meaningful number end to end.
+			Profile: profile.Config{Images: 8, Points: 5, Seed: uint64(i + 1)},
+			Search:  search.Options{RelDrop: 0.05, EvalImages: 64, Tol: 0.2, Seed: 2},
+		}
+		b, err := json.Marshal(req)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: marshaling payload %d: %w", i, err)
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}

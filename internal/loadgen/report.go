@@ -1,0 +1,145 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+	"time"
+
+	"mupod/internal/obs"
+)
+
+// Report is the BENCH_loadgen.json schema — the durable record of one
+// load-generation run.
+type Report struct {
+	Description    string  `json:"description"`
+	Mode           string  `json:"mode"`
+	TargetRateRPS  float64 `json:"target_rate_rps,omitempty"`
+	Concurrency    int     `json:"concurrency,omitempty"`
+	DurationSecs   float64 `json:"duration_seconds"`
+	ParetoFraction float64 `json:"pareto_fraction"`
+
+	Scheduled     int64   `json:"scheduled_arrivals,omitempty"`
+	Requests      int64   `json:"requests"`
+	Errors        int64   `json:"errors"`
+	Shed          int64   `json:"shed_429"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+
+	Targets map[string]TargetStats `json:"targets"`
+	SLO     *SLOResult             `json:"slo,omitempty"`
+}
+
+// TargetStats is one target's latency summary in milliseconds.
+type TargetStats struct {
+	Count  uint64  `json:"count"`
+	P50MS  float64 `json:"p50_ms"`
+	P90MS  float64 `json:"p90_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	P999MS float64 `json:"p999_ms"`
+	MeanMS float64 `json:"mean_ms"`
+	MinMS  float64 `json:"min_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+// SLOResult records the p99 gate verdict.
+type SLOResult struct {
+	P99LimitMS float64 `json:"p99_limit_ms"`
+	P99MS      float64 `json:"p99_ms"`
+	Violated   bool    `json:"violated"`
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+func stats(s *obs.LatencySnapshot) TargetStats {
+	if s == nil || s.N == 0 {
+		return TargetStats{}
+	}
+	return TargetStats{
+		Count:  s.N,
+		P50MS:  ms(s.Quantile(0.50)),
+		P90MS:  ms(s.Quantile(0.90)),
+		P99MS:  ms(s.Quantile(0.99)),
+		P999MS: ms(s.Quantile(0.999)),
+		MeanMS: ms(s.Mean()),
+		MinMS:  ms(s.MinDuration()),
+		MaxMS:  ms(s.MaxDuration()),
+	}
+}
+
+// BuildReport reduces a finished run to its durable report, applying
+// the p99 SLO gate when one was configured.
+func BuildReport(res *Result) *Report {
+	rep := &Report{
+		Description:    "mupod-loadgen run: client-side submit latency against a live mupodd (open loop measures from the scheduled arrival time, so client-side queueing is included — no coordinated omission).",
+		Mode:           res.Opts.Mode,
+		DurationSecs:   res.Elapsed.Seconds(),
+		ParetoFraction: res.Opts.ParetoFraction,
+		Scheduled:      res.Scheduled,
+		Requests:       res.Requests,
+		Errors:         res.Errors,
+		Shed:           res.Shed,
+		Targets:        map[string]TargetStats{"all": stats(res.All)},
+	}
+	if res.Opts.Mode == "open" {
+		rep.TargetRateRPS = res.Opts.Rate
+	} else {
+		rep.Concurrency = res.Opts.Concurrency
+	}
+	if res.Elapsed > 0 {
+		rep.ThroughputRPS = float64(res.Requests) / res.Elapsed.Seconds()
+	}
+	for name, s := range res.PerTarget {
+		if s.N > 0 {
+			rep.Targets[name] = stats(s)
+		}
+	}
+	if limit := res.Opts.SLOP99; limit > 0 {
+		p99 := res.All.Quantile(0.99)
+		rep.SLO = &SLOResult{
+			P99LimitMS: ms(limit),
+			P99MS:      ms(p99),
+			Violated:   p99 > limit,
+		}
+	}
+	return rep
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteTable renders the human-readable quantile/throughput table.
+func (r *Report) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "mode=%s duration=%.1fs requests=%d errors=%d shed(429)=%d throughput=%.1f req/s\n",
+		r.Mode, r.DurationSecs, r.Requests, r.Errors, r.Shed, r.ThroughputRPS)
+	if r.Mode == "open" {
+		fmt.Fprintf(w, "target rate=%.1f req/s scheduled=%d\n", r.TargetRateRPS, r.Scheduled)
+	} else {
+		fmt.Fprintf(w, "concurrency=%d\n", r.Concurrency)
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "target\tcount\tp50\tp90\tp99\tp99.9\tmean\tmin\tmax")
+	names := make([]string, 0, len(r.Targets))
+	for name := range r.Targets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s := r.Targets[name]
+		fmt.Fprintf(tw, "%s\t%d\t%.2fms\t%.2fms\t%.2fms\t%.2fms\t%.2fms\t%.2fms\t%.2fms\n",
+			name, s.Count, s.P50MS, s.P90MS, s.P99MS, s.P999MS, s.MeanMS, s.MinMS, s.MaxMS)
+	}
+	tw.Flush()
+	if r.SLO != nil {
+		verdict := "met"
+		if r.SLO.Violated {
+			verdict = "VIOLATED"
+		}
+		fmt.Fprintf(w, "SLO p99 <= %.2fms: %s (measured %.2fms)\n", r.SLO.P99LimitMS, verdict, r.SLO.P99MS)
+	}
+}

@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestLatencyBucketLayout pins the index math: every bucket's upper
+// bound maps back to its own index, bounds are strictly increasing, and
+// the relative bucket width never exceeds 1/32.
+func TestLatencyBucketLayout(t *testing.T) {
+	prev := int64(-1)
+	for i := 0; i < numLatBuckets; i++ {
+		up := latUpperNS(i)
+		if up <= prev {
+			t.Fatalf("bucket %d: upper %d not > previous %d", i, up, prev)
+		}
+		if got := latBucket(up); got != i {
+			t.Fatalf("latBucket(latUpperNS(%d)=%d) = %d", i, up, got)
+		}
+		if i >= latLinear {
+			width := float64(up - prev)
+			if rel := width / float64(prev+1); rel > 1.0/latSubBuckets+1e-12 {
+				t.Fatalf("bucket %d: relative width %g > 1/%d", i, rel, latSubBuckets)
+			}
+		}
+		prev = up
+	}
+	// The lower edge of each bucket maps to the same index too.
+	for _, ns := range []int64{0, 1, 63, 64, 65, 1000, 1<<20 + 3, 1 << 40, math.MaxInt64 / 2} {
+		b := latBucket(ns)
+		if up := latUpperNS(b); up < ns {
+			t.Fatalf("value %d above its bucket %d upper %d", ns, b, up)
+		}
+		if b > 0 {
+			if lowerUp := latUpperNS(b - 1); lowerUp >= ns {
+				t.Fatalf("value %d should be above bucket %d upper %d", ns, b-1, lowerUp)
+			}
+		}
+	}
+}
+
+// TestLatencyQuantileVsOracle is the quantile-correctness property
+// test: on random heavy-tailed samples, every estimated quantile must
+// sit at or above the exact sorted-sample quantile and within one
+// sub-bucket width (1/32 relative) of it.
+func TestLatencyQuantileVsOracle(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 11))
+	for trial := 0; trial < 20; trial++ {
+		h := NewLatencyHistogram()
+		n := 200 + rng.IntN(3000)
+		samples := make([]int64, n)
+		for i := range samples {
+			// Lognormal-ish: microseconds to minutes.
+			ns := int64(math.Exp(rng.NormFloat64()*2+14)) + rng.Int64N(1000)
+			samples[i] = ns
+			h.Observe(time.Duration(ns))
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		snap := h.Snapshot()
+		if snap.N != uint64(n) {
+			t.Fatalf("trial %d: snapshot N = %d, want %d", trial, snap.N, n)
+		}
+		for _, q := range []float64{0.5, 0.9, 0.99, 0.999, 1.0} {
+			rank := int(math.Ceil(q * float64(n)))
+			if rank < 1 {
+				rank = 1
+			}
+			oracle := samples[rank-1]
+			got := int64(snap.Quantile(q))
+			if got < oracle {
+				t.Errorf("trial %d q=%g: estimate %d below exact %d", trial, q, got, oracle)
+			}
+			// Estimate reports the bucket's upper bound: at most one
+			// sub-bucket (1/32 relative, +1ns for the linear region)
+			// above the exact order statistic.
+			if limit := oracle + oracle/latSubBuckets + 1; got > limit {
+				t.Errorf("trial %d q=%g: estimate %d exceeds %d (exact %d + 1/32)", trial, q, got, limit, oracle)
+			}
+		}
+		if min := int64(snap.MinDuration()); min != samples[0] {
+			t.Errorf("trial %d: min %d, want %d", trial, min, samples[0])
+		}
+		if max := int64(snap.MaxDuration()); max != samples[n-1] {
+			t.Errorf("trial %d: max %d, want %d", trial, max, samples[n-1])
+		}
+	}
+}
+
+// TestLatencySnapshotMerge: merging per-worker snapshots must equal one
+// histogram that saw every sample.
+func TestLatencySnapshotMerge(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 5))
+	whole := NewLatencyHistogram()
+	parts := []*LatencyHistogram{NewLatencyHistogram(), NewLatencyHistogram(), NewLatencyHistogram()}
+	for i := 0; i < 5000; i++ {
+		d := time.Duration(rng.Int64N(int64(10 * time.Second)))
+		whole.Observe(d)
+		parts[i%len(parts)].Observe(d)
+	}
+	merged := parts[0].Snapshot()
+	for _, p := range parts[1:] {
+		merged.Merge(p.Snapshot())
+	}
+	want := whole.Snapshot()
+	if merged.N != want.N || merged.SumNS != want.SumNS || merged.Min != want.Min || merged.Max != want.Max {
+		t.Fatalf("merged header (n=%d sum=%d min=%d max=%d) != whole (n=%d sum=%d min=%d max=%d)",
+			merged.N, merged.SumNS, merged.Min, merged.Max, want.N, want.SumNS, want.Min, want.Max)
+	}
+	for i := range want.Counts {
+		if merged.Counts[i] != want.Counts[i] {
+			t.Fatalf("bucket %d: merged %d != whole %d", i, merged.Counts[i], want.Counts[i])
+		}
+	}
+	for _, q := range []float64{0.5, 0.99, 0.999} {
+		if merged.Quantile(q) != want.Quantile(q) {
+			t.Fatalf("q=%g: merged %v != whole %v", q, merged.Quantile(q), want.Quantile(q))
+		}
+	}
+}
+
+// TestLatencyConcurrentObserve hammers Observe from many goroutines;
+// the final count and sum must be exact (run under -race in CI).
+func TestLatencyConcurrentObserve(t *testing.T) {
+	h := NewLatencyHistogram()
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(seed, 1))
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(rng.Int64N(int64(time.Minute))))
+			}
+		}(uint64(w))
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("count = %d, want %d", got, workers*per)
+	}
+	var bucketed uint64
+	snap := h.Snapshot()
+	for _, c := range snap.Counts {
+		bucketed += c
+	}
+	if bucketed != workers*per {
+		t.Fatalf("bucketed = %d, want %d", bucketed, workers*per)
+	}
+}
+
+// TestLatencyRegistryExposition: a registered LatencyHistogram renders
+// the standard cumulative-le layout on the DefaultLatencyBuckets
+// bounds, with labels, sum and count.
+func TestLatencyRegistryExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.LatencyHistogram("test_latency_seconds", "Test latencies.", "route", "/v1/jobs")
+	h.Observe(3 * time.Millisecond)
+	h.Observe(40 * time.Millisecond)
+	h.Observe(2 * time.Second)
+	var sb strings.Builder
+	r.Write(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE test_latency_seconds histogram",
+		`test_latency_seconds_bucket{route="/v1/jobs",le="0.005"} 1`,
+		`test_latency_seconds_bucket{route="/v1/jobs",le="0.05"} 2`,
+		`test_latency_seconds_bucket{route="/v1/jobs",le="2.5"} 3`,
+		`test_latency_seconds_bucket{route="/v1/jobs",le="+Inf"} 3`,
+		`test_latency_seconds_count{route="/v1/jobs"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Same family, second series: shares HELP/TYPE.
+	r.LatencyHistogram("test_latency_seconds", "Test latencies.", "route", "/pareto")
+	if same := r.LatencyHistogram("test_latency_seconds", "Test latencies.", "route", "/v1/jobs"); same != h {
+		t.Error("re-registration did not return the existing series")
+	}
+}
+
+// TestLatencyNilReceiver: every method is a safe no-op on nil, like the
+// rest of the obs types.
+func TestLatencyNilReceiver(t *testing.T) {
+	var h *LatencyHistogram
+	h.Observe(time.Second)
+	h.ObserveSeconds(1)
+	if h.Count() != 0 || h.Quantile(0.99) != 0 {
+		t.Fatal("nil histogram not empty")
+	}
+	s := h.Snapshot()
+	if s.Quantile(0.5) != 0 || s.Mean() != 0 || s.MinDuration() != 0 || s.MaxDuration() != 0 {
+		t.Fatal("nil-derived snapshot not empty")
+	}
+	s.Merge(nil)
+}
+
+// TestRuntimeCollector: the three runtime gauges register, render and
+// carry plausible values.
+func TestRuntimeCollector(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeMetrics(r)
+	var sb strings.Builder
+	r.Write(&sb)
+	out := sb.String()
+	for _, fam := range []string{"mupod_go_goroutines", "mupod_go_heap_bytes", "mupod_go_gc_pause_seconds"} {
+		if !strings.Contains(out, "# TYPE "+fam+" gauge") || !strings.Contains(out, fam+" ") {
+			t.Errorf("runtime family %s missing in:\n%s", fam, out)
+		}
+	}
+	c := NewRuntimeCollector()
+	if g := c.read(0); g < 1 {
+		t.Errorf("goroutines = %g, want >= 1", g)
+	}
+	if hb := c.read(1); hb <= 0 {
+		t.Errorf("heap bytes = %g, want > 0", hb)
+	}
+	if p := c.read(2); p < 0 {
+		t.Errorf("gc pause seconds = %g, want >= 0", p)
+	}
+}

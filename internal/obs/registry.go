@@ -386,20 +386,27 @@ func (h *Histogram) Sum() float64 {
 
 func (h *Histogram) labelSet() string { return h.labels }
 
-// write renders cumulative `le` buckets, the +Inf bucket, _sum and
-// _count — the standard Prometheus histogram layout.
+// write renders the standard Prometheus histogram layout.
 func (h *Histogram) write(w io.Writer, name string) {
 	h.mu.Lock()
 	counts := append([]uint64(nil), h.counts...)
 	sum, n := h.sum, h.n
 	h.mu.Unlock()
+	writeCumulativeBuckets(w, name, h.labels, h.buckets, counts, sum, n)
+}
+
+// writeCumulativeBuckets renders cumulative `le` buckets, the +Inf
+// bucket, _sum and _count — the exposition layout shared by Histogram
+// and LatencyHistogram series. counts holds one entry per bound plus a
+// final overflow entry.
+func writeCumulativeBuckets(w io.Writer, name, labels string, bounds []float64, counts []uint64, sum float64, n uint64) {
 	cum := uint64(0)
-	for i, le := range h.buckets {
+	for i, le := range bounds {
 		cum += counts[i]
-		writeLine(w, name+"_bucket", joinLabels(h.labels, fmt.Sprintf("le=\"%g\"", le)), strconv.FormatUint(cum, 10))
+		writeLine(w, name+"_bucket", joinLabels(labels, fmt.Sprintf("le=\"%g\"", le)), strconv.FormatUint(cum, 10))
 	}
-	cum += counts[len(h.buckets)]
-	writeLine(w, name+"_bucket", joinLabels(h.labels, `le="+Inf"`), strconv.FormatUint(cum, 10))
-	writeLine(w, name+"_sum", h.labels, formatFloat(sum))
-	writeLine(w, name+"_count", h.labels, strconv.FormatUint(n, 10))
+	cum += counts[len(bounds)]
+	writeLine(w, name+"_bucket", joinLabels(labels, `le="+Inf"`), strconv.FormatUint(cum, 10))
+	writeLine(w, name+"_sum", labels, formatFloat(sum))
+	writeLine(w, name+"_count", labels, strconv.FormatUint(n, 10))
 }

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// The runtime/metrics samples the collector exports. The names are
+// stable Go runtime identifiers; the exposition names are ours.
+const (
+	sampleGoroutines = "/sched/goroutines:goroutines"
+	sampleHeapBytes  = "/memory/classes/heap/objects:bytes"
+	sampleGCPauses   = "/gc/pauses:seconds"
+)
+
+// RuntimeCollector samples Go runtime health (goroutine count, live
+// heap bytes, cumulative GC pause seconds) through runtime/metrics and
+// exposes them as gauge funcs. One Read covers all samples and is
+// cached briefly, so the three gauges rendering on one /metrics scrape
+// cost a single runtime sweep.
+type RuntimeCollector struct {
+	mu      sync.Mutex
+	samples []metrics.Sample
+	readAt  time.Time
+}
+
+// NewRuntimeCollector prepares (but does not register) a collector.
+func NewRuntimeCollector() *RuntimeCollector {
+	return &RuntimeCollector{samples: []metrics.Sample{
+		{Name: sampleGoroutines},
+		{Name: sampleHeapBytes},
+		{Name: sampleGCPauses},
+	}}
+}
+
+// read refreshes the sample set at most once per interval and returns
+// the sample at index i as a float64.
+func (c *RuntimeCollector) read(i int) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if now := time.Now(); now.Sub(c.readAt) > 100*time.Millisecond {
+		metrics.Read(c.samples)
+		c.readAt = now
+	}
+	s := c.samples[i]
+	switch s.Value.Kind() {
+	case metrics.KindUint64:
+		return float64(s.Value.Uint64())
+	case metrics.KindFloat64:
+		return s.Value.Float64()
+	case metrics.KindFloat64Histogram:
+		return histogramSum(s.Value.Float64Histogram())
+	default:
+		return 0
+	}
+}
+
+// histogramSum estimates the total of a runtime histogram (counts ×
+// bucket midpoints) — for /gc/pauses:seconds this is the cumulative
+// stop-the-world pause time. Unbounded edge buckets fall back to their
+// finite edge.
+func histogramSum(h *metrics.Float64Histogram) float64 {
+	var total float64
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		mid := (lo + hi) / 2
+		switch {
+		case math.IsInf(lo, -1):
+			mid = hi
+		case math.IsInf(hi, 1):
+			mid = lo
+		}
+		total += float64(c) * mid
+	}
+	return total
+}
+
+// Register attaches the collector's gauge funcs to reg:
+//
+//	mupod_go_goroutines        current goroutine count
+//	mupod_go_heap_bytes        bytes of live heap objects
+//	mupod_go_gc_pause_seconds  cumulative GC stop-the-world pause time
+//
+// Call once per registry (GaugeFunc panics on double registration).
+func (c *RuntimeCollector) Register(r *Registry) {
+	r.GaugeFunc("mupod_go_goroutines", "Goroutines currently live.", func() float64 {
+		return c.read(0)
+	})
+	r.GaugeFunc("mupod_go_heap_bytes", "Bytes of live heap objects.", func() float64 {
+		return c.read(1)
+	})
+	r.GaugeFunc("mupod_go_gc_pause_seconds", "Cumulative GC stop-the-world pause seconds (bucket-midpoint estimate).", func() float64 {
+		return c.read(2)
+	})
+}
+
+// RegisterRuntimeMetrics is the one-call form: build a collector and
+// register its gauges on r.
+func RegisterRuntimeMetrics(r *Registry) {
+	NewRuntimeCollector().Register(r)
+}

@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"net/http"
+	"time"
+)
+
+// httpRoutes is the daemon's route set as exported in the `route`
+// label. Path parameters stay in pattern form ({id}) so the label
+// cardinality is fixed no matter how many jobs exist.
+var httpRoutes = []string{
+	"/v1/jobs",
+	"/v1/jobs/{id}",
+	"/pareto",
+	"/healthz",
+	"/readyz",
+	"/metrics",
+	"/debug/trace/{id}",
+	"/debug/pprof/",
+}
+
+// statusRecorder captures the status code a handler wrote (200 when it
+// never called WriteHeader explicitly). Unwrap keeps
+// http.ResponseController (flush, deadlines) working through the
+// wrapper — the pprof CPU-profile handler streams and flushes.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.code = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Unwrap() http.ResponseWriter { return sr.ResponseWriter }
+
+// Flush lets streaming handlers (pprof profile, trace) flush through
+// the wrapper even on clients that type-assert http.Flusher directly.
+func (sr *statusRecorder) Flush() {
+	if f, ok := sr.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps one route's handler with the RED middleware:
+// mupod_http_requests_total{route,method,code},
+// mupod_http_request_duration_seconds{route} and mupod_http_in_flight.
+func (m *Manager) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		m.metrics.httpInFlight.Add(1)
+		sr := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		defer func() {
+			m.metrics.httpInFlight.Add(-1)
+			m.metrics.httpRequest(route, r.Method, sr.code, time.Since(start))
+		}()
+		h(sr, r)
+	}
+}
+
+// Readiness reports whether the daemon should receive new traffic, and
+// if not, why: draining (shutdown began), queue saturated (submissions
+// are being shed), or the profile circuit breaker failing fast. The
+// process can be alive (/healthz 200) yet unready — load balancers
+// route on this, orchestrators restart on liveness.
+func (m *Manager) Readiness() (bool, []string) {
+	var reasons []string
+	if m.Draining() {
+		reasons = append(reasons, "draining")
+	}
+	if m.QueueDepth() >= m.cfg.QueueDepth {
+		reasons = append(reasons, "queue saturated")
+	}
+	if m.breaker.State() == breakerOpen {
+		reasons = append(reasons, "profile circuit breaker open")
+	}
+	return len(reasons) == 0, reasons
+}

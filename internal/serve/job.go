@@ -155,6 +155,32 @@ func (r *JobRequest) coreConfig() (core.Config, error) {
 	}, nil
 }
 
+// TimelineEntry is one step of a job's stage timeline: a lifecycle
+// transition (queued, running, interrupted, done, failed, cancelled) or
+// a pipeline stage completing (resolve, profile, search, solve,
+// pareto). SinceMS is the wall time since the previous entry — for a
+// stage-completion entry, the stage's duration; for "running", the
+// queue wait. The sequence is recorded live, journaled, and
+// reconstructed on crash replay, so GET /v1/jobs/{id} answers "where
+// did this job's latency go" even across a daemon restart.
+type TimelineEntry struct {
+	Event   string    `json:"event"`
+	At      time.Time `json:"at"`
+	SinceMS float64   `json:"since_prev_ms"`
+}
+
+// appendTimeline extends tl with one event, deriving SinceMS from the
+// previous entry (0 for the first, and for out-of-order clock reads).
+func appendTimeline(tl []TimelineEntry, event string, at time.Time) []TimelineEntry {
+	e := TimelineEntry{Event: event, At: at}
+	if n := len(tl); n > 0 {
+		if d := at.Sub(tl[n-1].At); d > 0 {
+			e.SinceMS = 1000 * d.Seconds()
+		}
+	}
+	return append(tl, e)
+}
+
 // LayerResult is one layer of a finished allocation.
 type LayerResult struct {
 	Name     string  `json:"name"`
@@ -221,6 +247,21 @@ type Job struct {
 	// queue channel.
 	attempt   int
 	retryWait bool
+	timeline  []TimelineEntry
+}
+
+// note appends one timeline event under the job lock.
+func (j *Job) note(event string, at time.Time) {
+	j.mu.Lock()
+	j.timeline = appendTimeline(j.timeline, event, at)
+	j.mu.Unlock()
+}
+
+// Timeline returns a copy of the stage timeline recorded so far.
+func (j *Job) Timeline() []TimelineEntry {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]TimelineEntry(nil), j.timeline...)
 }
 
 // Tracer returns the job's span buffer, or nil when per-job tracing is
@@ -282,15 +323,16 @@ func (j *Job) Wait(ctx context.Context) error {
 
 // JobView is the JSON snapshot of a job returned by the API.
 type JobView struct {
-	ID        string     `json:"id"`
-	State     State      `json:"state"`
-	Error     string     `json:"error,omitempty"`
-	CacheHit  bool       `json:"cache_hit"`
-	Attempt   int        `json:"attempt,omitempty"`
-	Submitted time.Time  `json:"submitted"`
-	Started   *time.Time `json:"started,omitempty"`
-	Finished  *time.Time `json:"finished,omitempty"`
-	Result    *JobResult `json:"result,omitempty"`
+	ID        string          `json:"id"`
+	State     State           `json:"state"`
+	Error     string          `json:"error,omitempty"`
+	CacheHit  bool            `json:"cache_hit"`
+	Attempt   int             `json:"attempt,omitempty"`
+	Submitted time.Time       `json:"submitted"`
+	Started   *time.Time      `json:"started,omitempty"`
+	Finished  *time.Time      `json:"finished,omitempty"`
+	Timeline  []TimelineEntry `json:"timeline,omitempty"`
+	Result    *JobResult      `json:"result,omitempty"`
 }
 
 // View snapshots the job for serialization.
@@ -304,6 +346,7 @@ func (j *Job) View() JobView {
 		CacheHit:  j.cacheHit,
 		Attempt:   j.attempt,
 		Submitted: j.submitted,
+		Timeline:  append([]TimelineEntry(nil), j.timeline...),
 		Result:    j.result,
 	}
 	if !j.started.IsZero() {

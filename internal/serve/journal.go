@@ -30,6 +30,8 @@ const (
 //
 //	submit  a job entered the queue (Req carries the full request)
 //	state   a state transition (Attempt/Err/CacheHit as applicable)
+//	stage   a pipeline stage finished (Event names it) — feeds the
+//	        job's stage timeline; absent from pre-timeline journals
 //	result  the JobResult of a job about to be marked done
 type journalRec struct {
 	T        string      `json:"t"`
@@ -37,6 +39,7 @@ type journalRec struct {
 	Time     time.Time   `json:"time"`
 	Req      *JobRequest `json:"req,omitempty"`
 	State    State       `json:"state,omitempty"`
+	Event    string      `json:"event,omitempty"`
 	Err      string      `json:"err,omitempty"`
 	Attempt  int         `json:"attempt,omitempty"`
 	CacheHit bool        `json:"cache_hit,omitempty"`
@@ -55,7 +58,10 @@ type jobRecord struct {
 	Submitted time.Time  `json:"submitted"`
 	Started   time.Time  `json:"started,omitempty"`
 	Finished  time.Time  `json:"finished,omitempty"`
-	Result    *JobResult `json:"result,omitempty"`
+	// Timeline is absent in pre-timeline snapshots; restore then
+	// synthesizes the coarse lifecycle entries from the timestamps.
+	Timeline []TimelineEntry `json:"timeline,omitempty"`
+	Result   *JobResult      `json:"result,omitempty"`
 }
 
 // snapshot is the snapshot.json schema.
@@ -158,7 +164,9 @@ func idNum(id string) int {
 
 // apply folds one journal record into the table. Records for unknown
 // jobs (possible when their submit line was the torn one) are reported,
-// not fatal.
+// not fatal. Timeline reconstruction rides along: submit and state
+// records regrow the lifecycle entries (which is all a pre-timeline
+// journal has), stage records the per-stage ones.
 func (st *replayState) apply(r journalRec) error {
 	switch r.T {
 	case "submit":
@@ -168,7 +176,9 @@ func (st *replayState) apply(r journalRec) error {
 		if _, dup := st.jobs[r.ID]; dup {
 			return fmt.Errorf("duplicate submit for %s", r.ID)
 		}
-		st.jobs[r.ID] = &jobRecord{ID: r.ID, Req: *r.Req, State: StateQueued, Submitted: r.Time}
+		rec := &jobRecord{ID: r.ID, Req: *r.Req, State: StateQueued, Submitted: r.Time}
+		rec.Timeline = appendTimeline(nil, string(StateQueued), r.Time)
+		st.jobs[r.ID] = rec
 		st.order = append(st.order, r.ID)
 		if n := idNum(r.ID); n > st.nextID {
 			st.nextID = n
@@ -183,6 +193,7 @@ func (st *replayState) apply(r journalRec) error {
 			rec.Attempt = r.Attempt
 		}
 		rec.Err = r.Err
+		rec.Timeline = appendTimeline(rec.Timeline, string(r.State), r.Time)
 		switch r.State {
 		case StateRunning:
 			rec.Started = r.Time
@@ -190,6 +201,12 @@ func (st *replayState) apply(r journalRec) error {
 			rec.Finished = r.Time
 			rec.CacheHit = r.CacheHit
 		}
+	case "stage":
+		rec, ok := st.jobs[r.ID]
+		if !ok {
+			return fmt.Errorf("stage record for unknown job %s", r.ID)
+		}
+		rec.Timeline = appendTimeline(rec.Timeline, r.Event, r.Time)
 	case "result":
 		rec, ok := st.jobs[r.ID]
 		if !ok {

@@ -111,6 +111,32 @@ func TestJournalReplayGolden(t *testing.T) {
 		t.Errorf("j-000005 state = %s, want queued", j5.State)
 	}
 
+	// Timeline reconstruction from a pre-timeline journal: the lifecycle
+	// entries regrow from the submit/state lines alone (the fixture
+	// predates stage records entirely).
+	wantTL := []struct{ event, at string }{
+		{"queued", "2026-08-01T10:00:00Z"},
+		{"running", "2026-08-01T10:00:01Z"},
+		{"done", "2026-08-01T10:00:02Z"},
+	}
+	if tl := j1.Timeline; len(tl) != len(wantTL) {
+		t.Errorf("j-000001 timeline has %d entries (%+v), want %d", len(tl), tl, len(wantTL))
+	} else {
+		for i, w := range wantTL {
+			if tl[i].Event != w.event || !tl[i].At.Equal(at(w.at)) {
+				t.Errorf("j-000001 timeline[%d] = {%s %v}, want {%s %s}", i, tl[i].Event, tl[i].At, w.event, w.at)
+			}
+			if tl[i].SinceMS < 0 {
+				t.Errorf("j-000001 timeline[%d] since_prev_ms = %g, want >= 0", i, tl[i].SinceMS)
+			}
+		}
+	}
+	// j-000002 went queued→running→interrupted→queued→running→failed;
+	// every transition must land on the timeline in order.
+	if tl := j2.Timeline; len(tl) != 6 || tl[2].Event != string(StateInterrupted) || tl[5].Event != string(StateFailed) {
+		t.Errorf("j-000002 timeline = %+v, want the 6-step retry cycle", tl)
+	}
+
 	if st.droppedBytes == 0 {
 		t.Error("torn final line not reported in droppedBytes")
 	}
@@ -120,6 +146,72 @@ func TestJournalReplayGolden(t *testing.T) {
 	if !lc.contains("unknown job j-000099") {
 		t.Errorf("unknown-job record not reported; got %q", lc.lines)
 	}
+}
+
+// TestJournalReplayMixedTimeline replays a journal that mixes
+// pre-timeline records (lifecycle only) with post-timeline ones (stage
+// records interleaved) — the shape a daemon upgraded in place produces.
+// Both generations must reconstruct, and a stage record for an unknown
+// job must warn, not abort.
+func TestJournalReplayMixedTimeline(t *testing.T) {
+	fixture, err := os.ReadFile(filepath.Join("testdata", "journal_mixed.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, journalFile), fixture, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var lc logCapture
+	st, err := loadState(dir, lc.logf)
+	if err != nil {
+		t.Fatalf("loadState: %v", err)
+	}
+	if len(st.order) != 2 {
+		t.Fatalf("replayed %d jobs (%v), want 2", len(st.order), st.order)
+	}
+
+	events := func(id string) []string {
+		var out []string
+		for _, e := range st.jobs[id].Timeline {
+			out = append(out, e.Event)
+		}
+		return out
+	}
+	if got, want := events("j-000001"), []string{"queued", "running", "done"}; !slicesEqual(got, want) {
+		t.Errorf("old-format job timeline = %v, want %v", got, want)
+	}
+	if got, want := events("j-000002"), []string{"queued", "running", "resolve", "profile", "search", "solve", "done"}; !slicesEqual(got, want) {
+		t.Errorf("new-format job timeline = %v, want %v", got, want)
+	}
+	// Each fixture step is one second apart; SinceMS must say so.
+	for i, e := range st.jobs["j-000002"].Timeline {
+		want := 1000.0
+		if i == 0 {
+			want = 0
+		}
+		if e.SinceMS != want {
+			t.Errorf("j-000002 timeline[%d] since_prev_ms = %g, want %g", i, e.SinceMS, want)
+		}
+	}
+	if !lc.contains("unknown job j-000099") {
+		t.Errorf("stage record for unknown job not reported; got %q", lc.lines)
+	}
+	if st.droppedBytes != 0 {
+		t.Errorf("clean journal reported %d dropped bytes", st.droppedBytes)
+	}
+}
+
+func slicesEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // TestJournalSnapshotRoundTrip writes a snapshot, appends journal

@@ -199,6 +199,7 @@ func New(cfg Config) (*Manager, error) {
 	m.metrics.Registry().GaugeFunc("mupod_front_cache_entries", "Pareto fronts currently cached.", func() float64 {
 		return float64(m.fronts.Len())
 	})
+	obs.RegisterRuntimeMetrics(m.metrics.Registry())
 
 	var pending []*Job
 	if cfg.DataDir != "" {
@@ -265,6 +266,19 @@ func (m *Manager) restore(st *replayState) []*Job {
 			submitted: rec.Submitted,
 			started:   rec.Started,
 			finished:  rec.Finished,
+			timeline:  rec.Timeline,
+		}
+		if len(j.timeline) == 0 {
+			// Pre-timeline durable state (old snapshot, old journal):
+			// synthesize the coarse lifecycle from the timestamps so
+			// the API contract holds for jobs that predate the field.
+			j.timeline = appendTimeline(nil, string(StateQueued), rec.Submitted)
+			if !rec.Started.IsZero() {
+				j.timeline = appendTimeline(j.timeline, string(StateRunning), rec.Started)
+			}
+			if rec.State.Terminal() && !rec.Finished.IsZero() {
+				j.timeline = appendTimeline(j.timeline, string(rec.State), rec.Finished)
+			}
 		}
 		switch {
 		case rec.State.Terminal():
@@ -275,6 +289,7 @@ func (m *Manager) restore(st *replayState) []*Job {
 				j.state = StateFailed
 				j.err = fmt.Sprintf("serve: job interrupted by crash on attempt %d of %d; not retrying", rec.Attempt, m.cfg.MaxAttempts)
 				j.finished = time.Now()
+				j.timeline = appendTimeline(j.timeline, string(StateFailed), j.finished)
 				cancel()
 				close(j.done)
 				m.metrics.recoveredFailed.Add(1)
@@ -318,6 +333,7 @@ func (m *Manager) snapshotNow() snapshot {
 			Submitted: j.submitted,
 			Started:   j.started,
 			Finished:  j.finished,
+			Timeline:  append([]TimelineEntry(nil), j.timeline...),
 			Result:    j.result,
 		})
 		j.mu.Unlock()
@@ -427,6 +443,7 @@ func (m *Manager) Submit(req JobRequest) (*Job, error) {
 		state:     StateQueued,
 		submitted: time.Now(),
 	}
+	j.timeline = appendTimeline(nil, string(StateQueued), j.submitted)
 
 	m.mu.Lock()
 	if m.draining {
@@ -608,8 +625,12 @@ func (m *Manager) runJob(j *Job) {
 	j.started = time.Now()
 	j.attempt++
 	attempt := j.attempt
+	started := j.started
+	j.timeline = appendTimeline(j.timeline, string(StateRunning), started)
 	j.mu.Unlock()
-	m.journal.append(journalRec{T: "state", ID: j.id, Time: time.Now(), State: StateRunning, Attempt: attempt})
+	// The journal record reuses the timeline timestamp so a replayed
+	// timeline is bit-identical to the live one.
+	m.journal.append(journalRec{T: "state", ID: j.id, Time: started, State: StateRunning, Attempt: attempt})
 	m.cfg.Logf("serve: job %s running (attempt %d)", j.id, attempt)
 
 	ctx := j.ctx
@@ -619,7 +640,7 @@ func (m *Manager) runJob(j *Job) {
 		ctx = obs.WithTracer(ctx, tr)
 	}
 	ctx, jsp := obs.Start(ctx, "job", obs.KV("id", j.id))
-	res, cacheHit, err := m.executeSafe(ctx, &j.req)
+	res, cacheHit, err := m.executeSafe(ctx, j)
 	jsp.SetAttr("cache_hit", cacheHit)
 	jsp.End()
 
@@ -646,6 +667,7 @@ func (m *Manager) finalize(j *Job, final State, res *JobResult, cacheHit bool, c
 	j.state = final
 	j.finished = time.Now()
 	j.cacheHit = cacheHit
+	j.timeline = appendTimeline(j.timeline, string(final), j.finished)
 	switch {
 	case final == StateDone:
 		j.result = res
@@ -704,6 +726,7 @@ func (m *Manager) retryLater(j *Job, attempt int, cause error) {
 	j.state = StateInterrupted
 	j.err = cause.Error() // visible while parked; cleared on re-queue
 	j.retryWait = true
+	j.timeline = appendTimeline(j.timeline, string(StateInterrupted), now)
 	j.mu.Unlock()
 	m.journal.append(journalRec{T: "state", ID: j.id, Time: now, State: StateInterrupted, Err: cause.Error(), Attempt: attempt})
 	m.metrics.retries.Add(1)
@@ -738,11 +761,13 @@ func (m *Manager) retryLater(j *Job, attempt int, cause error) {
 					m.mu.Unlock()
 					return
 				}
+				requeued := time.Now()
 				j.state = StateQueued
 				j.retryWait = false
 				j.err = ""
+				j.timeline = appendTimeline(j.timeline, string(StateQueued), requeued)
 				j.mu.Unlock()
-				m.journal.append(journalRec{T: "state", ID: j.id, Time: time.Now(), State: StateQueued, Attempt: attempt})
+				m.journal.append(journalRec{T: "state", ID: j.id, Time: requeued, State: StateQueued, Attempt: attempt})
 				m.queue <- j
 				m.mu.Unlock()
 				return
@@ -753,21 +778,31 @@ func (m *Manager) retryLater(j *Job, attempt int, cause error) {
 	}()
 }
 
+// noteStage records a finished pipeline stage on the job's timeline and
+// journals it, so the stage-by-stage breakdown survives a restart.
+func (m *Manager) noteStage(j *Job, event string) {
+	now := time.Now()
+	j.note(event, now)
+	m.journal.append(journalRec{T: "stage", ID: j.id, Time: now, Event: event})
+}
+
 // executeSafe contains panics (a panic-mode failpoint, or a pipeline
 // bug) to the job that hit them: the worker survives and the job fails
 // with the panic value.
-func (m *Manager) executeSafe(ctx context.Context, req *JobRequest) (res *JobResult, cacheHit bool, err error) {
+func (m *Manager) executeSafe(ctx context.Context, j *Job) (res *JobResult, cacheHit bool, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			res, err = nil, fmt.Errorf("serve: job panicked: %v\n%s", r, debug.Stack())
 		}
 	}()
-	return m.execute(ctx, req)
+	return m.execute(ctx, j)
 }
 
 // execute runs the four pipeline stages under per-stage deadlines,
-// sharing profiles through the content-addressed cache.
-func (m *Manager) execute(ctx context.Context, req *JobRequest) (*JobResult, bool, error) {
+// sharing profiles through the content-addressed cache. Each finished
+// stage lands on the job's timeline (and in the journal).
+func (m *Manager) execute(ctx context.Context, j *Job) (*JobResult, bool, error) {
+	req := &j.req
 	cfg, err := req.coreConfig()
 	if err != nil {
 		return nil, false, err
@@ -813,6 +848,7 @@ func (m *Manager) execute(ctx context.Context, req *JobRequest) (*JobResult, boo
 	if err != nil {
 		return nil, false, fmt.Errorf("resolve: %w", err)
 	}
+	m.noteStage(j, StageResolve)
 
 	t0 = time.Now()
 	key := ProfileKey(net, ds, cfg.Profile)
@@ -833,6 +869,7 @@ func (m *Manager) execute(ctx context.Context, req *JobRequest) (*JobResult, boo
 	if err != nil {
 		return nil, false, fmt.Errorf("profile: %w", err)
 	}
+	m.noteStage(j, StageProfile)
 	if cacheHit {
 		m.metrics.cacheHits.Add(1)
 	} else {
@@ -848,6 +885,7 @@ func (m *Manager) execute(ctx context.Context, req *JobRequest) (*JobResult, boo
 	if err != nil {
 		return nil, false, err
 	}
+	m.noteStage(j, StageSearch)
 
 	if req.Pareto != nil {
 		// Pareto-front job: the front replaces the single-objective ξ
@@ -865,6 +903,7 @@ func (m *Manager) execute(ctx context.Context, req *JobRequest) (*JobResult, boo
 		if err != nil {
 			return nil, false, fmt.Errorf("pareto: %w", err)
 		}
+		m.noteStage(j, "pareto")
 		if fhit {
 			m.metrics.frontCacheHits.Add(1)
 		} else {
@@ -899,6 +938,7 @@ func (m *Manager) execute(ctx context.Context, req *JobRequest) (*JobResult, boo
 	if err != nil {
 		return nil, false, err
 	}
+	m.noteStage(j, StageSolve)
 
 	res := &JobResult{
 		NetName:            net.Name,

@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"strconv"
+	"sync"
 	"time"
 
 	"mupod/internal/obs"
@@ -44,13 +46,25 @@ type Metrics struct {
 	recoveredFailed  *obs.Counter
 	breakerOpens     *obs.Counter
 
-	// Pareto-front families (registerPareto), appended last for the
-	// same golden-prefix reason. The pareto stage gets its own latency
+	// Pareto-front families (registerPareto), appended for the same
+	// golden-prefix reason. The pareto stage gets its own latency
 	// family rather than a new series in mupod_stage_latency_seconds,
 	// whose series set is frozen by the golden test.
 	paretoLatency    *obs.Histogram
 	frontCacheHits   *obs.Counter
 	frontCacheMisses *obs.Counter
+
+	// HTTP RED families (registerHTTP): request counts by
+	// route/method/code, per-route latency, in-flight gauge. Duration
+	// series are created eagerly for the known route set so the
+	// exposition layout is stable; request counters materialize on
+	// first hit (a fresh daemon has served nothing) behind a small
+	// cache so the hot path skips the registry's find-or-register scan.
+	httpInFlight  *obs.Gauge
+	httpDurations map[string]*obs.LatencyHistogram
+
+	httpMu   sync.Mutex
+	httpReqs map[string]*obs.Counter // keyed route|method|code
 }
 
 // NewMetrics creates the daemon's counter set on a fresh registry.
@@ -107,6 +121,56 @@ func (m *Metrics) registerPareto() {
 	m.paretoLatency = m.reg.Histogram("mupod_pareto_latency_seconds", "Pareto-front stage latency (sweep or NSGA-II search).", obs.DefaultLatencyBuckets)
 	m.frontCacheHits = m.reg.Counter("mupod_front_cache_hits_total", "Pareto fronts served from the content-addressed front cache.")
 	m.frontCacheMisses = m.reg.Counter("mupod_front_cache_misses_total", "Pareto fronts computed from scratch.")
+}
+
+// registerHTTP attaches the HTTP RED families for the given route set.
+// Called by NewHandler-adjacent wiring after every earlier
+// registration, so the /metrics page keeps growing strictly at the end.
+func (m *Metrics) registerHTTP(routes []string) {
+	m.httpMu.Lock()
+	defer m.httpMu.Unlock()
+	if m.httpDurations != nil {
+		return // one manager can serve several handlers (tests)
+	}
+	m.httpInFlight = m.reg.Gauge("mupod_http_in_flight", "HTTP requests currently being served.")
+	m.httpDurations = make(map[string]*obs.LatencyHistogram, len(routes))
+	for _, rt := range routes {
+		m.httpDurations[rt] = m.reg.LatencyHistogram("mupod_http_request_duration_seconds",
+			"HTTP request latency by route (submit-to-response, log-linear buckets folded onto the standard bounds).",
+			"route", rt)
+	}
+	m.httpReqs = make(map[string]*obs.Counter)
+}
+
+// httpRequest records one served request into the RED families.
+func (m *Metrics) httpRequest(route, method string, code int, d time.Duration) {
+	codeStr := strconv.Itoa(code)
+	key := route + "|" + method + "|" + codeStr
+	m.httpMu.Lock()
+	if m.httpReqs == nil {
+		m.httpMu.Unlock()
+		return // handler built without registerHTTP (not reachable in prod)
+	}
+	c, ok := m.httpReqs[key]
+	if !ok {
+		c = m.reg.Counter("mupod_http_requests_total", "HTTP requests served, by route, method and status code.",
+			"route", route, "method", method, "code", codeStr)
+		m.httpReqs[key] = c
+	}
+	h, hok := m.httpDurations[route]
+	m.httpMu.Unlock()
+	c.Inc()
+	if hok {
+		h.Observe(d)
+	}
+}
+
+// HTTPDuration exposes a route's latency histogram (nil for unknown
+// routes) — tests and the readiness probe read quantiles off it.
+func (m *Metrics) HTTPDuration(route string) *obs.LatencyHistogram {
+	m.httpMu.Lock()
+	defer m.httpMu.Unlock()
+	return m.httpDurations[route]
 }
 
 // ObservePareto records one Pareto stage latency.

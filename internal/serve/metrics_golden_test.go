@@ -168,6 +168,9 @@ func TestMetricsGolden(t *testing.T) {
 		`mupod_jobs_recovered_total{disposition="failed"} 0`,
 		"mupod_breaker_opens_total 0",
 		"mupod_breaker_state 0",
+		"mupod_go_goroutines",
+		"mupod_go_heap_bytes",
+		"mupod_go_gc_pause_seconds",
 	} {
 		if !strings.Contains(got, fam) {
 			t.Errorf("new family %q missing from /metrics", fam)

@@ -19,15 +19,25 @@ const maxRequestBody = 4 << 20
 //	         (a JobRequest whose "pareto" spec defaults to {} — the
 //	          α-sweep; poll /v1/jobs/{id} for the front JSON)
 //	GET    /v1/jobs       list jobs               → 200 + []JobView
-//	GET    /v1/jobs/{id}  poll one job            → 200 + JobView
+//	GET    /v1/jobs/{id}  poll one job            → 200 + JobView (incl. timeline)
 //	DELETE /v1/jobs/{id}  cancel a job            → 202 + JobView
-//	GET    /healthz       liveness/readiness      → 200 (503 while draining)
+//	GET    /healthz       pure liveness           → 200 while the process serves
+//	GET    /readyz        readiness               → 200, or 503 with the
+//	         reasons (draining, queue saturated, breaker open) in the body
 //	GET    /metrics       Prometheus text format  → 200
 //	GET    /debug/trace/{id}  Chrome trace of a finished job → 200
 //	         (?format=spans returns the plain span JSON instead)
 //	GET    /debug/pprof/  runtime profiles (heap, goroutine, cpu, ...)
+//
+// Every route is wrapped in the RED-metrics middleware:
+// mupod_http_requests_total{route,method,code},
+// mupod_http_request_duration_seconds{route}, mupod_http_in_flight.
 func NewHandler(m *Manager) http.Handler {
+	m.metrics.registerHTTP(httpRoutes)
 	mux := http.NewServeMux()
+	handle := func(pattern, route string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, m.instrument(route, h))
+	}
 
 	submit := func(w http.ResponseWriter, r *http.Request, forcePareto bool) {
 		var req JobRequest
@@ -60,18 +70,18 @@ func NewHandler(m *Manager) http.Handler {
 		writeJSON(w, http.StatusAccepted, j.View())
 	}
 
-	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST /v1/jobs", "/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		submit(w, r, false)
 	})
 
 	// POST /pareto is POST /v1/jobs with the pareto spec made implicit:
 	// a request without one gets the default α-sweep spec. The job
 	// lifecycle (polling, cancellation, journaling) is shared.
-	mux.HandleFunc("POST /pareto", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST /pareto", "/pareto", func(w http.ResponseWriter, r *http.Request) {
 		submit(w, r, true)
 	})
 
-	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/jobs", "/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		jobs := m.Jobs()
 		views := make([]JobView, len(jobs))
 		for i, j := range jobs {
@@ -80,7 +90,7 @@ func NewHandler(m *Manager) http.Handler {
 		writeJSON(w, http.StatusOK, views)
 	})
 
-	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/jobs/{id}", "/v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		j, err := m.Get(r.PathValue("id"))
 		if err != nil {
 			writeError(w, http.StatusNotFound, err)
@@ -89,7 +99,7 @@ func NewHandler(m *Manager) http.Handler {
 		writeJSON(w, http.StatusOK, j.View())
 	})
 
-	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+	handle("DELETE /v1/jobs/{id}", "/v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		j, err := m.Cancel(r.PathValue("id"))
 		if err != nil {
 			writeError(w, http.StatusNotFound, err)
@@ -98,26 +108,44 @@ func NewHandler(m *Manager) http.Handler {
 		writeJSON(w, http.StatusAccepted, j.View())
 	})
 
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		status := http.StatusOK
+	// Pure liveness: 200 for as long as the process can serve HTTP at
+	// all, even while draining — restarts are for dead processes, and a
+	// draining daemon is doing exactly what it should. Routing decisions
+	// belong to /readyz.
+	handle("GET /healthz", "/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":   "ok",
+			"draining": m.Draining(),
+			"workers":  m.Workers(),
+			"queue":    m.QueueDepth(),
+		})
+	})
+
+	// Readiness: 503 (with machine-readable reasons) while the daemon
+	// should not receive new traffic — draining, shedding on a
+	// saturated queue, or the profile circuit breaker failing fast.
+	handle("GET /readyz", "/readyz", func(w http.ResponseWriter, r *http.Request) {
+		ready, reasons := m.Readiness()
 		body := map[string]any{
-			"status":  "ok",
+			"status":  "ready",
 			"workers": m.Workers(),
 			"queue":   m.QueueDepth(),
 		}
-		if m.Draining() {
+		status := http.StatusOK
+		if !ready {
 			status = http.StatusServiceUnavailable
-			body["status"] = "draining"
+			body["status"] = "unready"
+			body["reasons"] = reasons
 		}
 		writeJSON(w, status, body)
 	})
 
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /metrics", "/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		m.WriteMetrics(w)
 	})
 
-	mux.HandleFunc("GET /debug/trace/{id}", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /debug/trace/{id}", "/debug/trace/{id}", func(w http.ResponseWriter, r *http.Request) {
 		j, err := m.Get(r.PathValue("id"))
 		if err != nil {
 			writeError(w, http.StatusNotFound, err)
@@ -143,11 +171,12 @@ func NewHandler(m *Manager) http.Handler {
 	// The pprof handlers self-register only on http.DefaultServeMux;
 	// mount them explicitly since the daemon serves a private mux.
 	// Index also serves the named profiles (heap, goroutine, block, ...).
-	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
-	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	// They share one route label — per-profile cardinality is noise.
+	handle("GET /debug/pprof/", "/debug/pprof/", pprof.Index)
+	handle("GET /debug/pprof/cmdline", "/debug/pprof/", pprof.Cmdline)
+	handle("GET /debug/pprof/profile", "/debug/pprof/", pprof.Profile)
+	handle("GET /debug/pprof/symbol", "/debug/pprof/", pprof.Symbol)
+	handle("GET /debug/pprof/trace", "/debug/pprof/", pprof.Trace)
 
 	return mux
 }

@@ -31,6 +31,14 @@ var (
 	zooMemo = map[string]*nn.Network{}
 )
 
+// BuildZoo constructs the named untrained zoo architecture (see
+// ZooNames) on the 3×8×8 input the shared dataset provides. Unlike
+// ZooNet it skips training entirely — the load generator serializes
+// these to netdesc and lets the daemon train them server-side.
+func BuildZoo(name string) *nn.Network {
+	return buildZooNet(name)
+}
+
 // buildZooNet constructs the named untrained architecture on the 3×8×8
 // input the shared dataset provides.
 func buildZooNet(name string) *nn.Network {

@@ -154,6 +154,13 @@ type (
 	// MetricsRegistry is the shared Prometheus-style metrics registry
 	// (see internal/obs).
 	MetricsRegistry = obs.Registry
+	// LatencyHistogram is an HDR-style log-linear latency recorder:
+	// lock-free Observe, ≤1/32 relative bucketing error from nanoseconds
+	// to hours, mergeable snapshots with exact-count quantiles.
+	LatencyHistogram = obs.LatencyHistogram
+	// LatencySnapshot is a point-in-time, mergeable copy of a
+	// LatencyHistogram (p50/p90/p99/p999 queries, min/max/mean).
+	LatencySnapshot = obs.LatencySnapshot
 	// Tracer records pipeline spans for Chrome trace-event export.
 	Tracer = obs.Tracer
 	// Span is one timed region of a traced pipeline run.
@@ -390,6 +397,18 @@ func RunFixedPoint(net *Network, alloc *Allocation, cfg FixedPointConfig, x *Ten
 // counters, and render it with (*MetricsRegistry).Write — the output is
 // Prometheus text format.
 func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewLatencyHistogram builds an unregistered latency histogram for
+// client-side recording (cmd/mupod-loadgen uses these). For one that
+// renders on a /metrics page use
+// (*MetricsRegistry).LatencyHistogram(name, help, labels...).
+func NewLatencyHistogram() *LatencyHistogram { return obs.NewLatencyHistogram() }
+
+// RegisterRuntimeMetrics attaches the Go runtime gauges
+// (mupod_go_goroutines, mupod_go_heap_bytes, mupod_go_gc_pause_seconds)
+// to reg. The serving subsystem registers them on its own registry, so
+// embedders running a JobManager need not call this themselves.
+func RegisterRuntimeMetrics(reg *MetricsRegistry) { obs.RegisterRuntimeMetrics(reg) }
 
 // EnableEngineMetrics registers the process-wide execution-engine
 // counters (forwards, arena reuse, evaluator items/busy-seconds),
