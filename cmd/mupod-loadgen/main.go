@@ -10,6 +10,7 @@
 //	mupod-loadgen [-addr http://127.0.0.1:8080] [-mode open|closed]
 //	              [-rate 20] [-concurrency 4] [-duration 10s]
 //	              [-pareto 0.2] [-distinct 4] [-train-steps 30]
+//	              [-tenants a:2,b:1] [-fairness-tol 0.15]
 //	              [-request-timeout 30s] [-slo-p99 0] [-out report.json]
 //
 // Modes:
@@ -22,7 +23,16 @@
 //	closed  -concurrency workers issuing back-to-back requests; the
 //	        classic saturation probe.
 //
-// Exit codes: 0 success, 1 usage or run error, 3 SLO violated.
+// With -tenants, job submissions rotate equally across the named
+// tenants (X-Mupod-Tenant header); the weights state what the daemon's
+// weighted-fair scheduler is expected to do with them. After the run
+// the tool scrapes the daemon's /metrics, reports per-tenant
+// admitted/shed/completed counts, and gates on the weighted-completion
+// skew: at saturation, completions divided by weight should be equal
+// across tenants to within -fairness-tol.
+//
+// Exit codes: 0 success, 1 usage or run error, 3 SLO violated,
+// 4 fairness violated.
 package main
 
 import (
@@ -45,6 +55,8 @@ func main() {
 	paretoFrac := flag.Float64("pareto", 0.2, "fraction of requests sent to POST /pareto (rest go to POST /v1/jobs)")
 	distinct := flag.Int("distinct", 4, "distinct payloads to rotate (controls the server's profile-cache hit mix)")
 	trainSteps := flag.Int("train-steps", 30, "server-side training steps per inline-netdesc payload")
+	tenants := flag.String("tenants", "", "tenant mix, e.g. a:2,b:1 — submit jobs equally across these tenants and gate on the daemon's weighted-fair completions")
+	fairnessTol := flag.Float64("fairness-tol", 0.15, "allowed weighted-completion skew across tenants (0 disables the gate; violation exits 4)")
 	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request timeout")
 	sloP99 := flag.Duration("slo-p99", 0, "p99 latency gate over all requests (0 disables; violation exits 3)")
 	out := flag.String("out", "", "write the JSON report here (empty = stdout table only)")
@@ -55,9 +67,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mupod-loadgen: %v\n", err)
 		os.Exit(1)
 	}
+	mix, err := loadgen.ParseTenantMix(*tenants)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mupod-loadgen: %v\n", err)
+		os.Exit(1)
+	}
 
 	ctx, stop := obs.SignalContext(context.Background())
 	defer stop()
+
+	// Per-tenant server counts are reported as this run's delta, so a
+	// warm daemon's history doesn't pollute the fairness verdict.
+	var before map[string]loadgen.TenantServerStats
+	if len(mix) > 0 {
+		if before, err = loadgen.ScrapeTenantMetrics(ctx, nil, *addr); err != nil {
+			fmt.Fprintf(os.Stderr, "mupod-loadgen: pre-run scrape: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	fmt.Fprintf(os.Stderr, "mupod-loadgen: %s loop against %s for %v (pareto mix %.0f%%, %d distinct payloads)\n",
 		*mode, *addr, *duration, *paretoFrac*100, *distinct)
@@ -71,6 +98,7 @@ func main() {
 		Payloads:       payloads,
 		RequestTimeout: *reqTimeout,
 		SLOP99:         *sloP99,
+		Tenants:        mix,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mupod-loadgen: %v\n", err)
@@ -78,6 +106,18 @@ func main() {
 	}
 
 	rep := loadgen.BuildReport(res)
+	if len(mix) > 0 {
+		// Scrape immediately, while the daemon is still saturated: the
+		// completion mix under backlog is what weighted fairness shapes.
+		// (Once the queue drains, every admitted job completes and the
+		// ratio would converge to the admission mix instead.)
+		after, err := loadgen.ScrapeTenantMetrics(context.Background(), nil, *addr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mupod-loadgen: post-run scrape: %v\n", err)
+			os.Exit(1)
+		}
+		rep.AddTenantStats(res, before, after, *fairnessTol)
+	}
 	rep.WriteTable(os.Stdout)
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -99,5 +139,10 @@ func main() {
 	if rep.SLO != nil && rep.SLO.Violated {
 		fmt.Fprintf(os.Stderr, "mupod-loadgen: SLO violated: p99 %.2fms > %.2fms\n", rep.SLO.P99MS, rep.SLO.P99LimitMS)
 		os.Exit(3)
+	}
+	if rep.Fairness != nil && rep.Fairness.Violated {
+		fmt.Fprintf(os.Stderr, "mupod-loadgen: fairness violated: weighted-completion skew %.1f%% > %.1f%%\n",
+			rep.Fairness.MaxSkew*100, rep.Fairness.Tolerance*100)
+		os.Exit(4)
 	}
 }

@@ -10,6 +10,7 @@
 // Usage:
 //
 //	mupodd [-addr :8080] [-workers 2] [-queue 64] [-job-workers 0]
+//	       [-tenant-weights a:2,b:1] [-tenant-quota 0]
 //	       [-kernel blocked|parallel|naive] [-intra-workers 0]
 //	       [-stage-timeout 10m] [-drain-timeout 30s] [-cache 64]
 //	       [-data-dir dir] [-max-attempts 3]
@@ -20,7 +21,11 @@
 // API:
 //
 //	POST   /v1/jobs       {"model":"alexnet","objective":"mac",...} → job ID
-//	                      (429 + Retry-After when the queue is saturated)
+//	                      (429 + Retry-After when the queue is saturated;
+//	                      X-Mupod-Tenant or a "tenant" field attributes
+//	                      the job for quotas and weighted-fair scheduling)
+//	POST   /v1/jobs:batch {"jobs":[...]} → per-item results, one journal
+//	                      fsync for the whole batch, partial accept
 //	GET    /v1/jobs/{id}  job state + result + stage timeline
 //	DELETE /v1/jobs/{id}  cancel
 //	GET    /healthz       liveness (always 200 while the process serves)
@@ -55,6 +60,8 @@ func main() {
 	addr := flag.String("addr", ":8080", "HTTP listen address")
 	workers := flag.Int("workers", 2, "pipeline worker pool size")
 	queue := flag.Int("queue", 64, "job queue depth (submissions beyond it are shed with 429)")
+	tenantWeights := flag.String("tenant-weights", "", "deficit-round-robin tenant weights, e.g. a:2,b:1 (unlisted tenants weigh 1)")
+	tenantQuota := flag.Int("tenant-quota", 0, "max queued jobs per tenant (0 = only the global -queue bound)")
 	stageTimeout := flag.Duration("stage-timeout", 10*time.Minute, "per-stage timeout (0 disables)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget before in-flight jobs are cancelled")
 	cacheEntries := flag.Int("cache", 64, "profile cache capacity (entries)")
@@ -77,6 +84,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mupodd: %v\n", err)
 		os.Exit(2)
 	}
+	weights, err := serve.ParseTenantWeights(*tenantWeights)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mupodd: %v\n", err)
+		os.Exit(2)
+	}
 	logger, err := obs.Setup(*logSpec)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mupodd: %v\n", err)
@@ -91,16 +103,18 @@ func main() {
 	}
 
 	m, err := serve.New(serve.Config{
-		Workers:      *workers,
-		JobWorkers:   *jobWorkers,
-		Kernel:       kpol,
-		QueueDepth:   *queue,
-		StageTimeout: *stageTimeout,
-		CacheEntries: *cacheEntries,
-		CacheBytes:   *cacheBytes,
-		TraceSpans:   *traceSpans,
-		DataDir:      *dataDir,
-		MaxAttempts:  *maxAttempts,
+		Workers:       *workers,
+		JobWorkers:    *jobWorkers,
+		Kernel:        kpol,
+		QueueDepth:    *queue,
+		TenantWeights: weights,
+		TenantQuota:   *tenantQuota,
+		StageTimeout:  *stageTimeout,
+		CacheEntries:  *cacheEntries,
+		CacheBytes:    *cacheBytes,
+		TraceSpans:    *traceSpans,
+		DataDir:       *dataDir,
+		MaxAttempts:   *maxAttempts,
 		Logf: func(format string, args ...any) {
 			logger.Info(fmt.Sprintf(format, args...))
 		},

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -53,8 +55,60 @@ type Options struct {
 	RequestTimeout time.Duration
 	// SLOP99 is the p99 latency gate over all requests; 0 disables it.
 	SLOP99 time.Duration
+	// Tenants, when non-empty, spreads job submissions equally across
+	// the named tenants (X-Mupod-Tenant header, round-robin by arrival
+	// index). Each entry's Weight is the daemon-side scheduler weight
+	// the run expects — the fairness gate checks that server-side
+	// completions track the weights, not the (equal) arrivals.
+	Tenants []TenantShare
 	// Client overrides the HTTP client (tests).
 	Client *http.Client
+}
+
+// TenantShare names one tenant in the submission mix and the scheduler
+// weight its completions are expected to track.
+type TenantShare struct {
+	Name   string
+	Weight int
+}
+
+// ParseTenantMix parses "a:2,b:1" into an ordered tenant list. A bare
+// name gets weight 1. Order is preserved (it fixes the round-robin
+// rotation), names must be unique and weights positive.
+func ParseTenantMix(s string) ([]TenantShare, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var mix []TenantShare
+	seen := map[string]bool{}
+	for _, part := range strings.Split(s, ",") {
+		name, weightStr, hasW := strings.Cut(part, ":")
+		name = strings.TrimSpace(name)
+		if name == "" {
+			return nil, fmt.Errorf("loadgen: empty tenant name in mix %q", s)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("loadgen: duplicate tenant %q in mix", name)
+		}
+		seen[name] = true
+		w := 1
+		if hasW {
+			var err error
+			if w, err = strconv.Atoi(strings.TrimSpace(weightStr)); err != nil || w <= 0 {
+				return nil, fmt.Errorf("loadgen: tenant %q has invalid weight %q (want a positive integer)", name, weightStr)
+			}
+		}
+		mix = append(mix, TenantShare{Name: name, Weight: w})
+	}
+	return mix, nil
+}
+
+// TenantClientStats counts one tenant's client-side outcomes.
+type TenantClientStats struct {
+	Requests int64 // job submissions attempted
+	Accepted int64 // 2xx responses
+	Shed     int64 // 429 responses
 }
 
 func (o *Options) validate() error {
@@ -104,6 +158,10 @@ type Result struct {
 	// and TargetPareto.
 	All       *obs.LatencySnapshot
 	PerTarget map[string]*obs.LatencySnapshot
+
+	// Tenants holds the client-side per-tenant outcome counts when the
+	// run used a tenant mix.
+	Tenants map[string]TenantClientStats
 }
 
 // Run executes one load-generation run and blocks until it finishes
@@ -114,8 +172,9 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 		return nil, err
 	}
 	r := &runner{
-		opts:  opts,
-		hists: map[string]*obs.LatencyHistogram{TargetJobs: obs.NewLatencyHistogram(), TargetPareto: obs.NewLatencyHistogram()},
+		opts:    opts,
+		hists:   map[string]*obs.LatencyHistogram{TargetJobs: obs.NewLatencyHistogram(), TargetPareto: obs.NewLatencyHistogram()},
+		tenants: make([]tenantCounters, len(opts.Tenants)),
 	}
 	start := time.Now()
 	var scheduled int64
@@ -142,6 +201,16 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 		all.Merge(s)
 	}
 	res.All = all
+	if len(opts.Tenants) > 0 {
+		res.Tenants = make(map[string]TenantClientStats, len(opts.Tenants))
+		for i, ten := range opts.Tenants {
+			res.Tenants[ten.Name] = TenantClientStats{
+				Requests: r.tenants[i].requests.Load(),
+				Accepted: r.tenants[i].accepted.Load(),
+				Shed:     r.tenants[i].shed.Load(),
+			}
+		}
+	}
 	return res, nil
 }
 
@@ -151,6 +220,14 @@ type runner struct {
 	hists    map[string]*obs.LatencyHistogram
 	requests atomic.Int64
 	errors   atomic.Int64
+	shed     atomic.Int64
+	tenants  []tenantCounters // parallel to opts.Tenants
+}
+
+// tenantCounters is one tenant's lock-free outcome tally.
+type tenantCounters struct {
+	requests atomic.Int64
+	accepted atomic.Int64
 	shed     atomic.Int64
 }
 
@@ -168,6 +245,16 @@ func (r *runner) fire(i int64, scheduled time.Time) {
 	}
 	body := r.opts.Payloads[int(i)%len(r.opts.Payloads)]
 
+	// Job submissions rotate equally through the tenant mix: fairness is
+	// the scheduler's job, so arrivals are deliberately unweighted.
+	var tc *tenantCounters
+	var tenant string
+	if target == TargetJobs && len(r.opts.Tenants) > 0 {
+		ti := int(i) % len(r.opts.Tenants)
+		tenant = r.opts.Tenants[ti].Name
+		tc = &r.tenants[ti]
+	}
+
 	ctx, cancel := context.WithTimeout(context.Background(), r.opts.RequestTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.opts.BaseURL+target, bytes.NewReader(body))
@@ -177,9 +264,15 @@ func (r *runner) fire(i int64, scheduled time.Time) {
 		return
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set("X-Mupod-Tenant", tenant)
+	}
 	resp, err := r.opts.Client.Do(req)
 	d := time.Since(scheduled)
 	r.requests.Add(1)
+	if tc != nil {
+		tc.requests.Add(1)
+	}
 	if err != nil {
 		r.errors.Add(1)
 		return
@@ -189,8 +282,15 @@ func (r *runner) fire(i int64, scheduled time.Time) {
 	switch {
 	case resp.StatusCode == http.StatusTooManyRequests:
 		r.shed.Add(1)
+		if tc != nil {
+			tc.shed.Add(1)
+		}
 	case resp.StatusCode >= 300:
 		r.errors.Add(1)
+	default:
+		if tc != nil {
+			tc.accepted.Add(1)
+		}
 	}
 	// Shed and failed requests still cost the client their round trip;
 	// they belong in the latency distribution like any other response.

@@ -3,8 +3,10 @@ package loadgen
 import (
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -202,5 +204,146 @@ func TestBuildPayloads(t *testing.T) {
 			t.Errorf("payload %d reuses seed %d", i, req.Seed)
 		}
 		seeds[req.Seed] = true
+	}
+}
+
+func TestParseTenantMix(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    []TenantShare
+		wantErr bool
+	}{
+		{"", nil, false},
+		{"a:2,b:1", []TenantShare{{"a", 2}, {"b", 1}}, false},
+		{"a, b:3", []TenantShare{{"a", 1}, {"b", 3}}, false},
+		{"a:0", nil, true},
+		{"a:x", nil, true},
+		{"a,a", nil, true},
+		{":2", nil, true},
+	}
+	for _, c := range cases {
+		got, err := ParseTenantMix(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParseTenantMix(%q) = %v, want error", c.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseTenantMix(%q): %v", c.in, err)
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("ParseTenantMix(%q) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("ParseTenantMix(%q)[%d] = %v, want %v", c.in, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestParseTenantSample(t *testing.T) {
+	tenant, v, ok := parseTenantSample(`mupod_tenant_jobs_total{tenant="team-a"} 42`)
+	if !ok || tenant != "team-a" || v != 42 {
+		t.Fatalf("parse = (%q, %d, %v)", tenant, v, ok)
+	}
+	if _, _, ok := parseTenantSample(`mupod_tenant_jobs_total 42`); ok {
+		t.Error("line without a tenant label parsed")
+	}
+	if _, _, ok := parseTenantSample(`mupod_tenant_jobs_total{tenant="a"} nope`); ok {
+		t.Error("non-numeric value parsed")
+	}
+}
+
+// TestTenantRunAgainstDaemon drives a real in-process mupodd handler
+// with a two-tenant mix: per-tenant headers are sent, client counts
+// tally, the /metrics scrape sees the tenant families, and the report
+// carries the per-tenant section with a fairness verdict.
+func TestTenantRunAgainstDaemon(t *testing.T) {
+	m, err := serve.New(serve.Config{
+		Workers:       2,
+		QueueDepth:    64,
+		TenantWeights: map[string]int{"a": 2, "b": 1},
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		m.Shutdown(ctx) //nolint:errcheck
+	}()
+	srv := httptest.NewServer(serve.NewHandler(m))
+	defer srv.Close()
+
+	mix, err := ParseTenantMix("a:2,b:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads, err := BuildPayloads(2, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := ScrapeTenantMetrics(context.Background(), nil, srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), Options{
+		BaseURL:     srv.URL,
+		Mode:        "closed",
+		Concurrency: 4,
+		Duration:    500 * time.Millisecond,
+		Payloads:    payloads,
+		Tenants:     mix,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"a", "b"} {
+		cs := res.Tenants[name]
+		if cs.Requests == 0 || cs.Accepted+cs.Shed == 0 {
+			t.Errorf("tenant %s client stats = %+v, want traffic", name, cs)
+		}
+	}
+
+	// Let the backlog drain so server-side counts are settled, then
+	// scrape: every accepted job must be attributed to its tenant.
+	drain, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := m.Shutdown(drain); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	after, err := ScrapeTenantMetrics(context.Background(), nil, srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := BuildReport(res)
+	rep.AddTenantStats(res, before, after, 10) // huge tolerance: this asserts plumbing, not saturation fairness
+	for _, name := range []string{"a", "b"} {
+		tr, ok := rep.Tenants[name]
+		if !ok {
+			t.Fatalf("report missing tenant %s", name)
+		}
+		if int64(tr.ServerAccepted) != tr.Accepted {
+			t.Errorf("tenant %s: server accepted %d != client accepted %d", name, tr.ServerAccepted, tr.Accepted)
+		}
+		if tr.ServerCompleted != tr.ServerAccepted {
+			t.Errorf("tenant %s: completed %d != accepted %d after drain", name, tr.ServerCompleted, tr.ServerAccepted)
+		}
+	}
+	if rep.Fairness == nil {
+		t.Fatal("fairness verdict missing")
+	}
+	var buf strings.Builder
+	rep.WriteTable(&buf)
+	if !strings.Contains(buf.String(), "tenant") || !strings.Contains(buf.String(), "fairness") {
+		t.Errorf("table missing tenant section:\n%s", buf.String())
+	}
+	if err := json.NewEncoder(io.Discard).Encode(rep); err != nil {
+		t.Errorf("report not JSON-encodable: %v", err)
 	}
 }

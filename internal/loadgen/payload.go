@@ -31,8 +31,17 @@ func BuildPayloads(distinct, trainSteps int) ([][]byte, error) {
 		if err := netdesc.Write(&sb, testnet.BuildZoo(names[i%len(names)])); err != nil {
 			return nil, fmt.Errorf("loadgen: serializing %s: %w", names[i%len(names)], err)
 		}
+		// netdesc.Write serializes topology only. Without a seed
+		// attribute the daemon parses zero weights, and training a
+		// zero-initialized ReLU network is dead (zero activations →
+		// zero gradients), so every job would fail profiling with a
+		// degenerate-network error. Seed the init on the network line.
+		desc := sb.String()
+		if nl := strings.IndexByte(desc, '\n'); nl > 0 {
+			desc = desc[:nl] + fmt.Sprintf(" seed=%d", 1000+i) + desc[nl:]
+		}
 		req := serve.JobRequest{
-			Network:    sb.String(),
+			Network:    desc,
 			TrainSteps: trainSteps,
 			Seed:       uint64(1000 + i),
 			// The tiny-profile settings the serve tests use: jobs finish

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"text/tabwriter"
 	"time"
@@ -29,6 +30,38 @@ type Report struct {
 
 	Targets map[string]TargetStats `json:"targets"`
 	SLO     *SLOResult             `json:"slo,omitempty"`
+
+	// Tenants and Fairness record a multi-tenant run: per-tenant
+	// client/server outcome counts and the weighted-fair verdict.
+	Tenants  map[string]TenantReport `json:"tenants,omitempty"`
+	Fairness *FairnessResult         `json:"fairness,omitempty"`
+}
+
+// TenantReport is one tenant's slice of a run: what the client sent and
+// what the daemon admitted, shed and completed (server counts are the
+// run's delta of the daemon's /metrics families, so a long-lived daemon
+// reports only this run's work).
+type TenantReport struct {
+	Weight             int     `json:"weight"`
+	Requests           int64   `json:"requests"`
+	Accepted           int64   `json:"accepted"`
+	Shed               int64   `json:"shed_429"`
+	ServerAccepted     uint64  `json:"server_accepted"`
+	ServerShed         uint64  `json:"server_shed"`
+	ServerCompleted    uint64  `json:"server_completed"`
+	CompletedPerWeight float64 `json:"completed_per_weight"`
+}
+
+// FairnessResult is the weighted-fair gate verdict: each tenant's
+// completions divided by its scheduler weight should be equal; MaxSkew
+// is max/min of those normalized rates minus 1. Starved means a tenant
+// completed nothing at all, which leaves MaxSkew undefined (reported 0)
+// and always violates.
+type FairnessResult struct {
+	Tolerance float64 `json:"tolerance"`
+	MaxSkew   float64 `json:"max_skew"`
+	Starved   bool    `json:"starved,omitempty"`
+	Violated  bool    `json:"violated"`
 }
 
 // TargetStats is one target's latency summary in milliseconds.
@@ -106,6 +139,49 @@ func BuildReport(res *Result) *Report {
 	return rep
 }
 
+// AddTenantStats folds a multi-tenant run's outcome into the report:
+// client-side counts from the result, server-side counts as the delta
+// between the post- and pre-run /metrics scrapes, and the weighted-fair
+// verdict when tolerance > 0. A tenant with zero completions counts as
+// an infinite skew — the scheduler starved it outright.
+func (r *Report) AddTenantStats(res *Result, before, after map[string]TenantServerStats, tolerance float64) {
+	if len(res.Opts.Tenants) == 0 {
+		return
+	}
+	r.Tenants = make(map[string]TenantReport, len(res.Opts.Tenants))
+	minRate, maxRate := math.Inf(1), math.Inf(-1)
+	for _, ten := range res.Opts.Tenants {
+		cs := res.Tenants[ten.Name]
+		b, a := before[ten.Name], after[ten.Name]
+		tr := TenantReport{
+			Weight:          ten.Weight,
+			Requests:        cs.Requests,
+			Accepted:        cs.Accepted,
+			Shed:            cs.Shed,
+			ServerAccepted:  a.Accepted - b.Accepted,
+			ServerShed:      a.Shed - b.Shed,
+			ServerCompleted: a.Completed - b.Completed,
+		}
+		tr.CompletedPerWeight = float64(tr.ServerCompleted) / float64(ten.Weight)
+		r.Tenants[ten.Name] = tr
+		minRate = math.Min(minRate, tr.CompletedPerWeight)
+		maxRate = math.Max(maxRate, tr.CompletedPerWeight)
+	}
+	if tolerance <= 0 {
+		return
+	}
+	fr := &FairnessResult{Tolerance: tolerance}
+	switch {
+	case minRate <= 0:
+		fr.Starved = true
+		fr.Violated = true
+	default:
+		fr.MaxSkew = maxRate/minRate - 1
+		fr.Violated = fr.MaxSkew > tolerance
+	}
+	r.Fairness = fr
+}
+
 // WriteJSON renders the report as indented JSON.
 func (r *Report) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
@@ -135,6 +211,33 @@ func (r *Report) WriteTable(w io.Writer) {
 			name, s.Count, s.P50MS, s.P90MS, s.P99MS, s.P999MS, s.MeanMS, s.MinMS, s.MaxMS)
 	}
 	tw.Flush()
+	if len(r.Tenants) > 0 {
+		ttw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(ttw, "tenant\tweight\trequests\taccepted\tshed\tcompleted\tcompleted/weight")
+		names := make([]string, 0, len(r.Tenants))
+		for name := range r.Tenants {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			t := r.Tenants[name]
+			fmt.Fprintf(ttw, "%s\t%d\t%d\t%d\t%d\t%d\t%.1f\n",
+				name, t.Weight, t.Requests, t.Accepted, t.Shed, t.ServerCompleted, t.CompletedPerWeight)
+		}
+		ttw.Flush()
+	}
+	if r.Fairness != nil {
+		verdict := "fair"
+		if r.Fairness.Violated {
+			verdict = "VIOLATED"
+		}
+		if r.Fairness.Starved {
+			fmt.Fprintf(w, "fairness (tol %.0f%%): %s — a tenant completed nothing\n", r.Fairness.Tolerance*100, verdict)
+		} else {
+			fmt.Fprintf(w, "fairness (tol %.0f%%): %s (max weighted-completion skew %.1f%%)\n",
+				r.Fairness.Tolerance*100, verdict, r.Fairness.MaxSkew*100)
+		}
+	}
 	if r.SLO != nil {
 		verdict := "met"
 		if r.SLO.Violated {

@@ -1,0 +1,97 @@
+package loadgen
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// TenantServerStats is one tenant's server-side view scraped off the
+// daemon's /metrics page. Completed comes from the per-tenant latency
+// histogram's _count (only finished jobs observe it), which is what the
+// fairness gate needs: fairness is about who gets served, not who gets
+// admitted.
+type TenantServerStats struct {
+	Accepted  uint64 // mupod_tenant_jobs_total
+	Shed      uint64 // mupod_tenant_shed_total
+	Completed uint64 // mupod_tenant_job_duration_seconds_count
+}
+
+// ScrapeTenantMetrics fetches baseURL/metrics and extracts the
+// per-tenant families. Tenants the daemon has never seen are absent
+// from the map. Scrape before and after a run and subtract to get the
+// run's own contribution on a long-lived daemon.
+func ScrapeTenantMetrics(ctx context.Context, client *http.Client, baseURL string) (map[string]TenantServerStats, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: scraping /metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: /metrics returned %d", resp.StatusCode)
+	}
+
+	out := map[string]TenantServerStats{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		var field func(*TenantServerStats) *uint64
+		switch {
+		case strings.HasPrefix(line, "mupod_tenant_jobs_total{"):
+			field = func(s *TenantServerStats) *uint64 { return &s.Accepted }
+		case strings.HasPrefix(line, "mupod_tenant_shed_total{"):
+			field = func(s *TenantServerStats) *uint64 { return &s.Shed }
+		case strings.HasPrefix(line, "mupod_tenant_job_duration_seconds_count{"):
+			field = func(s *TenantServerStats) *uint64 { return &s.Completed }
+		default:
+			continue
+		}
+		tenant, value, ok := parseTenantSample(line)
+		if !ok {
+			continue
+		}
+		s := out[tenant]
+		*field(&s) = value
+		out[tenant] = s
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("loadgen: reading /metrics: %w", err)
+	}
+	return out, nil
+}
+
+// parseTenantSample pulls tenant label and value off a line like
+// `mupod_tenant_jobs_total{tenant="a"} 12`.
+func parseTenantSample(line string) (tenant string, value uint64, ok bool) {
+	const marker = `tenant="`
+	i := strings.Index(line, marker)
+	if i < 0 {
+		return "", 0, false
+	}
+	rest := line[i+len(marker):]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return "", 0, false
+	}
+	tenant = rest[:j]
+	sp := strings.LastIndexByte(line, ' ')
+	if sp < 0 {
+		return "", 0, false
+	}
+	f, err := strconv.ParseFloat(strings.TrimSpace(line[sp+1:]), 64)
+	if err != nil || f < 0 {
+		return "", 0, false
+	}
+	return tenant, uint64(f), true
+}

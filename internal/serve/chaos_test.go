@@ -6,6 +6,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -236,34 +237,43 @@ func TestLatencyFailpointTripsStageTimeout(t *testing.T) {
 }
 
 // TestShedding429: with one worker pinned and a depth-1 queue, a burst
-// of submissions is shed with 429 + Retry-After and counted.
+// of submissions is shed with 429 + Retry-After and counted — and the
+// Retry-After estimate covers the in-flight job, not just the queue.
 func TestShedding429(t *testing.T) {
 	m := newTestManager(t, Config{Workers: 1, QueueDepth: 1, Resolver: blockingResolver})
 	ts := httptest.NewServer(NewHandler(m))
 	defer ts.Close()
 
-	body := `{"model":"testnet","profile":{"images":8,"points":5,"seed":1},"search":{"reldrop":0.05,"evalimages":64,"tol":0.2,"seed":2}}`
-	var shedResp *http.Response
-	for i := 0; i < 10 && shedResp == nil; i++ {
-		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
-		if err != nil {
-			t.Fatal(err)
-		}
-		switch resp.StatusCode {
-		case http.StatusAccepted:
-			resp.Body.Close()
-		case http.StatusTooManyRequests:
-			shedResp = resp
-		default:
-			t.Fatalf("unexpected status %d", resp.StatusCode)
-		}
+	// Prime occupancy deterministically: one job running (in-flight),
+	// one job filling the depth-1 queue.
+	j1, err := m.Submit(tinyRequest())
+	if err != nil {
+		t.Fatal(err)
 	}
-	if shedResp == nil {
-		t.Fatal("10 submissions into a saturated depth-1 queue, none shed")
+	waitRunning(t, m, j1)
+	if _, err := m.Submit(tinyRequest()); err != nil {
+		t.Fatal(err)
+	}
+
+	body := `{"model":"testnet","profile":{"images":8,"points":5,"seed":1},"search":{"reldrop":0.05,"evalimages":64,"tol":0.2,"seed":2}}`
+	shedResp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shedResp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("submit into a saturated depth-1 queue = %d, want 429", shedResp.StatusCode)
 	}
 	defer shedResp.Body.Close()
-	if ra := shedResp.Header.Get("Retry-After"); ra == "" {
+	ra := shedResp.Header.Get("Retry-After")
+	if ra == "" {
 		t.Error("429 carried no Retry-After header")
+	}
+	// No job has finished, so the estimate uses the 5s/job default:
+	// (1 queued + 1 in-flight + 1 itself) × 5s / 1 worker = 15s. The
+	// old queue-only formula undershot to 10s — every worker holds a
+	// job that still needs up to a full service time.
+	if secs, err := strconv.Atoi(ra); err != nil || secs < 15 {
+		t.Errorf("Retry-After = %q, want >= 15s (in-flight job counted)", ra)
 	}
 	if got := m.Metrics().Shed(); got < 1 {
 		t.Errorf("mupod_jobs_shed_total = %d, want >= 1", got)

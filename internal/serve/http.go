@@ -10,6 +10,7 @@ import (
 // cardinality is fixed no matter how many jobs exist.
 var httpRoutes = []string{
 	"/v1/jobs",
+	"/v1/jobs:batch",
 	"/v1/jobs/{id}",
 	"/pareto",
 	"/healthz",

@@ -46,6 +46,12 @@ func (s State) Terminal() bool {
 // field matching is case-insensitive, so the nested configs accept
 // lowercase keys ({"profile":{"images":30}}).
 type JobRequest struct {
+	// Tenant attributes the job for quota accounting and weighted-fair
+	// scheduling ("" = the default tenant). The HTTP layer also accepts
+	// it via the X-Mupod-Tenant header. Tenancy never affects results:
+	// the profile and front caches are content-addressed and shared.
+	Tenant string `json:"tenant,omitempty"`
+
 	// Model names a model-zoo architecture (alexnet, nin, ...).
 	// Exactly one of Model and Network must be set.
 	Model string `json:"model,omitempty"`
@@ -93,8 +99,20 @@ type JobRequest struct {
 	Pareto *ParetoSpec `json:"pareto,omitempty"`
 }
 
+// TenantName resolves the request's tenant, mapping "" to
+// DefaultTenant so every job is accounted somewhere.
+func (r *JobRequest) TenantName() string {
+	if r.Tenant == "" {
+		return DefaultTenant
+	}
+	return r.Tenant
+}
+
 // Validate checks the request without resolving the network.
 func (r *JobRequest) Validate() error {
+	if err := ValidTenant(r.Tenant); err != nil {
+		return err
+	}
 	if (r.Model == "") == (r.Network == "") {
 		return fmt.Errorf("exactly one of model and network must be set")
 	}
@@ -283,6 +301,10 @@ func (j *Job) setTracer(tr *obs.Tracer) {
 // ID returns the job's identifier.
 func (j *Job) ID() string { return j.id }
 
+// TenantName returns the tenant the job is accounted to. The request is
+// immutable after submission, so no lock is needed.
+func (j *Job) TenantName() string { return j.req.TenantName() }
+
 // State returns the job's current state.
 func (j *Job) State() State {
 	j.mu.Lock()
@@ -324,6 +346,7 @@ func (j *Job) Wait(ctx context.Context) error {
 // JobView is the JSON snapshot of a job returned by the API.
 type JobView struct {
 	ID        string          `json:"id"`
+	Tenant    string          `json:"tenant,omitempty"`
 	State     State           `json:"state"`
 	Error     string          `json:"error,omitempty"`
 	CacheHit  bool            `json:"cache_hit"`
@@ -341,6 +364,7 @@ func (j *Job) View() JobView {
 	defer j.mu.Unlock()
 	v := JobView{
 		ID:        j.id,
+		Tenant:    j.req.Tenant,
 		State:     j.state,
 		Error:     j.err,
 		CacheHit:  j.cacheHit,

@@ -28,6 +28,11 @@ const (
 
 // journalRec is one WAL line. T selects the record type:
 //
+//	epoch   journal header: the compaction epoch this journal extends.
+//	        Written (as the first line) right after each startup
+//	        compaction; a journal whose epoch does not match the
+//	        snapshot's is a stale leftover from a crash inside the
+//	        compaction window and is ignored on replay.
 //	submit  a job entered the queue (Req carries the full request)
 //	state   a state transition (Attempt/Err/CacheHit as applicable)
 //	stage   a pipeline stage finished (Event names it) — feeds the
@@ -35,8 +40,9 @@ const (
 //	result  the JobResult of a job about to be marked done
 type journalRec struct {
 	T        string      `json:"t"`
-	ID       string      `json:"id"`
+	ID       string      `json:"id,omitempty"`
 	Time     time.Time   `json:"time"`
+	Epoch    int64       `json:"epoch,omitempty"`
 	Req      *JobRequest `json:"req,omitempty"`
 	State    State       `json:"state,omitempty"`
 	Event    string      `json:"event,omitempty"`
@@ -64,9 +70,14 @@ type jobRecord struct {
 	Result   *JobResult      `json:"result,omitempty"`
 }
 
-// snapshot is the snapshot.json schema.
+// snapshot is the snapshot.json schema. Epoch increments at every
+// startup compaction and pairs with the journal's epoch header record:
+// replay only trusts a journal whose epoch matches the snapshot it
+// would extend (pre-epoch files on both sides read as epoch 0, so old
+// data dirs keep replaying).
 type snapshot struct {
 	NextID int         `json:"next_id"`
+	Epoch  int64       `json:"epoch,omitempty"`
 	Jobs   []jobRecord `json:"jobs"`
 }
 
@@ -75,11 +86,12 @@ type snapshot struct {
 // torn final line is tolerated by replay. Append failures degrade
 // durability, not availability: they are logged and the job proceeds.
 type journal struct {
-	mu     sync.Mutex
-	f      *os.File
-	closed bool
-	nosync bool
-	logf   func(format string, args ...any)
+	mu      sync.Mutex
+	f       *os.File
+	closed  bool
+	nosync  bool
+	flushes uint64 // write-flushes issued (one per append or batch)
+	logf    func(format string, args ...any)
 }
 
 // openJournal opens (creating if needed) dir's journal for appending.
@@ -99,33 +111,81 @@ func openJournal(dir string, truncate, nosync bool, logf func(string, ...any)) (
 // closed one (crash drill, post-shutdown stragglers) drops silently —
 // exactly what a dead process would have done.
 func (j *journal) append(r journalRec) {
-	if j == nil {
+	j.appendBatch([]journalRec{r})
+}
+
+// appendBatch writes a group of records as one buffered write and one
+// fsync, so a batch submission costs a single durability round-trip
+// regardless of size. The batch is all-or-nothing at the flush level
+// (one Write call), though a crash can still tear the final line —
+// replay already tolerates that.
+func (j *journal) appendBatch(recs []journalRec) {
+	if j == nil || len(recs) == 0 {
 		return
 	}
 	if err := fault.Hit(context.Background(), "serve.journal.append"); err != nil {
-		j.logf("serve: journal append %s/%s dropped: %v", r.T, r.ID, err)
+		j.logf("serve: journal append %s/%s (+%d more) dropped: %v", recs[0].T, recs[0].ID, len(recs)-1, err)
 		return
 	}
-	line, err := json.Marshal(r)
-	if err != nil {
-		j.logf("serve: journal marshal %s/%s: %v", r.T, r.ID, err)
-		return
+	var buf []byte
+	for _, r := range recs {
+		line, err := json.Marshal(r)
+		if err != nil {
+			j.logf("serve: journal marshal %s/%s: %v", r.T, r.ID, err)
+			return
+		}
+		buf = append(buf, line...)
+		buf = append(buf, '\n')
 	}
-	line = append(line, '\n')
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	j.writeLocked(buf, recs[0].T, recs[0].ID)
+}
+
+// writeLocked flushes one pre-encoded blob. Caller holds j.mu.
+func (j *journal) writeLocked(buf []byte, typ, id string) {
 	if j.closed {
 		return
 	}
-	if _, err := j.f.Write(line); err != nil {
-		j.logf("serve: journal write %s/%s: %v", r.T, r.ID, err)
+	if _, err := j.f.Write(buf); err != nil {
+		j.logf("serve: journal write %s/%s: %v", typ, id, err)
 		return
 	}
+	j.flushes++
 	if !j.nosync {
 		if err := j.f.Sync(); err != nil {
 			j.logf("serve: journal sync: %v", err)
 		}
 	}
+}
+
+// writeEpoch writes the journal's epoch header record. It bypasses the
+// append failpoint: losing it would silently orphan every record that
+// follows, which is not the failure mode the failpoint models.
+func (j *journal) writeEpoch(epoch int64, at time.Time) {
+	if j == nil {
+		return
+	}
+	line, err := json.Marshal(journalRec{T: "epoch", Time: at, Epoch: epoch})
+	if err != nil {
+		j.logf("serve: journal marshal epoch: %v", err)
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.writeLocked(append(line, '\n'), "epoch", "")
+}
+
+// Flushes returns how many write-flushes the journal has issued — the
+// fsync count when syncing is on. Tests use it to pin the batch-append
+// durability cost.
+func (j *journal) Flushes() uint64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.flushes
 }
 
 // Close stops all future appends and releases the file.
@@ -145,6 +205,7 @@ func (j *journal) Close() {
 // replayState is the durable job table reconstructed at startup.
 type replayState struct {
 	nextID int
+	epoch  int64 // the snapshot's compaction epoch
 	order  []string
 	jobs   map[string]*jobRecord
 	// droppedBytes counts journal bytes discarded at the first corrupt
@@ -169,12 +230,19 @@ func idNum(id string) int {
 // journal has), stage records the per-stage ones.
 func (st *replayState) apply(r journalRec) error {
 	switch r.T {
+	case "epoch":
+		// Header record; epoch agreement is checked by loadState before
+		// any record is applied, so mid-stream copies are inert.
 	case "submit":
 		if r.Req == nil {
 			return fmt.Errorf("submit record for %s has no request", r.ID)
 		}
 		if _, dup := st.jobs[r.ID]; dup {
-			return fmt.Errorf("duplicate submit for %s", r.ID)
+			// The job is already known from the snapshot or an earlier
+			// record — a stale-journal artifact from a compaction
+			// interrupted before epoch guarding existed. The known state
+			// (which includes every disposition applied since) wins.
+			return nil
 		}
 		rec := &jobRecord{ID: r.ID, Req: *r.Req, State: StateQueued, Submitted: r.Time}
 		rec.Timeline = appendTimeline(nil, string(StateQueued), r.Time)
@@ -234,6 +302,7 @@ func loadState(dir string, logf func(string, ...any)) (*replayState, error) {
 			return nil, fmt.Errorf("serve: corrupt snapshot %s: %w", filepath.Join(dir, snapshotFile), err)
 		}
 		st.nextID = snap.NextID
+		st.epoch = snap.Epoch
 		for i := range snap.Jobs {
 			rec := snap.Jobs[i]
 			st.jobs[rec.ID] = &rec
@@ -257,6 +326,7 @@ func loadState(dir string, logf func(string, ...any)) (*replayState, error) {
 
 	rd := bufio.NewReader(f)
 	lineNo := 0
+	first := true
 	for {
 		line, err := rd.ReadBytes('\n')
 		if len(line) > 0 {
@@ -276,6 +346,24 @@ func loadState(dir string, logf func(string, ...any)) (*replayState, error) {
 				logf("serve: journal %s line %d is corrupt (%v); dropping it and the %d byte tail — likely a write torn by the crash being recovered",
 					journalFile, lineNo, uerr, st.droppedBytes)
 				return st, nil
+			}
+			if first {
+				first = false
+				// Epoch gate: the journal's first record declares which
+				// compaction epoch it extends (absent = pre-epoch files,
+				// implicitly 0). A mismatch means a crash landed between
+				// snapshot install and journal truncation — the journal
+				// predates the snapshot and replaying it would resurrect
+				// pre-compaction state, so it is ignored wholesale.
+				var je int64
+				if rec.T == "epoch" {
+					je = rec.Epoch
+				}
+				if je != st.epoch {
+					logf("serve: journal %s is from compaction epoch %d but the snapshot is epoch %d — compaction was interrupted; ignoring the stale journal",
+						journalFile, je, st.epoch)
+					return st, nil
+				}
 			}
 			if aerr := st.apply(rec); aerr != nil {
 				logf("serve: journal %s line %d: %v (skipped)", journalFile, lineNo, aerr)

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"sync"
+	"sync/atomic"
 
 	"mupod/internal/core"
 	"mupod/internal/dataset"
@@ -64,7 +65,18 @@ type Config struct {
 	Kernel kernels.Policy
 	// QueueDepth bounds the number of queued-but-not-running jobs;
 	// submissions beyond it are shed with ErrQueueFull (default 64).
+	// The bound is a single admission invariant: first submissions,
+	// batch items and retry re-queues all count against it.
 	QueueDepth int
+	// TenantWeights assigns deficit-round-robin scheduling weights to
+	// tenants (see ParseTenantWeights for the flag syntax). A tenant
+	// not listed weighs 1; with no weights at all, scheduling is plain
+	// round-robin across backlogged tenants.
+	TenantWeights map[string]int
+	// TenantQuota caps any one tenant's queued jobs (0 = no per-tenant
+	// cap). Submissions beyond it are shed with ErrTenantQuota even
+	// when the pool as a whole has room.
+	TenantQuota int
 	// StageTimeout bounds each pipeline stage (resolve, profile,
 	// search, solve) individually; 0 disables the per-stage deadline.
 	StageTimeout time.Duration
@@ -120,15 +132,17 @@ type Manager struct {
 	journal *journal // nil without DataDir
 	breaker *breaker // nil when disabled
 
-	queue   chan *Job
-	drainc  chan struct{} // closed when draining starts; wakes retry waiters
-	wg      sync.WaitGroup
-	retryWG sync.WaitGroup
+	sched    *scheduler
+	drainc   chan struct{} // closed when draining starts; wakes retry waiters
+	wg       sync.WaitGroup
+	retryWG  sync.WaitGroup
+	inflight atomic.Int64 // jobs a worker is currently running; feeds Retry-After
 
 	mu          sync.Mutex
 	jobs        map[string]*Job
 	order       []string // submission order, for listing
 	nextID      int
+	epoch       int64 // compaction epoch of the current snapshot+journal pair
 	draining    bool
 	ewmaJobSecs float64 // smoothed job duration, feeds Retry-After
 }
@@ -175,6 +189,7 @@ func New(cfg Config) (*Manager, error) {
 		metrics: NewMetrics(),
 		cache:   NewProfileCacheBytes(cfg.CacheEntries, cfg.CacheBytes),
 		fronts:  newFrontCache(cfg.FrontCacheEntries),
+		sched:   newScheduler(cfg.QueueDepth, cfg.TenantQuota, cfg.TenantWeights),
 		drainc:  make(chan struct{}),
 		jobs:    make(map[string]*Job),
 	}
@@ -214,23 +229,34 @@ func New(cfg Config) (*Manager, error) {
 		// Compact: the replayed table (with recovery dispositions
 		// applied) becomes the new snapshot and the journal restarts
 		// empty — replay cost stays proportional to one uptime, not
-		// the daemon's whole history.
+		// the daemon's whole history. The epoch increment is what makes
+		// the snapshot-install / journal-truncate pair crash-atomic: a
+		// kill between the two leaves a journal whose epoch header no
+		// longer matches the snapshot, so the next replay ignores it
+		// instead of resurrecting pre-compaction state.
+		m.epoch = st.epoch + 1
 		if err := writeSnapshot(cfg.DataDir, m.snapshotNow()); err != nil {
 			return nil, err
+		}
+		// Chaos hook for the compaction crash window (snapshot
+		// installed, journal not yet truncated).
+		if err := fault.Hit(context.Background(), "serve.compact.window"); err != nil {
+			return nil, fmt.Errorf("serve: compaction interrupted: %w", err)
 		}
 		jr, err := openJournal(cfg.DataDir, true, cfg.NoFsync, cfg.Logf)
 		if err != nil {
 			return nil, err
 		}
 		m.journal = jr
+		m.journal.writeEpoch(m.epoch, time.Now())
 	}
-	depth := cfg.QueueDepth
-	if len(pending) > depth {
-		depth = len(pending) // recovered backlog must fit without blocking startup
-	}
-	m.queue = make(chan *Job, depth)
+	// The recovered backlog is force-admitted past the QueueDepth/quota
+	// bounds (startup must not block); the admission invariant holds for
+	// everything after it, so the excess drains and stays drained.
 	for _, j := range pending {
-		m.queue <- j
+		tenant := j.TenantName()
+		m.tenantSeries(tenant)
+		m.sched.enqueueForce(tenant, j)
 	}
 
 	for i := 0; i < cfg.Workers; i++ {
@@ -319,7 +345,7 @@ func (m *Manager) restore(st *replayState) []*Job {
 func (m *Manager) snapshotNow() snapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	snap := snapshot{NextID: m.nextID}
+	snap := snapshot{NextID: m.nextID, Epoch: m.epoch}
 	for _, id := range m.order {
 		j := m.jobs[id]
 		j.mu.Lock()
@@ -375,14 +401,26 @@ func (m *Manager) registerGauges() {
 // Metrics exposes the counter registry (shared with the HTTP layer).
 func (m *Manager) Metrics() *Metrics { return m.metrics }
 
+// tenantSeries resolves a tenant's metric series, wiring its queue-
+// depth gauge to the scheduler on first sight.
+func (m *Manager) tenantSeries(name string) *tenantSeries {
+	return m.metrics.tenant(name, func() float64 {
+		return float64(m.sched.TenantDepth(name))
+	})
+}
+
 // CacheLen returns the number of cached profiles.
 func (m *Manager) CacheLen() int { return m.cache.Len() }
 
 // CachedBytes returns the estimated bytes held by cached profiles.
 func (m *Manager) CachedBytes() int64 { return m.cache.CachedBytes() }
 
-// QueueDepth returns the number of jobs waiting for a worker.
-func (m *Manager) QueueDepth() int { return len(m.queue) }
+// QueueDepth returns the number of jobs waiting for a worker (including
+// admissions mid-flight between their capacity check and enqueue).
+func (m *Manager) QueueDepth() int { return m.sched.Len() }
+
+// TenantQueueDepth returns one tenant's share of the queue.
+func (m *Manager) TenantQueueDepth(tenant string) int { return m.sched.TenantDepth(tenant) }
 
 // Workers returns the configured worker count.
 func (m *Manager) Workers() int { return m.cfg.Workers }
@@ -396,8 +434,12 @@ func (m *Manager) Draining() bool {
 
 // RetryAfter estimates (in whole seconds, clamped to [1, 300]) how long
 // a shed client should wait before resubmitting: the smoothed job
-// duration times the queue position a new job would take, spread across
-// the worker pool. Before any job has finished it assumes 5s per job.
+// duration times the queue position a new job would take — jobs already
+// running plus jobs waiting plus itself — spread across the worker
+// pool. Counting the in-flight jobs matters at saturation: every worker
+// holds a job that still needs up to a full service time, so ignoring
+// them undershoots by Workers × ewmaJobSecs. Before any job has
+// finished it assumes 5s per job.
 func (m *Manager) RetryAfter() int {
 	m.mu.Lock()
 	perJob := m.ewmaJobSecs
@@ -405,7 +447,8 @@ func (m *Manager) RetryAfter() int {
 	if perJob <= 0 {
 		perJob = 5
 	}
-	secs := int(math.Ceil(perJob * float64(len(m.queue)+1) / float64(m.cfg.Workers)))
+	ahead := m.sched.Len() + int(m.inflight.Load())
+	secs := int(math.Ceil(perJob * float64(ahead+1) / float64(m.cfg.Workers)))
 	if secs < 1 {
 		secs = 1
 	}
@@ -426,58 +469,97 @@ func (m *Manager) noteJobSecs(s float64) {
 }
 
 // Submit validates the request and enqueues a new job. It never blocks:
-// a saturated queue sheds with ErrQueueFull (the HTTP layer turns that
-// into 429 + Retry-After), a draining manager rejects with ErrDraining.
-// With a DataDir the submission is journaled before Submit returns, so
-// an accepted job survives a crash.
+// a saturated queue sheds with ErrQueueFull, a tenant over its quota
+// with ErrTenantQuota (the HTTP layer turns both into 429 +
+// Retry-After), a draining manager rejects with ErrDraining. With a
+// DataDir the submission is journaled before Submit returns, so an
+// accepted job survives a crash.
 func (m *Manager) Submit(req JobRequest) (*Job, error) {
-	if err := req.Validate(); err != nil {
-		return nil, err
-	}
-	ctx, cancel := context.WithCancel(context.Background())
-	j := &Job{
-		req:       req,
-		ctx:       ctx,
-		cancel:    cancel,
-		done:      make(chan struct{}),
-		state:     StateQueued,
-		submitted: time.Now(),
-	}
-	j.timeline = appendTimeline(nil, string(StateQueued), j.submitted)
+	res := m.SubmitBatch([]JobRequest{req})[0]
+	return res.Job, res.Err
+}
+
+// BatchResult is one item's outcome from SubmitBatch: the accepted job,
+// or the error that rejected it.
+type BatchResult struct {
+	Job *Job
+	Err error
+}
+
+// SubmitBatch admits many requests in one shot. Items are validated and
+// admitted independently (partial accept: a full queue or an exhausted
+// tenant quota sheds the item, not the batch), but every accepted item
+// is journaled in a single batched append — one fsync for the whole
+// batch — before any of them becomes visible to a worker. The result
+// slice is parallel to reqs.
+func (m *Manager) SubmitBatch(reqs []JobRequest) []BatchResult {
+	out := make([]BatchResult, len(reqs))
+	now := time.Now()
 
 	m.mu.Lock()
 	if m.draining {
 		m.mu.Unlock()
-		cancel()
-		m.metrics.rejected.Add(1)
-		return nil, ErrDraining
+		for i := range out {
+			out[i].Err = ErrDraining
+			m.metrics.rejected.Add(1)
+		}
+		return out
 	}
-	// Capacity is checked under the lock (rather than a select-send) so
-	// the send below cannot race Shutdown closing the queue, and so the
-	// admission bound stays cfg.QueueDepth even when recovery sized the
-	// channel larger.
-	if len(m.queue) >= m.cfg.QueueDepth || len(m.queue) >= cap(m.queue) {
-		m.mu.Unlock()
-		cancel()
-		m.metrics.rejected.Add(1)
-		m.metrics.shed.Add(1)
-		return nil, ErrQueueFull
+	// Admission is checked per item under the manager lock (rather than
+	// a select-send) so an accept cannot race Shutdown closing the
+	// scheduler, and so every path — single submit, batch item, retry
+	// re-queue — shares one invariant: scheduler occupancy, counting
+	// reservations, stays within QueueDepth and the per-tenant quota.
+	var accepted []*Job
+	var recs []journalRec
+	for i := range reqs {
+		req := reqs[i]
+		if err := req.Validate(); err != nil {
+			out[i].Err = err
+			continue
+		}
+		tenant := req.TenantName()
+		if err := m.sched.reserve(tenant); err != nil {
+			out[i].Err = err
+			m.metrics.rejected.Add(1)
+			m.metrics.shed.Add(1)
+			m.tenantSeries(tenant).shed.Inc()
+			continue
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		j := &Job{
+			req:       req,
+			ctx:       ctx,
+			cancel:    cancel,
+			done:      make(chan struct{}),
+			state:     StateQueued,
+			submitted: now,
+		}
+		j.timeline = appendTimeline(nil, string(StateQueued), now)
+		m.nextID++
+		j.id = fmt.Sprintf("j-%06d", m.nextID)
+		m.jobs[j.id] = j
+		m.order = append(m.order, j.id)
+		recs = append(recs, journalRec{T: "submit", ID: j.id, Time: now, Req: &j.req})
+		accepted = append(accepted, j)
+		out[i].Job = j
 	}
-	m.nextID++
-	j.id = fmt.Sprintf("j-%06d", m.nextID)
-	m.jobs[j.id] = j
-	m.order = append(m.order, j.id)
-	// Journal before the send: once a worker can see the job, its
+	// Journal before the enqueues: once a worker can see a job, its
 	// submit record is already durable, so no later record can refer to
 	// a job the journal has never heard of.
-	m.journal.append(journalRec{T: "submit", ID: j.id, Time: j.submitted, Req: &j.req})
-	m.queue <- j
+	m.journal.appendBatch(recs)
+	for _, j := range accepted {
+		m.sched.enqueue(j.TenantName(), j)
+	}
 	m.mu.Unlock()
 
-	m.metrics.submitted.Add(1)
-	m.cfg.Logf("serve: job %s queued (model=%q netdesc=%dB objective=%q)",
-		j.id, req.Model, len(req.Network), req.Objective)
-	return j, nil
+	for _, j := range accepted {
+		m.metrics.submitted.Add(1)
+		m.tenantSeries(j.TenantName()).jobs.Inc()
+		m.cfg.Logf("serve: job %s queued (tenant=%q model=%q netdesc=%dB objective=%q)",
+			j.id, j.TenantName(), j.req.Model, len(j.req.Network), j.req.Objective)
+	}
+	return out
 }
 
 // Get returns the job with the given ID.
@@ -498,6 +580,23 @@ func (m *Manager) Jobs() []*Job {
 	out := make([]*Job, 0, len(m.order))
 	for _, id := range m.order {
 		out = append(out, m.jobs[id])
+	}
+	return out
+}
+
+// JobsByTenant returns the tenant's jobs in submission order ("" means
+// every job, like Jobs).
+func (m *Manager) JobsByTenant(tenant string) []*Job {
+	if tenant == "" {
+		return m.Jobs()
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []*Job
+	for _, id := range m.order {
+		if j := m.jobs[id]; j.TenantName() == tenant {
+			out = append(out, j)
+		}
 	}
 	return out
 }
@@ -553,7 +652,7 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	}
 	m.draining = true
 	close(m.drainc)
-	close(m.queue)
+	m.sched.close()
 	m.mu.Unlock()
 
 	done := make(chan struct{})
@@ -588,7 +687,7 @@ func (m *Manager) Crash() {
 	if !m.draining {
 		m.draining = true
 		close(m.drainc)
-		close(m.queue)
+		m.sched.close()
 	}
 	m.mu.Unlock()
 	for _, j := range m.Jobs() {
@@ -602,7 +701,11 @@ func (m *Manager) Crash() {
 
 func (m *Manager) worker() {
 	defer m.wg.Done()
-	for j := range m.queue {
+	for {
+		j, ok := m.sched.next()
+		if !ok {
+			return
+		}
 		m.runJob(j)
 	}
 }
@@ -628,6 +731,8 @@ func (m *Manager) runJob(j *Job) {
 	started := j.started
 	j.timeline = appendTimeline(j.timeline, string(StateRunning), started)
 	j.mu.Unlock()
+	m.inflight.Add(1)
+	defer m.inflight.Add(-1)
 	// The journal record reuses the timeline timestamp so a replayed
 	// timeline is bit-identical to the live one.
 	m.journal.append(journalRec{T: "state", ID: j.id, Time: started, State: StateRunning, Attempt: attempt})
@@ -693,6 +798,7 @@ func (m *Manager) finalize(j *Job, final State, res *JobResult, cacheHit bool, c
 	switch {
 	case final == StateDone:
 		m.noteJobSecs(finished.Sub(started).Seconds())
+		m.tenantSeries(j.TenantName()).latency.Observe(finished.Sub(started))
 		m.cfg.Logf("serve: job %s done in %v (cache hit=%v)", j.id, finished.Sub(started).Round(time.Millisecond), cacheHit)
 	case cause != nil:
 		m.cfg.Logf("serve: job %s %s: %v", j.id, final, cause)
@@ -754,10 +860,17 @@ func (m *Manager) retryLater(j *Job, attempt int, cause error) {
 				m.finalize(j, StateFailed, nil, false, fmt.Errorf("manager draining before retry: %w", cause))
 				return
 			}
-			if len(m.queue) < cap(m.queue) {
+			// Re-admission goes through the same reservation as Submit:
+			// a retried job counts against QueueDepth (and its tenant's
+			// quota) like any other, so retries cannot re-enter above
+			// the configured bound — not even while a recovery backlog
+			// larger than QueueDepth is still draining.
+			tenant := j.TenantName()
+			if m.sched.reserve(tenant) == nil {
 				j.mu.Lock()
 				if j.state != StateInterrupted { // finalized while parked
 					j.mu.Unlock()
+					m.sched.unreserve(tenant)
 					m.mu.Unlock()
 					return
 				}
@@ -768,12 +881,12 @@ func (m *Manager) retryLater(j *Job, attempt int, cause error) {
 				j.timeline = appendTimeline(j.timeline, string(StateQueued), requeued)
 				j.mu.Unlock()
 				m.journal.append(journalRec{T: "state", ID: j.id, Time: requeued, State: StateQueued, Attempt: attempt})
-				m.queue <- j
+				m.sched.enqueue(tenant, j)
 				m.mu.Unlock()
 				return
 			}
 			m.mu.Unlock()
-			t.Reset(m.retryDelay(attempt)) // queue full: back off again
+			t.Reset(m.retryDelay(attempt)) // queue (or tenant quota) full: back off again
 		}
 	}()
 }

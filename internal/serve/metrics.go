@@ -65,6 +65,29 @@ type Metrics struct {
 
 	httpMu   sync.Mutex
 	httpReqs map[string]*obs.Counter // keyed route|method|code
+
+	// Per-tenant families (mupod_tenant_*), materialized lazily the
+	// first time a tenant is seen so an untenanted daemon's /metrics
+	// page is unchanged. Cardinality is bounded: past maxTenantSeries
+	// distinct tenants, new ones fold into the "_other" series.
+	tenantMu sync.Mutex
+	tenants  map[string]*tenantSeries
+}
+
+// maxTenantSeries bounds the distinct tenant label values exported on
+// /metrics; tenants beyond it share the tenantOverflow series. The
+// scheduler itself is unbounded — this caps exposition cardinality, not
+// fairness.
+const maxTenantSeries = 32
+
+// tenantOverflow is the tenant label folding the long tail.
+const tenantOverflow = "_other"
+
+// tenantSeries is one tenant's metric set.
+type tenantSeries struct {
+	jobs    *obs.Counter          // submissions accepted
+	shed    *obs.Counter          // submissions shed (queue full or quota)
+	latency *obs.LatencyHistogram // submit→done latency of completed jobs
 }
 
 // NewMetrics creates the daemon's counter set on a fresh registry.
@@ -171,6 +194,64 @@ func (m *Metrics) HTTPDuration(route string) *obs.LatencyHistogram {
 	m.httpMu.Lock()
 	defer m.httpMu.Unlock()
 	return m.httpDurations[route]
+}
+
+// tenant returns (registering on first sight) the named tenant's metric
+// series. depth, when non-nil, becomes a mupod_tenant_queue_depth gauge
+// for the tenant; the overflow series never gets one (it aggregates
+// tenants the scheduler tracks individually). Families register lazily,
+// which also keeps them strictly after every startup-time registration
+// — the golden-page prefix is untouched.
+func (m *Metrics) tenant(name string, depth func() float64) *tenantSeries {
+	m.tenantMu.Lock()
+	defer m.tenantMu.Unlock()
+	if m.tenants == nil {
+		m.tenants = make(map[string]*tenantSeries)
+	}
+	if ts, ok := m.tenants[name]; ok {
+		return ts
+	}
+	if len(m.tenants) >= maxTenantSeries && name != tenantOverflow {
+		if ts, ok := m.tenants[tenantOverflow]; ok {
+			return ts
+		}
+		name, depth = tenantOverflow, nil
+	}
+	ts := &tenantSeries{
+		jobs: m.reg.Counter("mupod_tenant_jobs_total",
+			"Jobs accepted into the queue, by tenant.", "tenant", name),
+		shed: m.reg.Counter("mupod_tenant_shed_total",
+			"Submissions shed with 429 (queue full or tenant quota), by tenant.", "tenant", name),
+		latency: m.reg.LatencyHistogram("mupod_tenant_job_duration_seconds",
+			"Start-to-done latency of completed jobs, by tenant.", "tenant", name),
+	}
+	if depth != nil {
+		m.reg.GaugeFunc("mupod_tenant_queue_depth",
+			"Jobs waiting for a worker, by tenant.", depth, "tenant", name)
+	}
+	m.tenants[name] = ts
+	return ts
+}
+
+// TenantJobs returns the accepted-job count for a tenant's series (0
+// for a tenant never seen) — test hook.
+func (m *Metrics) TenantJobs(name string) uint64 {
+	m.tenantMu.Lock()
+	defer m.tenantMu.Unlock()
+	if ts, ok := m.tenants[name]; ok {
+		return ts.jobs.Value()
+	}
+	return 0
+}
+
+// TenantShed returns the shed count for a tenant's series — test hook.
+func (m *Metrics) TenantShed(name string) uint64 {
+	m.tenantMu.Lock()
+	defer m.tenantMu.Unlock()
+	if ts, ok := m.tenants[name]; ok {
+		return ts.shed.Value()
+	}
+	return 0
 }
 
 // ObservePareto records one Pareto stage latency.

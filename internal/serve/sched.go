@@ -1,0 +1,320 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// DefaultTenant is the tenant a request without one is accounted to.
+const DefaultTenant = "default"
+
+// ErrTenantQuota rejects a submission whose tenant already has its full
+// per-tenant quota of jobs queued. Like ErrQueueFull it maps to a 429:
+// the pool as a whole may have room, but this tenant must back off.
+var ErrTenantQuota = errors.New("serve: tenant queue quota exceeded")
+
+// maxTenantName bounds tenant identifiers; they become metric label
+// values, so they stay short and printable.
+const maxTenantName = 64
+
+// ValidTenant checks a tenant identifier: empty (→ DefaultTenant) or up
+// to 64 characters drawn from [A-Za-z0-9._-].
+func ValidTenant(name string) error {
+	if len(name) > maxTenantName {
+		return fmt.Errorf("serve: tenant name longer than %d bytes", maxTenantName)
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return fmt.Errorf("serve: tenant name %q has invalid byte %q (want [A-Za-z0-9._-])", name, c)
+		}
+	}
+	return nil
+}
+
+// ParseTenantWeights parses a "name:weight,name:weight" list (the
+// -tenant-weights flag). Weights are positive integers; a bare name
+// means weight 1. Unlisted tenants default to weight 1 at runtime.
+func ParseTenantWeights(s string) (map[string]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	out := make(map[string]int)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, wstr, found := strings.Cut(part, ":")
+		w := 1
+		if found {
+			var err error
+			if w, err = strconv.Atoi(strings.TrimSpace(wstr)); err != nil || w <= 0 {
+				return nil, fmt.Errorf("serve: tenant weight %q must be a positive integer", part)
+			}
+		}
+		name = strings.TrimSpace(name)
+		if err := ValidTenant(name); err != nil {
+			return nil, err
+		}
+		if name == "" {
+			name = DefaultTenant
+		}
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("serve: tenant %q listed twice", name)
+		}
+		out[name] = w
+	}
+	return out, nil
+}
+
+// tenantQueue is one tenant's FIFO sub-queue plus its deficit-round-
+// robin bookkeeping. queued counts admission occupancy — reservations
+// taken under the manager lock that have not yet materialized as an
+// enqueued job — so the bounds cannot be raced past between the
+// admission decision and the journaled enqueue.
+type tenantQueue struct {
+	name    string
+	jobs    []*Job
+	queued  int // reserved + enqueued (admission occupancy)
+	deficit int
+	inTurn  bool
+}
+
+// scheduler replaces the old single FIFO channel: per-tenant bounded
+// sub-queues drained by deficit round robin. Admission invariants:
+//
+//	Σ queued  <  depth     (the global QueueDepth bound — retries and
+//	                        batch items count like everything else)
+//	queued(t) <  quota     (per-tenant, when quota > 0)
+//
+// Recovery bypasses both (enqueueForce): a replayed backlog must fit
+// without blocking startup, and drains back under the bounds naturally
+// because new admissions keep being checked against them.
+//
+// DRR semantics: each backlogged tenant receives weight(t) credits when
+// its turn begins and dequeues one job per credit; an emptied sub-queue
+// forfeits leftover credit (no banking while idle). With every weight 1
+// this degrades to plain round robin; with a single tenant, to FIFO.
+type scheduler struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	depth   int
+	quota   int
+	weights map[string]int
+	tenants map[string]*tenantQueue
+	ring    []*tenantQueue // tenants with jobs enqueued, in turn order
+	cur     int            // ring index DRR is currently serving
+	queued  int            // Σ tenantQueue.queued (admission occupancy)
+	avail   int            // jobs actually enqueued and poppable
+	closed  bool
+}
+
+func newScheduler(depth, quota int, weights map[string]int) *scheduler {
+	s := &scheduler{
+		depth:   depth,
+		quota:   quota,
+		weights: weights,
+		tenants: make(map[string]*tenantQueue),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+func (s *scheduler) weightFor(name string) int {
+	if w := s.weights[name]; w > 0 {
+		return w
+	}
+	return 1
+}
+
+// tq returns (creating if needed) the named tenant's sub-queue. Caller
+// holds s.mu.
+func (s *scheduler) tq(name string) *tenantQueue {
+	t, ok := s.tenants[name]
+	if !ok {
+		t = &tenantQueue{name: name}
+		s.tenants[name] = t
+	}
+	return t
+}
+
+// reserve takes one admission slot for the tenant, enforcing the global
+// depth and the per-tenant quota. The matching enqueue (or unreserve)
+// must follow; callers serialize reserve→enqueue under the manager
+// lock, so the check-then-act pair cannot over-admit.
+func (s *scheduler) reserve(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.queued >= s.depth {
+		return ErrQueueFull
+	}
+	t := s.tq(name)
+	if s.quota > 0 && t.queued >= s.quota {
+		return ErrTenantQuota
+	}
+	t.queued++
+	s.queued++
+	return nil
+}
+
+// unreserve returns an admission slot taken by reserve when the job was
+// finalized before it could be enqueued.
+func (s *scheduler) unreserve(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t := s.tenants[name]; t != nil && t.queued > 0 {
+		t.queued--
+		s.queued--
+	}
+}
+
+// enqueue appends a job whose slot was already reserved and wakes one
+// worker.
+func (s *scheduler) enqueue(name string, j *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.push(s.tq(name), j)
+}
+
+// enqueueForce admits a job past the bounds — crash recovery only.
+func (s *scheduler) enqueueForce(name string, j *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.tq(name)
+	t.queued++
+	s.queued++
+	s.push(t, j)
+}
+
+// push appends to the sub-queue, joining the DRR ring if the tenant was
+// idle. Caller holds s.mu and has accounted the admission slot.
+func (s *scheduler) push(t *tenantQueue, j *Job) {
+	if len(t.jobs) == 0 {
+		s.ring = append(s.ring, t)
+	}
+	t.jobs = append(t.jobs, j)
+	s.avail++
+	s.cond.Signal()
+}
+
+// next blocks until a job is available (returning it per DRR order) or
+// the scheduler is closed and drained, mirroring a closed channel: a
+// worker keeps receiving queued jobs after close until none remain.
+func (s *scheduler) next() (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.avail == 0 {
+		if s.closed {
+			return nil, false
+		}
+		s.cond.Wait()
+	}
+	return s.pop(), true
+}
+
+// pop dequeues per deficit round robin. Caller holds s.mu; s.avail > 0.
+func (s *scheduler) pop() *Job {
+	for {
+		if s.cur >= len(s.ring) {
+			s.cur = 0
+		}
+		t := s.ring[s.cur]
+		if len(t.jobs) == 0 {
+			s.dropRing(s.cur)
+			continue
+		}
+		if !t.inTurn {
+			t.inTurn = true
+			t.deficit += s.weightFor(t.name)
+		}
+		if t.deficit < 1 {
+			// Turn spent: pass to the next backlogged tenant.
+			t.inTurn = false
+			s.cur++
+			continue
+		}
+		t.deficit--
+		j := t.jobs[0]
+		t.jobs[0] = nil
+		t.jobs = t.jobs[1:]
+		t.queued--
+		s.queued--
+		s.avail--
+		if len(t.jobs) == 0 {
+			t.jobs = nil
+			t.inTurn, t.deficit = false, 0
+			s.dropRing(s.cur)
+		}
+		return j
+	}
+}
+
+// dropRing removes ring[i], keeping cur pointed at the same logical
+// successor. Caller holds s.mu.
+func (s *scheduler) dropRing(i int) {
+	s.ring = append(s.ring[:i], s.ring[i+1:]...)
+	if s.cur > i {
+		s.cur--
+	}
+	if s.cur >= len(s.ring) {
+		s.cur = 0
+	}
+}
+
+// close stops future blocking in next; queued jobs still drain.
+func (s *scheduler) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// Len returns the admission occupancy: queued jobs plus reservations
+// mid-flight between the admission check and their enqueue.
+func (s *scheduler) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queued
+}
+
+// TenantDepth returns one tenant's admission occupancy.
+func (s *scheduler) TenantDepth(name string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t := s.tenants[name]; t != nil {
+		return t.queued
+	}
+	return 0
+}
+
+// TenantDepths snapshots every known tenant's occupancy, sorted by name
+// for deterministic iteration.
+func (s *scheduler) TenantDepths() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int, len(s.tenants))
+	for name, t := range s.tenants {
+		out[name] = t.queued
+	}
+	return out
+}
+
+// TenantNames lists every tenant the scheduler has seen, sorted.
+func (s *scheduler) TenantNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.tenants))
+	for name := range s.tenants {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

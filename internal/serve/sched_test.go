@@ -1,0 +1,224 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// schedJob makes a placeholder job for scheduler-only tests.
+func schedJob(id string) *Job {
+	return &Job{id: id}
+}
+
+func TestParseTenantWeights(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    map[string]int
+		wantErr bool
+	}{
+		{"", nil, false},
+		{"   ", nil, false},
+		{"a:2,b:1", map[string]int{"a": 2, "b": 1}, false},
+		{" a : 2 , b ", map[string]int{"a": 2, "b": 1}, false},
+		{"team-x:3", map[string]int{"team-x": 3}, false},
+		{":4", map[string]int{DefaultTenant: 4}, false},
+		{"a:0", nil, true},
+		{"a:-1", nil, true},
+		{"a:x", nil, true},
+		{"a:1,a:2", nil, true},
+		{"bad name:1", nil, true},
+	}
+	for _, c := range cases {
+		got, err := ParseTenantWeights(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParseTenantWeights(%q) = %v, want error", c.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseTenantWeights(%q): %v", c.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ParseTenantWeights(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestValidTenant(t *testing.T) {
+	for _, ok := range []string{"", "a", "team-x", "Big.Corp_1", "x-y.z"} {
+		if err := ValidTenant(ok); err != nil {
+			t.Errorf("ValidTenant(%q): %v", ok, err)
+		}
+	}
+	long := make([]byte, maxTenantName+1)
+	for i := range long {
+		long[i] = 'a'
+	}
+	for _, bad := range []string{"a b", "a/b", "a\n", "ü", string(long)} {
+		if err := ValidTenant(bad); err == nil {
+			t.Errorf("ValidTenant(%q) accepted", bad)
+		}
+	}
+}
+
+// TestSchedulerDRROrder: weights 2:1 yield the exact a,a,b interleave —
+// the deficit carries within a turn and resets when a queue drains.
+func TestSchedulerDRROrder(t *testing.T) {
+	s := newScheduler(100, 0, map[string]int{"a": 2, "b": 1})
+	for i := 0; i < 6; i++ {
+		s.enqueueForce("a", schedJob(fmt.Sprintf("a%d", i)))
+	}
+	for i := 0; i < 3; i++ {
+		s.enqueueForce("b", schedJob(fmt.Sprintf("b%d", i)))
+	}
+	want := []string{"a0", "a1", "b0", "a2", "a3", "b1", "a4", "a5", "b2"}
+	var got []string
+	for range want {
+		j, ok := s.next()
+		if !ok {
+			t.Fatal("scheduler closed early")
+		}
+		got = append(got, j.id)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("DRR order = %v, want %v", got, want)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("drained scheduler Len = %d", s.Len())
+	}
+}
+
+// TestSchedulerIdleTenantBanksNoCredit: a tenant whose queue drained
+// re-enters with a fresh turn, not with banked deficit from idling.
+func TestSchedulerIdleTenantBanksNoCredit(t *testing.T) {
+	s := newScheduler(100, 0, map[string]int{"a": 5, "b": 1})
+	s.enqueueForce("a", schedJob("a0"))
+	if j, _ := s.next(); j.id != "a0" {
+		t.Fatalf("popped %s, want a0", j.id)
+	}
+	// a's queue drained with deficit 4 left — which must be forfeited.
+	for i := 0; i < 3; i++ {
+		s.enqueueForce("b", schedJob(fmt.Sprintf("b%d", i)))
+	}
+	s.enqueueForce("a", schedJob("a1"))
+	var got []string
+	for i := 0; i < 4; i++ {
+		j, _ := s.next()
+		got = append(got, j.id)
+	}
+	// b joined the ring first this round; a's new turn grants 5 but its
+	// single job drains it immediately.
+	want := []string{"b0", "a1", "b1", "b2"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("order = %v, want %v", got, want)
+	}
+}
+
+// TestSchedulerSingleTenantFIFO: one tenant degrades to plain FIFO.
+func TestSchedulerSingleTenantFIFO(t *testing.T) {
+	s := newScheduler(10, 0, nil)
+	for i := 0; i < 5; i++ {
+		if err := s.reserve(DefaultTenant); err != nil {
+			t.Fatal(err)
+		}
+		s.enqueue(DefaultTenant, schedJob(fmt.Sprintf("j%d", i)))
+	}
+	for i := 0; i < 5; i++ {
+		j, ok := s.next()
+		if !ok || j.id != fmt.Sprintf("j%d", i) {
+			t.Fatalf("pop %d = %v (ok=%v)", i, j, ok)
+		}
+	}
+}
+
+// TestSchedulerBounds: the global depth sheds with ErrQueueFull, the
+// per-tenant quota with ErrTenantQuota, and unreserve returns the slot.
+func TestSchedulerBounds(t *testing.T) {
+	s := newScheduler(3, 2, nil)
+	if err := s.reserve("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.reserve("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.reserve("a"); !errors.Is(err, ErrTenantQuota) {
+		t.Fatalf("third a reserve = %v, want ErrTenantQuota", err)
+	}
+	if err := s.reserve("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.reserve("b"); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("fourth reserve = %v, want ErrQueueFull", err)
+	}
+	s.unreserve("a")
+	if err := s.reserve("b"); err != nil {
+		t.Fatalf("reserve after unreserve = %v", err)
+	}
+	if got := s.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+	if got := s.TenantDepth("b"); got != 2 {
+		t.Fatalf("TenantDepth(b) = %d, want 2", got)
+	}
+}
+
+// TestSchedulerForceBypassesBounds: recovery enqueues above depth, and
+// the excess occupancy blocks new reservations until it drains.
+func TestSchedulerForceBypassesBounds(t *testing.T) {
+	s := newScheduler(2, 0, nil)
+	for i := 0; i < 5; i++ {
+		s.enqueueForce("a", schedJob(fmt.Sprintf("r%d", i)))
+	}
+	if got := s.Len(); got != 5 {
+		t.Fatalf("Len = %d, want 5", got)
+	}
+	if err := s.reserve("a"); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("reserve over recovered backlog = %v, want ErrQueueFull", err)
+	}
+	for i := 0; i < 4; i++ {
+		s.next()
+	}
+	if err := s.reserve("a"); err != nil {
+		t.Fatalf("reserve after drain = %v", err)
+	}
+}
+
+// TestSchedulerCloseDrains: close mirrors a closed channel — queued
+// jobs still pop, then next reports !ok; blocked waiters wake.
+func TestSchedulerCloseDrains(t *testing.T) {
+	s := newScheduler(10, 0, nil)
+	s.enqueueForce("a", schedJob("a0"))
+	s.enqueueForce("a", schedJob("a1"))
+	s.close()
+	for i := 0; i < 2; i++ {
+		if j, ok := s.next(); !ok || j == nil {
+			t.Fatalf("pop %d after close: ok=%v", i, ok)
+		}
+	}
+	if _, ok := s.next(); ok {
+		t.Fatal("next returned a job from a closed drained scheduler")
+	}
+
+	// A parked waiter wakes on close.
+	s2 := newScheduler(10, 0, nil)
+	woke := make(chan bool, 1)
+	go func() {
+		_, ok := s2.next()
+		woke <- ok
+	}()
+	time.Sleep(20 * time.Millisecond)
+	s2.close()
+	select {
+	case ok := <-woke:
+		if ok {
+			t.Fatal("waiter got a job from an empty closed scheduler")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter never woke after close")
+	}
+}

@@ -12,13 +12,44 @@ import (
 // descriptions are small; 4 MiB is generous).
 const maxRequestBody = 4 << 20
 
+// tenantHeader attributes a request to a tenant when its body carries
+// no "tenant" field (body wins when both are set).
+const tenantHeader = "X-Mupod-Tenant"
+
+// maxBatchItems bounds one POST /v1/jobs:batch request.
+const maxBatchItems = 256
+
+// BatchItemView is one item's outcome in a batch-submit response:
+// Status holds the HTTP code the item would have received standalone
+// (202, 400, 429 with RetryAfterSecs, ...), and exactly one of Job and
+// Error is set.
+type BatchItemView struct {
+	Index          int      `json:"index"`
+	Status         int      `json:"status"`
+	Error          string   `json:"error,omitempty"`
+	RetryAfterSecs int      `json:"retry_after_secs,omitempty"`
+	Job            *JobView `json:"job,omitempty"`
+}
+
+// BatchView is the POST /v1/jobs:batch response body.
+type BatchView struct {
+	Accepted int             `json:"accepted"`
+	Rejected int             `json:"rejected"`
+	Items    []BatchItemView `json:"items"`
+}
+
 // NewHandler exposes a Manager over HTTP:
 //
 //	POST   /v1/jobs       submit a job            → 202 + JobView
+//	POST   /v1/jobs:batch submit many jobs        → 202/207 + per-item results
+//	         ({"jobs":[...]}; items are admitted independently, so a
+//	          full queue or tenant quota sheds items — with per-item
+//	          429s — not the batch; one journal fsync covers them all)
 //	POST   /pareto        submit a Pareto-front job → 202 + JobView
 //	         (a JobRequest whose "pareto" spec defaults to {} — the
 //	          α-sweep; poll /v1/jobs/{id} for the front JSON)
 //	GET    /v1/jobs       list jobs               → 200 + []JobView
+//	         (?tenant=name filters to one tenant)
 //	GET    /v1/jobs/{id}  poll one job            → 200 + JobView (incl. timeline)
 //	DELETE /v1/jobs/{id}  cancel a job            → 202 + JobView
 //	GET    /healthz       pure liveness           → 200 while the process serves
@@ -47,13 +78,16 @@ func NewHandler(m *Manager) http.Handler {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 			return
 		}
+		if req.Tenant == "" {
+			req.Tenant = r.Header.Get(tenantHeader)
+		}
 		if forcePareto && req.Pareto == nil {
 			req.Pareto = &ParetoSpec{}
 		}
 		j, err := m.Submit(req)
 		if err != nil {
 			switch {
-			case errors.Is(err, ErrQueueFull):
+			case errors.Is(err, ErrQueueFull), errors.Is(err, ErrTenantQuota):
 				// Overload is the client's cue to back off, not a
 				// server fault: shed with 429 and a Retry-After sized
 				// from the measured job duration and queue depth.
@@ -74,6 +108,80 @@ func NewHandler(m *Manager) http.Handler {
 		submit(w, r, false)
 	})
 
+	// Batch submit: items are admitted independently (partial accept)
+	// but journaled as one fsync batch. The response status is 202 when
+	// everything was accepted, 207 on a mix, and the common rejection
+	// status when nothing was.
+	handle("POST /v1/jobs:batch", "/v1/jobs:batch", func(w http.ResponseWriter, r *http.Request) {
+		var batch struct {
+			Jobs []JobRequest `json:"jobs"`
+		}
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&batch); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+			return
+		}
+		if len(batch.Jobs) == 0 {
+			writeError(w, http.StatusBadRequest, errors.New("batch has no jobs"))
+			return
+		}
+		if len(batch.Jobs) > maxBatchItems {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("batch has %d jobs (max %d)", len(batch.Jobs), maxBatchItems))
+			return
+		}
+		headerTenant := r.Header.Get(tenantHeader)
+		for i := range batch.Jobs {
+			if batch.Jobs[i].Tenant == "" {
+				batch.Jobs[i].Tenant = headerTenant
+			}
+		}
+
+		results := m.SubmitBatch(batch.Jobs)
+		view := BatchView{Items: make([]BatchItemView, len(results))}
+		retryAfter := 0 // computed at most once per batch
+		for i, res := range results {
+			item := BatchItemView{Index: i}
+			switch {
+			case res.Err == nil:
+				item.Status = http.StatusAccepted
+				v := res.Job.View()
+				item.Job = &v
+				view.Accepted++
+			case errors.Is(res.Err, ErrQueueFull), errors.Is(res.Err, ErrTenantQuota):
+				if retryAfter == 0 {
+					retryAfter = m.RetryAfter()
+				}
+				item.Status = http.StatusTooManyRequests
+				item.RetryAfterSecs = retryAfter
+				item.Error = res.Err.Error()
+				view.Rejected++
+			case errors.Is(res.Err, ErrDraining):
+				item.Status = http.StatusServiceUnavailable
+				item.Error = res.Err.Error()
+				view.Rejected++
+			default:
+				item.Status = http.StatusBadRequest
+				item.Error = res.Err.Error()
+				view.Rejected++
+			}
+			view.Items[i] = item
+		}
+		status := http.StatusAccepted
+		if view.Rejected > 0 {
+			status = http.StatusMultiStatus
+			if view.Accepted == 0 {
+				// All rejected: surface the first item's status (and its
+				// Retry-After when shedding) at the top level too.
+				status = view.Items[0].Status
+			}
+		}
+		if retryAfter > 0 {
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfter))
+		}
+		writeJSON(w, status, view)
+	})
+
 	// POST /pareto is POST /v1/jobs with the pareto spec made implicit:
 	// a request without one gets the default α-sweep spec. The job
 	// lifecycle (polling, cancellation, journaling) is shared.
@@ -82,7 +190,7 @@ func NewHandler(m *Manager) http.Handler {
 	})
 
 	handle("GET /v1/jobs", "/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
-		jobs := m.Jobs()
+		jobs := m.JobsByTenant(r.URL.Query().Get("tenant"))
 		views := make([]JobView, len(jobs))
 		for i, j := range jobs {
 			views[i] = j.View()
