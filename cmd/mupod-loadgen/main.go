@@ -40,6 +40,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"mupod/internal/loadgen"
@@ -47,7 +48,7 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", "http://127.0.0.1:8080", "daemon base URL")
+	addr := flag.String("addr", "http://127.0.0.1:8080", "daemon base URL, or a comma-separated list of them (cluster mode: arrivals rotate across the nodes)")
 	mode := flag.String("mode", "open", "load model: open (fixed arrival rate) or closed (fixed concurrency)")
 	rate := flag.Float64("rate", 20, "open-loop arrival rate in requests/second")
 	concurrency := flag.Int("concurrency", 4, "closed-loop worker count")
@@ -76,20 +77,33 @@ func main() {
 	ctx, stop := obs.SignalContext(context.Background())
 	defer stop()
 
+	var addrs []string
+	for _, a := range strings.Split(*addr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		fmt.Fprintln(os.Stderr, "mupod-loadgen: -addr names no daemons")
+		os.Exit(1)
+	}
+
 	// Per-tenant server counts are reported as this run's delta, so a
-	// warm daemon's history doesn't pollute the fairness verdict.
+	// warm daemon's history doesn't pollute the fairness verdict. In
+	// cluster mode the counts are summed over every node: forwarded jobs
+	// land on their owner's page.
 	var before map[string]loadgen.TenantServerStats
 	if len(mix) > 0 {
-		if before, err = loadgen.ScrapeTenantMetrics(ctx, nil, *addr); err != nil {
+		if before, err = loadgen.ScrapeTenantMetricsMulti(ctx, nil, addrs); err != nil {
 			fmt.Fprintf(os.Stderr, "mupod-loadgen: pre-run scrape: %v\n", err)
 			os.Exit(1)
 		}
 	}
 
 	fmt.Fprintf(os.Stderr, "mupod-loadgen: %s loop against %s for %v (pareto mix %.0f%%, %d distinct payloads)\n",
-		*mode, *addr, *duration, *paretoFrac*100, *distinct)
+		*mode, strings.Join(addrs, " "), *duration, *paretoFrac*100, *distinct)
 	res, err := loadgen.Run(ctx, loadgen.Options{
-		BaseURL:        *addr,
+		BaseURLs:       addrs,
 		Mode:           *mode,
 		Rate:           *rate,
 		Concurrency:    *concurrency,
@@ -111,7 +125,7 @@ func main() {
 		// completion mix under backlog is what weighted fairness shapes.
 		// (Once the queue drains, every admitted job completes and the
 		// ratio would converge to the admission mix instead.)
-		after, err := loadgen.ScrapeTenantMetrics(context.Background(), nil, *addr)
+		after, err := loadgen.ScrapeTenantMetricsMulti(context.Background(), nil, addrs)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mupod-loadgen: post-run scrape: %v\n", err)
 			os.Exit(1)

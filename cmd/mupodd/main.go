@@ -14,9 +14,21 @@
 //	       [-kernel blocked|parallel|naive] [-intra-workers 0]
 //	       [-stage-timeout 10m] [-drain-timeout 30s] [-cache 64]
 //	       [-data-dir dir] [-max-attempts 3]
+//	       [-node a -peers a=http://h1:8080,b=http://h2:8080]
+//	       [-heartbeat-interval 1s] [-suspect-after 2] [-dead-after 5]
+//	       [-forward-timeout 10s]
 //	       [-http-read-header-timeout 10s] [-http-read-timeout 1m]
 //	       [-http-write-timeout 5m] [-http-idle-timeout 2m]
 //	       [-log level[,format]] [-trace-spans 8192]
+//
+// With -node and -peers the daemon joins a static cluster: submissions
+// are forwarded to the consistent-hash owner of their routing key,
+// heartbeats track peer liveness (/cluster/health), and each node
+// replicates lightweight job-ownership records to a ring successor so a
+// dead peer's unfinished jobs are re-admitted by the survivors. A
+// single-entry -peers list (just this node) behaves exactly like no
+// cluster at all. On SIGTERM the node first hands its still-queued jobs
+// to live owners, then drains what remains locally.
 //
 // API:
 //
@@ -50,6 +62,7 @@ import (
 	"strings"
 	"time"
 
+	"mupod/internal/cluster"
 	"mupod/internal/fault"
 	"mupod/internal/kernels"
 	"mupod/internal/obs"
@@ -71,6 +84,12 @@ func main() {
 	intraWorkers := flag.Int("intra-workers", 0, "default goroutines the parallel kernel spends inside one layer (0 = automatic)")
 	dataDir := flag.String("data-dir", "", "directory for the durable job store (empty = in-memory only; jobs are lost on restart)")
 	maxAttempts := flag.Int("max-attempts", 3, "run attempts per job across transient failures and crash recoveries")
+	nodeName := flag.String("node", "", "this node's name in the cluster (required with -peers)")
+	peersSpec := flag.String("peers", "", "static cluster members as name=url,name=url (empty = single-node)")
+	heartbeatInterval := flag.Duration("heartbeat-interval", time.Second, "cluster heartbeat probe interval")
+	suspectAfter := flag.Int("suspect-after", 2, "consecutive missed heartbeats before a peer is suspect")
+	deadAfter := flag.Int("dead-after", 5, "consecutive missed heartbeats before a peer is dead (triggers job handoff)")
+	forwardTimeout := flag.Duration("forward-timeout", 10*time.Second, "per-attempt timeout for forwarding a submission to its owner node")
 	readHeaderTimeout := flag.Duration("http-read-header-timeout", 10*time.Second, "time to read request headers (slowloris hardening)")
 	readTimeout := flag.Duration("http-read-timeout", time.Minute, "time to read a full request")
 	writeTimeout := flag.Duration("http-write-timeout", 5*time.Minute, "time to write a full response")
@@ -123,6 +142,34 @@ func main() {
 		logger.Error("mupodd: opening job store", "err", err)
 		os.Exit(1)
 	}
+
+	var clust *serve.Cluster
+	if *peersSpec != "" {
+		peers, err := cluster.ParsePeers(*peersSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mupodd: %v\n", err)
+			os.Exit(2)
+		}
+		clust, err = m.EnableCluster(serve.ClusterConfig{
+			Self:              *nodeName,
+			Peers:             peers,
+			HeartbeatInterval: *heartbeatInterval,
+			SuspectAfter:      *suspectAfter,
+			DeadAfter:         *deadAfter,
+			ForwardTimeout:    *forwardTimeout,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mupodd: %v\n", err)
+			os.Exit(2)
+		}
+		if clust == nil {
+			logger.Info("mupodd: -peers names no remote nodes; running single-node")
+		}
+	} else if *nodeName != "" {
+		fmt.Fprintln(os.Stderr, "mupodd: -node requires -peers")
+		os.Exit(2)
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           serve.NewHandler(m),
@@ -149,6 +196,13 @@ func main() {
 	logger.Info("mupodd: signal received, draining", "budget", *drainTimeout)
 	shCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
+	// In cluster mode, hand still-queued jobs to live owners while the
+	// listener is still up (peers keep probing /cluster/health, which now
+	// reports draining, so no new work is forwarded here). Jobs nobody
+	// can take drain locally like a single-node shutdown.
+	if clust != nil {
+		clust.Drain(shCtx)
+	}
 	// Stop accepting: close the listener first, then drain the job
 	// queue so in-flight work finishes.
 	if err := srv.Shutdown(shCtx); err != nil {

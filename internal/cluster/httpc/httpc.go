@@ -1,0 +1,221 @@
+// Package httpc is the shared resilient HTTP client used by cluster
+// peer forwarding and by cmd/mupod-loadgen: one pooled transport with
+// keep-alives, a per-request timeout, and jittered exponential retry
+// on transient failures (transport errors and 502/503/504). Request
+// bodies are plain byte slices so every retry rewinds for free.
+//
+// Retries are opt-in per client: forwarding uses a small budget so a
+// blip doesn't fail a hop, while load generation sets Retries=0 —
+// an open-loop arrival that retried would no longer be an arrival.
+package httpc
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Client issues HTTP requests with a per-request timeout and bounded
+// jittered-exponential retry. The zero value is not usable; call New.
+type Client struct {
+	// Timeout bounds each attempt (not the whole retry loop). The
+	// caller's context still caps the total.
+	Timeout time.Duration
+	// Retries is the number of re-attempts after the first try.
+	Retries int
+	// Backoff is the base delay before the first retry; each further
+	// retry doubles it, and every wait gets ±50% jitter so synchronized
+	// peers don't stampede a recovering node.
+	Backoff time.Duration
+
+	hc *http.Client
+
+	mu   sync.Mutex
+	rand *rand.Rand
+}
+
+// Defaults applied by New for zeroed fields.
+const (
+	DefaultTimeout = 10 * time.Second
+	DefaultBackoff = 50 * time.Millisecond
+)
+
+// sharedTransport is one pooled transport for every Client so that
+// forwarding, health probes, and load generation reuse connections
+// instead of each carving out their own idle pool.
+var sharedTransport = &http.Transport{
+	Proxy:               http.ProxyFromEnvironment,
+	MaxIdleConns:        256,
+	MaxIdleConnsPerHost: 64,
+	IdleConnTimeout:     90 * time.Second,
+	DialContext: (&net.Dialer{
+		Timeout:   5 * time.Second,
+		KeepAlive: 30 * time.Second,
+	}).DialContext,
+}
+
+// New returns a client with the given per-attempt timeout and retry
+// budget, using the shared pooled transport.
+func New(timeout time.Duration, retries int) *Client {
+	c := &Client{Timeout: timeout, Retries: retries, Backoff: DefaultBackoff}
+	c.hc = &http.Client{Transport: sharedTransport}
+	c.rand = rand.New(rand.NewSource(time.Now().UnixNano()))
+	c.normalize()
+	return c
+}
+
+// Wrap builds a Client on top of an existing *http.Client — tests
+// inject httptest clients here; production code uses New.
+func Wrap(hc *http.Client, timeout time.Duration, retries int) *Client {
+	c := &Client{Timeout: timeout, Retries: retries, Backoff: DefaultBackoff, hc: hc}
+	c.rand = rand.New(rand.NewSource(time.Now().UnixNano()))
+	c.normalize()
+	return c
+}
+
+func (c *Client) normalize() {
+	if c.Timeout <= 0 {
+		c.Timeout = DefaultTimeout
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = DefaultBackoff
+	}
+}
+
+// HTTPClient exposes the underlying *http.Client for callers that need
+// to hand a plain client to existing APIs (single attempt, no retry,
+// but still the shared pooled transport).
+func (c *Client) HTTPClient() *http.Client { return c.hc }
+
+// Do sends method+url with body (may be nil) and the given headers,
+// retrying transient failures with jittered exponential backoff. The
+// response body is fully read into the returned buffer and closed, so
+// connections always return to the pool. Non-2xx statuses are returned
+// as responses, not errors — only 502/503/504 are retried.
+func (c *Client) Do(ctx context.Context, method, url string, body []byte, header http.Header) (*Response, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		resp, err := c.attempt(ctx, method, url, body, header)
+		if err == nil && !retryStatus(resp.StatusCode) {
+			return resp, nil
+		}
+		if err != nil {
+			lastErr = err
+		} else {
+			lastErr = fmt.Errorf("httpc: %s %s: status %d", method, url, resp.StatusCode)
+		}
+		if attempt >= c.Retries || ctx.Err() != nil {
+			if err == nil {
+				// Out of budget but we do have a response: let the
+				// caller see the final 5xx rather than a synthetic error.
+				return resp, nil
+			}
+			return nil, lastErr
+		}
+		if !sleep(ctx, c.jittered(c.Backoff<<attempt)) {
+			return nil, lastErr
+		}
+	}
+}
+
+// Get is Do without a body.
+func (c *Client) Get(ctx context.Context, url string) (*Response, error) {
+	return c.Do(ctx, http.MethodGet, url, nil, nil)
+}
+
+// Response is a fully-drained HTTP response: status, headers, body.
+type Response struct {
+	StatusCode int
+	Header     http.Header
+	Body       []byte
+}
+
+// OK reports whether the status is 2xx.
+func (r *Response) OK() bool { return r.StatusCode >= 200 && r.StatusCode < 300 }
+
+func (c *Client) attempt(ctx context.Context, method, url string, body []byte, header http.Header) (*Response, error) {
+	actx, cancel := context.WithTimeout(ctx, c.Timeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(actx, method, url, rd)
+	if err != nil {
+		return nil, err
+	}
+	for k, vs := range header {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("httpc: reading %s %s response: %w", method, url, err)
+	}
+	return &Response{StatusCode: resp.StatusCode, Header: resp.Header.Clone(), Body: b}, nil
+}
+
+// retryStatus reports whether a status code marks a transient
+// server-side condition worth another attempt. 429 is deliberately
+// excluded: shedding is backpressure, and retrying it defeats the
+// daemon's admission control.
+func retryStatus(code int) bool {
+	switch code {
+	case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// Transient reports whether err looks like a transient transport
+// failure (timeouts, refused/reset connections) rather than a caller
+// bug. Callers use it to pick fallback paths after retries run out.
+func Transient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	var nerr net.Error
+	if errors.As(err, &nerr) && nerr.Timeout() {
+		return true
+	}
+	var operr *net.OpError
+	return errors.As(err, &operr)
+}
+
+// jittered spreads d over [d/2, 3d/2) so retry storms decorrelate.
+func (c *Client) jittered(d time.Duration) time.Duration {
+	c.mu.Lock()
+	f := 0.5 + c.rand.Float64()
+	c.mu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+func sleep(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

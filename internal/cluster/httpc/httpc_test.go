@@ -1,0 +1,152 @@
+package httpc
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// A flaky server heals after two 503s; a client with Retries=3 should
+// land the request without surfacing an error.
+func TestRetryOnTransient5xx(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+
+	c := Wrap(ts.Client(), time.Second, 3)
+	c.Backoff = time.Millisecond
+	resp, err := c.Do(context.Background(), http.MethodGet, ts.URL, nil, nil)
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if !resp.OK() || string(resp.Body) != "ok" {
+		t.Fatalf("got status %d body %q, want 200 ok", resp.StatusCode, resp.Body)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3", got)
+	}
+}
+
+// With Retries=0 a 503 comes straight back as a response — load
+// generation must see the real status, not a retried illusion.
+func TestNoRetryBudgetReturnsFinalStatus(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	c := Wrap(ts.Client(), time.Second, 0)
+	resp, err := c.Do(context.Background(), http.MethodGet, ts.URL, nil, nil)
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls, want 1", got)
+	}
+}
+
+// 429 must NOT be retried: shedding is admission control, and a
+// retrying client would defeat it.
+func TestShedNotRetried(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	c := Wrap(ts.Client(), time.Second, 5)
+	c.Backoff = time.Millisecond
+	resp, err := c.Do(context.Background(), http.MethodGet, ts.URL, nil, nil)
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls, want 1 (429 retried)", got)
+	}
+}
+
+// The request body must be re-sent intact on every retry.
+func TestBodyRewindsAcrossRetries(t *testing.T) {
+	var calls atomic.Int32
+	bodies := make(chan string, 4)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b := make([]byte, 64)
+		n, _ := r.Body.Read(b)
+		bodies <- string(b[:n])
+		if calls.Add(1) == 1 {
+			w.WriteHeader(http.StatusBadGateway)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	c := Wrap(ts.Client(), time.Second, 2)
+	c.Backoff = time.Millisecond
+	resp, err := c.Do(context.Background(), http.MethodPost, ts.URL, []byte("payload"), nil)
+	if err != nil || !resp.OK() {
+		t.Fatalf("Do: resp=%+v err=%v", resp, err)
+	}
+	for i := 0; i < 2; i++ {
+		if got := <-bodies; got != "payload" {
+			t.Fatalf("attempt %d body = %q, want payload", i+1, got)
+		}
+	}
+}
+
+// A connection-refused error after retries surfaces as a transient
+// error the caller can branch on for local fallback.
+func TestTransientClassification(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := ts.URL
+	ts.Close() // now nothing listens there
+
+	c := New(200*time.Millisecond, 1)
+	c.Backoff = time.Millisecond
+	_, err := c.Do(context.Background(), http.MethodGet, url, nil, nil)
+	if err == nil {
+		t.Fatal("expected an error against a closed listener")
+	}
+	if !Transient(err) {
+		t.Fatalf("Transient(%v) = false, want true", err)
+	}
+	if Transient(nil) {
+		t.Fatal("Transient(nil) = true")
+	}
+}
+
+// Cancelling the context aborts the retry loop promptly.
+func TestContextCancelStopsRetries(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	c := Wrap(ts.Client(), time.Second, 50)
+	c.Backoff = 50 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	c.Do(ctx, http.MethodGet, ts.URL, nil, nil)
+	if took := time.Since(start); took > 2*time.Second {
+		t.Fatalf("Do kept retrying for %v after cancellation", took)
+	}
+}

@@ -1,0 +1,332 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"mupod/internal/cluster/httpc"
+	"mupod/internal/fault"
+)
+
+// PeerState is a peer's position in the failure-detection state
+// machine. The numeric values are the wire/metric encoding
+// (mupod_cluster_peer_state) — do not reorder.
+type PeerState int32
+
+// The membership states. A peer starts Alive, turns Suspect after
+// SuspectAfter consecutive missed heartbeats, Dead after DeadAfter,
+// and returns to Alive on the first successful probe. Draining is
+// reported by the peer itself while it shuts down gracefully: still
+// answering, but not accepting forwarded work.
+const (
+	PeerAlive PeerState = iota
+	PeerSuspect
+	PeerDead
+	PeerDraining
+)
+
+// String names the state for logs and /cluster/health.
+func (s PeerState) String() string {
+	switch s {
+	case PeerAlive:
+		return "alive"
+	case PeerSuspect:
+		return "suspect"
+	case PeerDead:
+		return "dead"
+	case PeerDraining:
+		return "draining"
+	default:
+		return "unknown"
+	}
+}
+
+// Peer names one remote member and its base URL.
+type Peer struct {
+	Name string
+	URL  string
+}
+
+// ParsePeers parses the -peers flag format: a comma-separated list of
+// name=url pairs ("a=http://10.0.0.1:8080,b=http://10.0.0.2:8080").
+// Every node is given the same full list; its own entry is ignored by
+// the consumers.
+func ParsePeers(s string) ([]Peer, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []Peer
+	seen := map[string]bool{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, url, found := strings.Cut(part, "=")
+		name, url = strings.TrimSpace(name), strings.TrimSpace(url)
+		if !found || name == "" || url == "" {
+			return nil, fmt.Errorf("cluster: peer %q: want name=url", part)
+		}
+		if !strings.HasPrefix(url, "http://") && !strings.HasPrefix(url, "https://") {
+			return nil, fmt.Errorf("cluster: peer %q: URL must start with http:// or https://", part)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("cluster: peer %q listed twice", name)
+		}
+		seen[name] = true
+		out = append(out, Peer{Name: name, URL: strings.TrimSuffix(url, "/")})
+	}
+	return out, nil
+}
+
+// HealthResponse is the /cluster/health wire format; the probe only
+// needs Status, the rest is for operators.
+type HealthResponse struct {
+	Node   string            `json:"node"`
+	Status string            `json:"status"` // "ok" or "draining"
+	Peers  map[string]string `json:"peers,omitempty"`
+}
+
+// MembershipConfig configures the failure detector.
+type MembershipConfig struct {
+	// Self is this node's name (excluded from probing).
+	Self string
+	// Peers are the remote members to probe.
+	Peers []Peer
+	// Interval between probes per peer (default 1s), jittered ±25% so
+	// a fleet restarted together doesn't probe in lockstep.
+	Interval time.Duration
+	// SuspectAfter / DeadAfter are the consecutive-miss thresholds
+	// (defaults 2 and 5). DeadAfter must exceed SuspectAfter.
+	SuspectAfter int
+	DeadAfter    int
+	// Client issues the probes; a short-timeout no-retry client is
+	// built when nil (a retried heartbeat would mask exactly the
+	// missed beats the detector exists to count).
+	Client *httpc.Client
+
+	// OnPeerDead fires once per alive→dead transition, after the state
+	// is visible; the serve layer hangs journal handoff off this.
+	OnPeerDead func(name string)
+	// OnPeerAlive fires when a dead peer answers again.
+	OnPeerAlive func(name string)
+	// OnProbe observes every probe outcome (metrics).
+	OnProbe func(peer string, ok bool)
+}
+
+// Membership probes each peer on a jittered interval and runs the
+// alive → suspect → dead state machine. Create with NewMembership,
+// then Start; Stop waits for the probe loops to exit.
+type Membership struct {
+	cfg   MembershipConfig
+	peers map[string]*peerStatus
+
+	mu     sync.Mutex
+	rand   *rand.Rand
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+type peerStatus struct {
+	peer   Peer
+	mu     sync.Mutex
+	state  PeerState
+	misses int
+}
+
+// NewMembership validates and applies defaults. The detector starts
+// optimistic: every peer is Alive until probes say otherwise, so a
+// cold cluster routes normally from the first request.
+func NewMembership(cfg MembershipConfig) *Membership {
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	if cfg.SuspectAfter <= 0 {
+		cfg.SuspectAfter = 2
+	}
+	if cfg.DeadAfter <= cfg.SuspectAfter {
+		cfg.DeadAfter = cfg.SuspectAfter + 3
+	}
+	if cfg.Client == nil {
+		cfg.Client = httpc.New(cfg.Interval, 0)
+	}
+	m := &Membership{
+		cfg:   cfg,
+		peers: make(map[string]*peerStatus, len(cfg.Peers)),
+		rand:  rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	for _, p := range cfg.Peers {
+		if p.Name == cfg.Self {
+			continue
+		}
+		m.peers[p.Name] = &peerStatus{peer: p}
+	}
+	return m
+}
+
+// Start launches one probe loop per peer. Idempotent Stop via the
+// returned context's cancellation or the Stop method.
+func (m *Membership) Start(ctx context.Context) {
+	ctx, cancel := context.WithCancel(ctx)
+	m.mu.Lock()
+	m.cancel = cancel
+	m.mu.Unlock()
+	for _, ps := range m.peers {
+		m.wg.Add(1)
+		go m.probeLoop(ctx, ps)
+	}
+}
+
+// Stop halts probing and waits for the loops to exit.
+func (m *Membership) Stop() {
+	m.mu.Lock()
+	cancel := m.cancel
+	m.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	m.wg.Wait()
+}
+
+// State returns the current state of the named peer. Unknown names
+// (including Self) report PeerAlive so ring lookups that land on self
+// never read as dead.
+func (m *Membership) State(name string) PeerState {
+	ps := m.peers[name]
+	if ps == nil {
+		return PeerAlive
+	}
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return ps.state
+}
+
+// Alive reports whether the named peer accepts forwarded work: Alive
+// only — suspect, dead, and draining peers are all routed around.
+func (m *Membership) Alive(name string) bool { return m.State(name) == PeerAlive }
+
+// Reachable reports whether the peer is worth talking to at all
+// (alive or draining) — used by read-side proxies.
+func (m *Membership) Reachable(name string) bool {
+	s := m.State(name)
+	return s == PeerAlive || s == PeerDraining
+}
+
+// States snapshots every probed peer's state.
+func (m *Membership) States() map[string]PeerState {
+	out := make(map[string]PeerState, len(m.peers))
+	for n, ps := range m.peers {
+		ps.mu.Lock()
+		out[n] = ps.state
+		ps.mu.Unlock()
+	}
+	return out
+}
+
+// DeadCount returns how many probed peers are currently dead.
+func (m *Membership) DeadCount() int {
+	n := 0
+	for _, ps := range m.peers {
+		ps.mu.Lock()
+		if ps.state == PeerDead {
+			n++
+		}
+		ps.mu.Unlock()
+	}
+	return n
+}
+
+// PeerURL returns the base URL for a member ("" for self/unknown).
+func (m *Membership) PeerURL(name string) string {
+	if ps := m.peers[name]; ps != nil {
+		return ps.peer.URL
+	}
+	return ""
+}
+
+// probeLoop probes one peer forever at the jittered interval.
+func (m *Membership) probeLoop(ctx context.Context, ps *peerStatus) {
+	defer m.wg.Done()
+	t := time.NewTimer(m.jittered())
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		m.probe(ctx, ps)
+		t.Reset(m.jittered())
+	}
+}
+
+// probe issues one heartbeat and advances the state machine.
+func (m *Membership) probe(ctx context.Context, ps *peerStatus) {
+	ok, draining := m.beat(ctx, ps.peer.URL)
+	if ctx.Err() != nil {
+		return // shutdown race: don't count a cancelled probe as a miss
+	}
+	if m.cfg.OnProbe != nil {
+		m.cfg.OnProbe(ps.peer.Name, ok)
+	}
+
+	ps.mu.Lock()
+	prev := ps.state
+	if ok {
+		ps.misses = 0
+		if draining {
+			ps.state = PeerDraining
+		} else {
+			ps.state = PeerAlive
+		}
+	} else {
+		ps.misses++
+		switch {
+		case ps.misses >= m.cfg.DeadAfter:
+			ps.state = PeerDead
+		case ps.misses >= m.cfg.SuspectAfter:
+			ps.state = PeerSuspect
+		}
+	}
+	next := ps.state
+	ps.mu.Unlock()
+
+	if prev != PeerDead && next == PeerDead && m.cfg.OnPeerDead != nil {
+		m.cfg.OnPeerDead(ps.peer.Name)
+	}
+	if prev == PeerDead && next != PeerDead && m.cfg.OnPeerAlive != nil {
+		m.cfg.OnPeerAlive(ps.peer.Name)
+	}
+}
+
+// beat performs the HTTP probe. The cluster.heartbeat failpoint sits
+// here so chaos tests can fail-stop a peer from the observer's side
+// without killing the process.
+func (m *Membership) beat(ctx context.Context, url string) (ok, draining bool) {
+	if err := fault.Hit(ctx, "cluster.heartbeat"); err != nil {
+		return false, false
+	}
+	resp, err := m.cfg.Client.Do(ctx, http.MethodGet, url+"/cluster/health", nil, nil)
+	if err != nil || !resp.OK() {
+		return false, false
+	}
+	var h HealthResponse
+	if err := json.Unmarshal(resp.Body, &h); err != nil {
+		return false, false
+	}
+	return true, h.Status == "draining"
+}
+
+// jittered spreads the probe interval over ±25%.
+func (m *Membership) jittered() time.Duration {
+	m.mu.Lock()
+	f := 0.75 + 0.5*m.rand.Float64()
+	m.mu.Unlock()
+	return time.Duration(float64(m.cfg.Interval) * f)
+}

@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mupod/internal/cluster/httpc"
+	"mupod/internal/fault"
+)
+
+// healthStub is a controllable /cluster/health endpoint.
+type healthStub struct {
+	mu       sync.Mutex
+	down     bool
+	draining bool
+}
+
+func (h *healthStub) set(down, draining bool) {
+	h.mu.Lock()
+	h.down, h.draining = down, draining
+	h.mu.Unlock()
+}
+
+func (h *healthStub) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mu.Lock()
+	down, draining := h.down, h.draining
+	h.mu.Unlock()
+	if down {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		return
+	}
+	status := "ok"
+	if draining {
+		status = "draining"
+	}
+	json.NewEncoder(w).Encode(HealthResponse{Node: "peer", Status: status})
+}
+
+func waitFor(t *testing.T, what string, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func newTestMembership(t *testing.T, stub *healthStub, cfg MembershipConfig) *Membership {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.Handle("/cluster/health", stub)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	cfg.Self = "self"
+	cfg.Peers = []Peer{{Name: "peer", URL: ts.URL}}
+	if cfg.Interval == 0 {
+		cfg.Interval = 10 * time.Millisecond
+	}
+	cfg.Client = httpc.Wrap(ts.Client(), 250*time.Millisecond, 0)
+	m := NewMembership(cfg)
+	m.Start(context.Background())
+	t.Cleanup(m.Stop)
+	return m
+}
+
+// Full lifecycle: alive → suspect → dead on misses, with the OnPeerDead
+// callback firing exactly once, then back to alive (and OnPeerAlive)
+// when the peer answers again.
+func TestMembershipStateMachine(t *testing.T) {
+	stub := &healthStub{}
+	var deaths, revivals atomic.Int32
+	m := newTestMembership(t, stub, MembershipConfig{
+		SuspectAfter: 2,
+		DeadAfter:    4,
+		OnPeerDead:   func(string) { deaths.Add(1) },
+		OnPeerAlive:  func(string) { revivals.Add(1) },
+	})
+
+	waitFor(t, "initial alive", 2*time.Second, func() bool { return m.State("peer") == PeerAlive })
+
+	stub.set(true, false)
+	waitFor(t, "suspect", 2*time.Second, func() bool { return m.State("peer") == PeerSuspect })
+	if m.Alive("peer") {
+		t.Fatal("suspect peer reported Alive")
+	}
+	waitFor(t, "dead", 2*time.Second, func() bool { return m.State("peer") == PeerDead })
+	waitFor(t, "death callback", 2*time.Second, func() bool { return deaths.Load() == 1 })
+	if m.DeadCount() != 1 {
+		t.Fatalf("DeadCount = %d, want 1", m.DeadCount())
+	}
+
+	stub.set(false, false)
+	waitFor(t, "revival", 2*time.Second, func() bool { return m.State("peer") == PeerAlive })
+	waitFor(t, "revival callback", 2*time.Second, func() bool { return revivals.Load() == 1 })
+	if got := deaths.Load(); got != 1 {
+		t.Fatalf("OnPeerDead fired %d times, want exactly 1", got)
+	}
+}
+
+// A peer reporting "draining" is not dead — but it is not a forwarding
+// target either.
+func TestMembershipDrainingState(t *testing.T) {
+	stub := &healthStub{}
+	m := newTestMembership(t, stub, MembershipConfig{})
+	stub.set(false, true)
+	waitFor(t, "draining", 2*time.Second, func() bool { return m.State("peer") == PeerDraining })
+	if m.Alive("peer") {
+		t.Fatal("draining peer reported Alive (would receive forwards)")
+	}
+	if !m.Reachable("peer") {
+		t.Fatal("draining peer reported unreachable (still answers reads)")
+	}
+	if m.DeadCount() != 0 {
+		t.Fatal("draining peer counted as dead")
+	}
+}
+
+// The cluster.heartbeat failpoint fail-stops probing from the
+// observer's side: while armed, a healthy peer reads as dead.
+func TestMembershipHeartbeatFailpoint(t *testing.T) {
+	defer fault.Reset()
+	stub := &healthStub{}
+	m := newTestMembership(t, stub, MembershipConfig{SuspectAfter: 1, DeadAfter: 2})
+	waitFor(t, "alive", 2*time.Second, func() bool { return m.State("peer") == PeerAlive })
+
+	if err := fault.Enable("cluster.heartbeat", "error(transient:injected outage)"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "failpoint-induced death", 2*time.Second, func() bool { return m.State("peer") == PeerDead })
+
+	fault.Reset()
+	waitFor(t, "recovery after disarm", 2*time.Second, func() bool { return m.State("peer") == PeerAlive })
+}
+
+// Self and unknown names read as alive so ring lookups landing on the
+// local node never route around themselves.
+func TestMembershipSelfAndUnknownAlive(t *testing.T) {
+	m := NewMembership(MembershipConfig{Self: "self", Peers: []Peer{{Name: "self", URL: "http://ignored"}}})
+	if !m.Alive("self") || !m.Alive("stranger") {
+		t.Fatal("self/unknown must report alive")
+	}
+	if len(m.States()) != 0 {
+		t.Fatalf("States() = %v, want empty (self excluded from probing)", m.States())
+	}
+}

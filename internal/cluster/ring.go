@@ -1,0 +1,142 @@
+// Package cluster provides the building blocks of mupodd's
+// fault-tolerant cluster mode: a consistent-hash ring over a static
+// peer set (ring.go), heartbeat-based failure detection with a
+// suspect → dead state machine (membership.go), and a shared resilient
+// HTTP client (httpc). The package is deliberately generic — it knows
+// nothing about jobs or profiles; internal/serve supplies the keys and
+// reacts to membership events.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// DefaultReplicas is the virtual-node count per peer. 64 vnodes keep
+// the ownership split within a few percent of even for small clusters
+// while the ring stays tiny (3 nodes → 192 points).
+const DefaultReplicas = 64
+
+// Ring is an immutable consistent-hash ring over a set of node names.
+// Every node builds the same ring from the same membership list, so
+// ownership decisions agree cluster-wide without coordination.
+// Liveness is deliberately excluded: the ring is pure topology, and
+// callers skip dead successors at lookup time (see OwnerAmong).
+type Ring struct {
+	points []ringPoint // sorted by hash
+	nodes  []string    // sorted, deduped
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// NewRing builds a ring with replicas virtual nodes per peer
+// (DefaultReplicas when <= 0). Node order does not matter; duplicates
+// collapse.
+func NewRing(nodes []string, replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	seen := map[string]bool{}
+	var uniq []string
+	for _, n := range nodes {
+		if n != "" && !seen[n] {
+			seen[n] = true
+			uniq = append(uniq, n)
+		}
+	}
+	sort.Strings(uniq)
+	r := &Ring{nodes: uniq}
+	for _, n := range uniq {
+		for i := 0; i < replicas; i++ {
+			r.points = append(r.points, ringPoint{hash: hash64(n + "#" + strconv.Itoa(i)), node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (vanishingly rare) break on name so every node
+		// still sorts identically.
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// Nodes returns the sorted member names.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// Owner returns the node owning key: the first vnode clockwise from
+// the key's hash. Empty string on an empty ring.
+func (r *Ring) Owner(key string) string {
+	succ := r.Successors(key, 1)
+	if len(succ) == 0 {
+		return ""
+	}
+	return succ[0]
+}
+
+// Successors returns up to n distinct nodes in ring order starting at
+// the key's owner. This is both the replica placement list (ownership
+// record goes to successors[1]) and the failover order (when the owner
+// is dead, successors[1] inherits the range).
+func (r *Ring) Successors(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	var out []string
+	seen := map[string]bool{}
+	for i := 0; len(out) < n && i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out
+}
+
+// OwnerAmong returns the first node in the key's successor order for
+// which alive returns true — the effective owner given current
+// liveness. Empty string when no listed node is alive.
+func (r *Ring) OwnerAmong(key string, alive func(string) bool) string {
+	for _, n := range r.Successors(key, len(r.nodes)) {
+		if alive(n) {
+			return n
+		}
+	}
+	return ""
+}
+
+// hash64 is the ring's hash: the first 8 bytes of SHA-256. Overkill on
+// speed but matches the content-addressing hash already used for cache
+// keys, and ring lookups are nowhere near any hot path.
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Spread reports, for diagnostics, how many of sampleKeys each node
+// owns. Used by tests to check the vnode balance.
+func (r *Ring) Spread(sampleKeys []string) map[string]int {
+	out := make(map[string]int, len(r.nodes))
+	for _, k := range sampleKeys {
+		out[r.Owner(k)]++
+	}
+	return out
+}
+
+// String renders a short description for logs.
+func (r *Ring) String() string {
+	return fmt.Sprintf("ring(%d nodes, %d points)", len(r.nodes), len(r.points))
+}

@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministicAcrossNodeOrder(t *testing.T) {
+	a := NewRing([]string{"n1", "n2", "n3"}, 0)
+	b := NewRing([]string{"n3", "n1", "n2", "n1"}, 0)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("key %q: owner differs across construction order: %q vs %q", key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+func TestRingSpreadRoughlyEven(t *testing.T) {
+	r := NewRing([]string{"n1", "n2", "n3"}, 0)
+	keys := make([]string, 3000)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("sha256:%064d", i)
+	}
+	spread := r.Spread(keys)
+	for node, n := range spread {
+		if n < 500 || n > 1700 {
+			t.Fatalf("node %s owns %d of 3000 keys — vnode spread badly skewed: %v", node, n, spread)
+		}
+	}
+}
+
+func TestRingSuccessorsDistinctAndOrdered(t *testing.T) {
+	r := NewRing([]string{"n1", "n2", "n3"}, 0)
+	succ := r.Successors("some-key", 3)
+	if len(succ) != 3 {
+		t.Fatalf("Successors = %v, want 3 distinct nodes", succ)
+	}
+	seen := map[string]bool{}
+	for _, s := range succ {
+		if seen[s] {
+			t.Fatalf("Successors repeated %q: %v", s, succ)
+		}
+		seen[s] = true
+	}
+	if succ[0] != r.Owner("some-key") {
+		t.Fatalf("Successors[0] = %q, Owner = %q — must agree", succ[0], r.Owner("some-key"))
+	}
+	// Asking for more than the membership clamps.
+	if got := r.Successors("some-key", 10); len(got) != 3 {
+		t.Fatalf("Successors(10) = %v, want clamped to 3", got)
+	}
+}
+
+// Removing a node must only move the dead node's keys: everything it
+// didn't own keeps its owner. This is the property that makes handoff
+// targeted instead of a full reshuffle.
+func TestRingMinimalMovementOnNodeLoss(t *testing.T) {
+	full := NewRing([]string{"n1", "n2", "n3"}, 0)
+	reduced := NewRing([]string{"n1", "n3"}, 0)
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		was := full.Owner(key)
+		now := reduced.Owner(key)
+		if was != "n2" && now != was {
+			t.Fatalf("key %q moved %q→%q although its owner survived", key, was, now)
+		}
+		if was == "n2" && now == "n2" {
+			t.Fatalf("key %q still owned by removed node", key)
+		}
+	}
+}
+
+// OwnerAmong must walk the successor order, skipping dead nodes, and
+// agree with the reduced-ring owner for keys the dead node owned.
+func TestOwnerAmongSkipsDead(t *testing.T) {
+	full := NewRing([]string{"n1", "n2", "n3"}, 0)
+	reduced := NewRing([]string{"n1", "n3"}, 0)
+	alive := func(n string) bool { return n != "n2" }
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		got := full.OwnerAmong(key, alive)
+		want := reduced.Owner(key)
+		if got != want {
+			t.Fatalf("key %q: OwnerAmong = %q, reduced-ring owner = %q", key, got, want)
+		}
+	}
+	if got := full.OwnerAmong("k", func(string) bool { return false }); got != "" {
+		t.Fatalf("OwnerAmong with nobody alive = %q, want empty", got)
+	}
+}
+
+func TestEmptyAndSingleNodeRing(t *testing.T) {
+	if got := NewRing(nil, 0).Owner("k"); got != "" {
+		t.Fatalf("empty ring owner = %q", got)
+	}
+	one := NewRing([]string{"solo"}, 0)
+	if got := one.Owner("anything"); got != "solo" {
+		t.Fatalf("single-node ring owner = %q, want solo", got)
+	}
+}

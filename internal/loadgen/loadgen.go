@@ -8,10 +8,8 @@
 package loadgen
 
 import (
-	"bytes"
 	"context"
 	"fmt"
-	"io"
 	"net/http"
 	"strconv"
 	"strings"
@@ -19,6 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mupod/internal/cluster/httpc"
 	"mupod/internal/obs"
 )
 
@@ -33,6 +32,10 @@ const (
 type Options struct {
 	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
+	// BaseURLs, when set, spreads requests round-robin across several
+	// daemon roots (cluster mode: each node forwards to the owner, so
+	// any arrival pattern exercises the routing). Overrides BaseURL.
+	BaseURLs []string
 	// Mode is "open" (fixed arrival rate) or "closed" (fixed
 	// concurrency, back-to-back requests).
 	Mode string
@@ -112,8 +115,14 @@ type TenantClientStats struct {
 }
 
 func (o *Options) validate() error {
-	if o.BaseURL == "" {
+	if len(o.BaseURLs) == 0 && o.BaseURL != "" {
+		o.BaseURLs = []string{o.BaseURL}
+	}
+	if len(o.BaseURLs) == 0 {
 		return fmt.Errorf("loadgen: BaseURL is required")
+	}
+	for i, u := range o.BaseURLs {
+		o.BaseURLs[i] = strings.TrimSuffix(u, "/")
 	}
 	if len(o.Payloads) == 0 {
 		return fmt.Errorf("loadgen: at least one payload is required")
@@ -139,10 +148,18 @@ func (o *Options) validate() error {
 	if o.RequestTimeout <= 0 {
 		o.RequestTimeout = 30 * time.Second
 	}
-	if o.Client == nil {
-		o.Client = &http.Client{}
-	}
 	return nil
+}
+
+// client builds the run's HTTP client on the shared resilient transport
+// (internal/cluster/httpc — the same client the cluster forwarding path
+// uses). Zero retries: a retried request would fold two round trips
+// into one latency sample and distort the distribution.
+func (o *Options) client() *httpc.Client {
+	if o.Client != nil {
+		return httpc.Wrap(o.Client, o.RequestTimeout, 0)
+	}
+	return httpc.New(o.RequestTimeout, 0)
 }
 
 // Result aggregates one finished run.
@@ -173,6 +190,7 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 	}
 	r := &runner{
 		opts:    opts,
+		client:  opts.client(),
 		hists:   map[string]*obs.LatencyHistogram{TargetJobs: obs.NewLatencyHistogram(), TargetPareto: obs.NewLatencyHistogram()},
 		tenants: make([]tenantCounters, len(opts.Tenants)),
 	}
@@ -217,6 +235,7 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 // runner is the shared state of one run.
 type runner struct {
 	opts     Options
+	client   *httpc.Client
 	hists    map[string]*obs.LatencyHistogram
 	requests atomic.Int64
 	errors   atomic.Int64
@@ -255,19 +274,14 @@ func (r *runner) fire(i int64, scheduled time.Time) {
 		tc = &r.tenants[ti]
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), r.opts.RequestTimeout)
-	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.opts.BaseURL+target, bytes.NewReader(body))
-	if err != nil {
-		r.requests.Add(1)
-		r.errors.Add(1)
-		return
-	}
-	req.Header.Set("Content-Type", "application/json")
+	base := r.opts.BaseURLs[int(i)%len(r.opts.BaseURLs)]
+	hdr := http.Header{}
+	hdr.Set("Content-Type", "application/json")
 	if tenant != "" {
-		req.Header.Set("X-Mupod-Tenant", tenant)
+		hdr.Set("X-Mupod-Tenant", tenant)
 	}
-	resp, err := r.opts.Client.Do(req)
+	// The resilient client enforces the per-request timeout itself.
+	resp, err := r.client.Do(context.Background(), http.MethodPost, base+target, body, hdr)
 	d := time.Since(scheduled)
 	r.requests.Add(1)
 	if tc != nil {
@@ -277,8 +291,6 @@ func (r *runner) fire(i int64, scheduled time.Time) {
 		r.errors.Add(1)
 		return
 	}
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
 	switch {
 	case resp.StatusCode == http.StatusTooManyRequests:
 		r.shed.Add(1)

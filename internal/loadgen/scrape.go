@@ -71,6 +71,28 @@ func ScrapeTenantMetrics(ctx context.Context, client *http.Client, baseURL strin
 	return out, nil
 }
 
+// ScrapeTenantMetricsMulti scrapes several daemons (a cluster) and sums
+// the per-tenant counts: a forwarded job is admitted and completed on
+// its owner node, so cluster-wide fairness lives in the sum, not on any
+// single node's page.
+func ScrapeTenantMetricsMulti(ctx context.Context, client *http.Client, baseURLs []string) (map[string]TenantServerStats, error) {
+	out := map[string]TenantServerStats{}
+	for _, u := range baseURLs {
+		one, err := ScrapeTenantMetrics(ctx, client, u)
+		if err != nil {
+			return nil, err
+		}
+		for tenant, s := range one {
+			agg := out[tenant]
+			agg.Accepted += s.Accepted
+			agg.Shed += s.Shed
+			agg.Completed += s.Completed
+			out[tenant] = agg
+		}
+	}
+	return out, nil
+}
+
 // parseTenantSample pulls tenant label and value off a line like
 // `mupod_tenant_jobs_total{tenant="a"} 12`.
 func parseTenantSample(line string) (tenant string, value uint64, ok bool) {

@@ -62,7 +62,11 @@ func (m *Manager) instrument(route string, h http.HandlerFunc) http.HandlerFunc 
 
 // Readiness reports whether the daemon should receive new traffic, and
 // if not, why: draining (shutdown began), queue saturated (submissions
-// are being shed), or the profile circuit breaker failing fast. The
+// are being shed), or the profile circuit breaker failing fast. In
+// cluster mode two more machine-readable reasons appear: "cluster
+// quorum lost" (at least half the members are dead — results computed
+// here may not be findable from other nodes) and "cluster rebalance in
+// progress" (this node is still re-admitting a dead peer's jobs). The
 // process can be alive (/healthz 200) yet unready — load balancers
 // route on this, orchestrators restart on liveness.
 func (m *Manager) Readiness() (bool, []string) {
@@ -75,6 +79,14 @@ func (m *Manager) Readiness() (bool, []string) {
 	}
 	if m.breaker.State() == breakerOpen {
 		reasons = append(reasons, "profile circuit breaker open")
+	}
+	if c := m.Cluster(); c != nil {
+		if c.QuorumLost() {
+			reasons = append(reasons, "cluster quorum lost")
+		}
+		if c.Rebalancing() {
+			reasons = append(reasons, "cluster rebalance in progress")
+		}
 	}
 	return len(reasons) == 0, reasons
 }

@@ -213,10 +213,16 @@ type replayState struct {
 	droppedBytes int
 }
 
-// idNum extracts the numeric suffix of a "j-%06d" job ID (0 if the ID
-// has a different shape).
+// idNum extracts the numeric suffix of a "j-%06d" job ID, with or
+// without a cluster node prefix ("a-j-000001"), so replay advances
+// nextID past locally issued IDs even when handed-off foreign IDs are
+// interleaved in the journal. 0 if the ID has a different shape.
 func idNum(id string) int {
-	n, err := strconv.Atoi(strings.TrimPrefix(id, "j-"))
+	i := strings.LastIndex(id, "j-")
+	if i < 0 {
+		return 0
+	}
+	n, err := strconv.Atoi(id[i+len("j-"):])
 	if err != nil {
 		return 0
 	}

@@ -138,6 +138,13 @@ type Manager struct {
 	retryWG  sync.WaitGroup
 	inflight atomic.Int64 // jobs a worker is currently running; feeds Retry-After
 
+	// Cluster mode (see cluster.go); all zero in single-node operation.
+	// crashed gates the replication hooks so a simulated kill -9 sends
+	// no tombstones, and idPrefix makes job IDs unique cluster-wide.
+	clusterPtr atomic.Pointer[Cluster]
+	crashed    atomic.Bool
+	idPrefix   string
+
 	mu          sync.Mutex
 	jobs        map[string]*Job
 	order       []string // submission order, for listing
@@ -537,7 +544,7 @@ func (m *Manager) SubmitBatch(reqs []JobRequest) []BatchResult {
 		}
 		j.timeline = appendTimeline(nil, string(StateQueued), now)
 		m.nextID++
-		j.id = fmt.Sprintf("j-%06d", m.nextID)
+		j.id = m.idPrefix + fmt.Sprintf("j-%06d", m.nextID)
 		m.jobs[j.id] = j
 		m.order = append(m.order, j.id)
 		recs = append(recs, journalRec{T: "submit", ID: j.id, Time: now, Req: &j.req})
@@ -556,10 +563,83 @@ func (m *Manager) SubmitBatch(reqs []JobRequest) []BatchResult {
 	for _, j := range accepted {
 		m.metrics.submitted.Add(1)
 		m.tenantSeries(j.TenantName()).jobs.Inc()
+		if c := m.clusterHook(); c != nil {
+			c.noteAdmitted(j)
+		}
 		m.cfg.Logf("serve: job %s queued (tenant=%q model=%q netdesc=%dB objective=%q)",
 			j.id, j.TenantName(), j.req.Model, len(j.req.Network), j.req.Objective)
 	}
 	return out
+}
+
+// Readmit admits a job under an existing cluster-wide ID — the
+// receiving side of both the dead-peer handoff and the drain handoff.
+// The job arrives as StateInterrupted carrying its prior attempt count,
+// so the worker resumes it under the same attempt budget a local crash
+// recovery would grant; a count already at MaxAttempts finalizes as
+// failed instead of looping. Admission passes the same reserve() gate
+// as Submit (full queues and tenant quotas shed handoffs too), and an
+// already-known ID returns the existing job, so a retried handoff can
+// never double-admit.
+func (m *Manager) Readmit(id string, req JobRequest, attempt int) (*Job, error) {
+	if id == "" {
+		return nil, errors.New("serve: readmit needs a job ID")
+	}
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	if attempt < 0 {
+		attempt = 0
+	}
+	now := time.Now()
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return nil, ErrDraining
+	}
+	if j, ok := m.jobs[id]; ok {
+		m.mu.Unlock()
+		return j, nil
+	}
+	tenant := req.TenantName()
+	if err := m.sched.reserve(tenant); err != nil {
+		m.mu.Unlock()
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &Job{
+		id:        id,
+		req:       req,
+		ctx:       ctx,
+		cancel:    cancel,
+		done:      make(chan struct{}),
+		state:     StateInterrupted,
+		attempt:   attempt,
+		submitted: now,
+	}
+	j.timeline = appendTimeline(nil, string(StateQueued), now)
+	j.timeline = appendTimeline(j.timeline, string(StateInterrupted), now)
+	m.jobs[id] = j
+	m.order = append(m.order, id)
+	m.journal.appendBatch([]journalRec{
+		{T: "submit", ID: id, Time: now, Req: &j.req},
+		{T: "state", ID: id, Time: now, State: StateInterrupted, Attempt: attempt},
+	})
+	if attempt >= m.cfg.MaxAttempts {
+		m.sched.unreserve(tenant)
+		m.mu.Unlock()
+		m.finalize(j, StateFailed, nil, false,
+			fmt.Errorf("serve: job interrupted %d times elsewhere, attempt budget (%d) exhausted", attempt, m.cfg.MaxAttempts))
+		return j, nil
+	}
+	m.sched.enqueue(tenant, j)
+	m.mu.Unlock()
+
+	if c := m.clusterHook(); c != nil {
+		c.noteAdmitted(j)
+	}
+	m.cfg.Logf("serve: job %s re-admitted (tenant=%q attempt=%d)", id, tenant, attempt)
+	return j, nil
 }
 
 // Get returns the job with the given ID.
@@ -674,14 +754,21 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 		err = ctx.Err()
 	}
 	m.journal.Close()
+	if c := m.clusterPtr.Load(); c != nil {
+		c.Stop()
+	}
 	return err
 }
 
 // Crash simulates kill -9 for chaos tests: the journal stops accepting
 // appends first (everything after this instant is as lost as it would
-// be in a real crash), then outstanding work is abandoned. The manager
-// is unusable afterwards; recovery is New with the same DataDir.
+// be in a real crash), then outstanding work is abandoned. In cluster
+// mode the replication hooks go silent at the same instant — a crashed
+// node sends no tombstones, so its peers' ownership records survive to
+// drive the handoff. The manager is unusable afterwards; recovery is
+// New with the same DataDir.
 func (m *Manager) Crash() {
+	m.crashed.Store(true)
 	m.journal.Close()
 	m.mu.Lock()
 	if !m.draining {
@@ -697,6 +784,9 @@ func (m *Manager) Crash() {
 	}
 	m.wg.Wait()
 	m.retryWG.Wait()
+	if c := m.clusterPtr.Load(); c != nil {
+		c.Stop()
+	}
 }
 
 func (m *Manager) worker() {
@@ -736,6 +826,9 @@ func (m *Manager) runJob(j *Job) {
 	// The journal record reuses the timeline timestamp so a replayed
 	// timeline is bit-identical to the live one.
 	m.journal.append(journalRec{T: "state", ID: j.id, Time: started, State: StateRunning, Attempt: attempt})
+	if c := m.clusterHook(); c != nil {
+		c.noteAttempt(j, attempt)
+	}
 	m.cfg.Logf("serve: job %s running (attempt %d)", j.id, attempt)
 
 	ctx := j.ctx
@@ -792,6 +885,9 @@ func (m *Manager) finalize(j *Job, final State, res *JobResult, cacheHit bool, c
 		m.journal.append(journalRec{T: "result", ID: j.id, Time: finished, Result: res})
 	}
 	m.journal.append(journalRec{T: "state", ID: j.id, Time: finished, State: final, Err: errMsg, Attempt: attempt, CacheHit: cacheHit})
+	if c := m.clusterHook(); c != nil {
+		c.noteTerminal(j.id)
+	}
 	j.cancel()
 	close(j.done)
 	m.metrics.jobCompleted(final)

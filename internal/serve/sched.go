@@ -269,6 +269,37 @@ func (s *scheduler) dropRing(i int) {
 	}
 }
 
+// stealAll empties every sub-queue and returns the stolen jobs in
+// tenant-name order (FIFO within a tenant), releasing their admission
+// slots. The cluster drain path uses it to hand still-queued work to
+// peers; anything that cannot be handed off is re-admitted with
+// enqueueForce.
+func (s *scheduler) stealAll() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.tenants))
+	for name, t := range s.tenants {
+		if len(t.jobs) > 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var out []*Job
+	for _, name := range names {
+		t := s.tenants[name]
+		out = append(out, t.jobs...)
+		t.queued -= len(t.jobs)
+		s.queued -= len(t.jobs)
+		s.avail -= len(t.jobs)
+		t.jobs = nil
+		t.inTurn, t.deficit = false, 0
+	}
+	// Rebuild the ring: every stolen tenant left it.
+	s.ring = s.ring[:0]
+	s.cur = 0
+	return out
+}
+
 // close stops future blocking in next; queued jobs still drain.
 func (s *scheduler) close() {
 	s.mu.Lock()

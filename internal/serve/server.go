@@ -60,11 +60,23 @@ type BatchView struct {
 //	         (?format=spans returns the plain span JSON instead)
 //	GET    /debug/pprof/  runtime profiles (heap, goroutine, cpu, ...)
 //
+// In cluster mode (Manager.EnableCluster before NewHandler) three more
+// routes appear — GET /cluster/health (heartbeat + peer states),
+// POST /cluster/owned (ownership-record replication) and
+// POST /cluster/handoff (drain handoff) — and submissions are forwarded
+// to the owner node of their routing key unless the request already
+// carries the X-Mupod-Forwarded hop header.
+//
 // Every route is wrapped in the RED-metrics middleware:
 // mupod_http_requests_total{route,method,code},
 // mupod_http_request_duration_seconds{route}, mupod_http_in_flight.
 func NewHandler(m *Manager) http.Handler {
-	m.metrics.registerHTTP(httpRoutes)
+	cl := m.Cluster()
+	routes := httpRoutes
+	if cl != nil {
+		routes = append(append([]string(nil), httpRoutes...), clusterRoutes...)
+	}
+	m.metrics.registerHTTP(routes)
 	mux := http.NewServeMux()
 	handle := func(pattern, route string, h http.HandlerFunc) {
 		mux.HandleFunc(pattern, m.instrument(route, h))
@@ -83,6 +95,16 @@ func NewHandler(m *Manager) http.Handler {
 		}
 		if forcePareto && req.Pareto == nil {
 			req.Pareto = &ParetoSpec{}
+		}
+		if cl != nil {
+			if r.Header.Get(forwardedHeader) != "" {
+				// One hop max: a forwarded request is computed here even
+				// if routing disagrees, so misrouting can never cycle.
+				cl.forwardedIn.Inc()
+			} else if resp := cl.maybeForward(r.Context(), &req, forcePareto); resp != nil {
+				relayResponse(w, resp)
+				return
+			}
 		}
 		j, err := m.Submit(req)
 		if err != nil {
@@ -201,6 +223,14 @@ func NewHandler(m *Manager) http.Handler {
 	handle("GET /v1/jobs/{id}", "/v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		j, err := m.Get(r.PathValue("id"))
 		if err != nil {
+			// In cluster mode a client may poll any node for a job that
+			// lives elsewhere: the ID's node prefix says where to ask.
+			if cl != nil && r.Header.Get(forwardedHeader) == "" {
+				if resp := cl.proxyGet(r.Context(), r.PathValue("id")); resp != nil {
+					relayResponse(w, resp)
+					return
+				}
+			}
 			writeError(w, http.StatusNotFound, err)
 			return
 		}
@@ -280,6 +310,12 @@ func NewHandler(m *Manager) http.Handler {
 	// mount them explicitly since the daemon serves a private mux.
 	// Index also serves the named profiles (heap, goroutine, block, ...).
 	// They share one route label — per-profile cardinality is noise.
+	if cl != nil {
+		handle("GET /cluster/health", "/cluster/health", cl.handleHealth)
+		handle("POST /cluster/owned", "/cluster/owned", cl.handleOwned)
+		handle("POST /cluster/handoff", "/cluster/handoff", cl.handleHandoff)
+	}
+
 	handle("GET /debug/pprof/", "/debug/pprof/", pprof.Index)
 	handle("GET /debug/pprof/cmdline", "/debug/pprof/", pprof.Cmdline)
 	handle("GET /debug/pprof/profile", "/debug/pprof/", pprof.Profile)
